@@ -1,0 +1,74 @@
+#ifndef NODB_BENCH_BENCH_UTIL_H_
+#define NODB_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "datagen/synthetic.h"
+#include "io/temp_dir.h"
+#include "util/result.h"
+#include "util/string_util.h"
+
+namespace nodb::bench {
+
+/// Aborts with a message when a Status/Result is not OK — benches have
+/// no meaningful recovery path.
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T CheckOk(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+/// Generates the demo's default workload file: `tuples` rows of
+/// `attrs` zero-padded integer attributes (the shape PostgresRaw's
+/// Figure-3 experiment uses), registered as table `name`.
+struct Workload {
+  TempDir dir;
+  Catalog catalog;
+  std::shared_ptr<Schema> schema;
+  std::string path;
+  uint64_t file_bytes = 0;
+};
+
+inline Workload MakeIntWorkload(const std::string& name, uint64_t tuples,
+                                uint32_t attrs, uint32_t width = 8,
+                                uint64_t seed = 42) {
+  Workload w{CheckOk(TempDir::Create("nodb-bench"), "temp dir"), {}, {},
+             {}, 0};
+  SyntheticSpec spec;
+  spec.num_tuples = tuples;
+  spec.num_attributes = attrs;
+  spec.attribute_width = width;
+  spec.seed = seed;
+  w.schema = spec.MakeSchema();
+  w.path = w.dir.FilePath(name + ".csv");
+  w.file_bytes =
+      CheckOk(GenerateSyntheticCsv(w.path, spec, CsvDialect()), "generate");
+  CheckOk(w.catalog.RegisterTable({name, w.path, w.schema, CsvDialect()}),
+          "register");
+  return w;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================\n");
+}
+
+}  // namespace nodb::bench
+
+#endif  // NODB_BENCH_BENCH_UTIL_H_

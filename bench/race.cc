@@ -1,0 +1,128 @@
+// Experiment E4 — §4.3 The Friendly Race.
+//
+// All contestants receive the same raw files, the same schema and the
+// same 10-query workload; nothing is loaded in advance. Conventional
+// engines must load (and, per profile, convert/index/tune) before their
+// first answer; PostgresRaw starts answering immediately. The metric is
+// the *data-to-query time*: when does each query's answer arrive,
+// counted from the starting shot.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "engines/load_first_engine.h"
+#include "engines/nodb_engine.h"
+#include "util/stopwatch.h"
+
+using namespace nodb;
+using namespace nodb::bench;
+
+namespace {
+
+std::vector<std::string> Workload10() {
+  // The demo's motivating use case: a user skimming new data. Odd
+  // queries are quick exploratory peeks (LIMIT stops the scan early);
+  // even queries are full-scan aggregates over a couple of attributes.
+  std::vector<std::string> queries;
+  for (int q = 0; q < 10; ++q) {
+    int a = (q * 3) % 18;
+    if (q % 2 == 0) {
+      queries.push_back(
+          "SELECT COUNT(*) AS n, SUM(attr" + std::to_string(a) +
+          ") AS s FROM race WHERE attr" + std::to_string(a + 1) + " < " +
+          std::to_string(10000000 * (q + 1)));
+    } else {
+      queries.push_back(
+          "SELECT attr" + std::to_string(a) + ", attr" +
+          std::to_string(a + 1) + " FROM race WHERE attr" +
+          std::to_string(a) + " < " + std::to_string(10000000 * (q + 1)) +
+          " LIMIT 100");
+    }
+  }
+  return queries;
+}
+
+struct Lane {
+  std::string name;
+  int64_t init_ns = 0;
+  std::vector<int64_t> answer_at_ns;  // cumulative time of each answer
+};
+
+Lane RunLane(Engine* engine, const std::vector<std::string>& queries) {
+  Lane lane;
+  lane.name = std::string(engine->name());
+  Stopwatch shot;
+  int64_t init = CheckOk(engine->Initialize(), "init");
+  (void)init;
+  lane.init_ns = shot.ElapsedNanos();
+  for (const auto& sql : queries) {
+    CheckOk(engine->Execute(sql).status(), "query");
+    lane.answer_at_ns.push_back(shot.ElapsedNanos());
+  }
+  return lane;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("E4 / friendly race - data-to-query time");
+  Workload w = MakeIntWorkload("race", 120000, 20);
+  std::printf("raw input: %s; 10-query workload; nothing pre-loaded\n",
+              FormatBytes(w.file_bytes).c_str());
+
+  auto queries = Workload10();
+  std::vector<Lane> lanes;
+
+  NoDbEngine raw(w.catalog, NoDbConfig(), "PostgresRaw");
+  lanes.push_back(RunLane(&raw, queries));
+  LoadFirstEngine pg(w.catalog, LoadProfile::kPostgres);
+  lanes.push_back(RunLane(&pg, queries));
+  LoadFirstEngine my(w.catalog, LoadProfile::kMySql);
+  lanes.push_back(RunLane(&my, queries));
+  LoadFirstEngine dx(w.catalog, LoadProfile::kDbmsX);
+  lanes.push_back(RunLane(&dx, queries));
+
+  std::printf("\n%-14s %12s", "system", "init");
+  for (size_t q = 1; q <= queries.size(); ++q) {
+    std::printf(" %8s", ("q" + std::to_string(q)).c_str());
+  }
+  std::printf("   total\n");
+  for (const Lane& lane : lanes) {
+    std::printf("%-14s %12s", lane.name.c_str(),
+                FormatNanos(lane.init_ns).c_str());
+    for (int64_t t : lane.answer_at_ns) {
+      std::printf(" %8s", FormatNanos(t).c_str());
+    }
+    std::printf(" %8s\n",
+                FormatNanos(lane.answer_at_ns.back()).c_str());
+  }
+
+  // How many answers had PostgresRaw produced before each loader
+  // finished initializing?
+  std::printf("\n");
+  for (size_t i = 1; i < lanes.size(); ++i) {
+    size_t answered = 0;
+    for (int64_t t : lanes[0].answer_at_ns) {
+      if (t < lanes[i].init_ns) ++answered;
+    }
+    std::printf(
+        "PostgresRaw had answered %zu/%zu queries before %s finished "
+        "loading\n",
+        answered, queries.size(), lanes[i].name.c_str());
+  }
+
+  std::printf("\ncsv: system,init_ns");
+  for (size_t q = 1; q <= queries.size(); ++q) std::printf(",q%zu_ns", q);
+  std::printf("\n");
+  for (const Lane& lane : lanes) {
+    std::printf("csv: %s,%lld", lane.name.c_str(),
+                static_cast<long long>(lane.init_ns));
+    for (int64_t t : lane.answer_at_ns) {
+      std::printf(",%lld", static_cast<long long>(t));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

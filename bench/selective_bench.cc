@@ -1,0 +1,109 @@
+// Experiment E8 — selective tokenizing / parsing / tuple formation
+// ablation (google-benchmark).
+//
+// §3: with row-oriented raw files, selective tokenizing cannot save
+// I/O but slashes CPU cost. This bench quantifies each selectivity
+// level on a wide-tuple file: full load (tokenize+parse everything,
+// what a conventional loader does), selective parse of k attributes,
+// and the dependence on attribute position.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "engines/csv_loader.h"
+#include "exec/query_result.h"
+#include "raw/raw_scan.h"
+
+using namespace nodb;
+using namespace nodb::bench;
+
+namespace {
+
+constexpr uint64_t kTuples = 10000;
+constexpr uint32_t kAttrs = 60;
+
+Workload& SharedWorkload() {
+  static Workload* workload =
+      new Workload(MakeIntWorkload("sel", kTuples, kAttrs));
+  return *workload;
+}
+
+RawTableInfo Info() {
+  Workload& w = SharedWorkload();
+  return {"sel", w.path, w.schema, CsvDialect()};
+}
+
+/// Everything: the conventional loader tokenizes and converts all
+/// kAttrs fields of every tuple.
+void BM_FullTokenizeAndParse(benchmark::State& state) {
+  Workload& w = SharedWorkload();
+  for (auto _ : state) {
+    auto table = LoadCsv(w.path, w.schema, CsvDialect());
+    CheckOk(table.status(), "load");
+    benchmark::DoNotOptimize(table->get());
+  }
+  state.SetItemsProcessed(state.iterations() * kTuples * kAttrs);
+}
+BENCHMARK(BM_FullTokenizeAndParse)->Unit(benchmark::kMillisecond);
+
+/// Selective: parse only the first `k` attributes (baseline config so
+/// no auxiliary structures blur the ablation).
+void BM_SelectiveParseKAttrs(benchmark::State& state) {
+  RawTableState table(Info(), NoDbConfig::Baseline());
+  CheckOk(table.Open(), "open");
+  std::vector<uint32_t> attrs;
+  for (int i = 0; i < state.range(0); ++i) {
+    attrs.push_back(static_cast<uint32_t>(i));
+  }
+  for (auto _ : state) {
+    RawScanOperator scan(&table, attrs, nullptr);
+    auto result = QueryResult::Drain(&scan);
+    CheckOk(result.status(), "scan");
+  }
+  state.SetItemsProcessed(state.iterations() * kTuples *
+                          state.range(0));
+}
+BENCHMARK(BM_SelectiveParseKAttrs)
+    ->Arg(1)
+    ->Arg(5)
+    ->Arg(20)
+    ->Arg(60)
+    ->Unit(benchmark::kMillisecond);
+
+/// Selective tokenizing aborts at the last needed attribute, so the
+/// cost of "one attribute" depends on where it sits in the tuple.
+void BM_SingleAttrByPosition(benchmark::State& state) {
+  RawTableState table(Info(), NoDbConfig::Baseline());
+  CheckOk(table.Open(), "open");
+  std::vector<uint32_t> attrs = {static_cast<uint32_t>(state.range(0))};
+  for (auto _ : state) {
+    RawScanOperator scan(&table, attrs, nullptr);
+    auto result = QueryResult::Drain(&scan);
+    CheckOk(result.status(), "scan");
+  }
+  state.SetItemsProcessed(state.iterations() * kTuples);
+}
+BENCHMARK(BM_SingleAttrByPosition)
+    ->Arg(0)
+    ->Arg(15)
+    ->Arg(30)
+    ->Arg(59)
+    ->Unit(benchmark::kMillisecond);
+
+/// Selective tuple formation: COUNT(*)-style scans form no tuples at
+/// all — only tuple boundaries are found.
+void BM_RowCountOnly(benchmark::State& state) {
+  RawTableState table(Info(), NoDbConfig::Baseline());
+  CheckOk(table.Open(), "open");
+  for (auto _ : state) {
+    RawScanOperator scan(&table, {}, nullptr);
+    auto result = QueryResult::Drain(&scan);
+    CheckOk(result.status(), "scan");
+  }
+  state.SetItemsProcessed(state.iterations() * kTuples);
+}
+BENCHMARK(BM_RowCountOnly)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

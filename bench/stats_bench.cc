@@ -1,0 +1,99 @@
+// Experiment E9 — §3.3 on-the-fly statistics and plan quality.
+//
+// A workload whose WHERE mixes a cheap, highly selective numeric
+// predicate with an expensive LIKE predicate. Without statistics the
+// planner keeps source order (LIKE first → evaluated on every row);
+// with statistics gathered as a side-effect of the *first* query, the
+// numeric conjunct is ordered first and the LIKE only sees the
+// survivors. Also reports the accuracy of the collected statistics.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "datagen/synthetic.h"
+#include "engines/nodb_engine.h"
+#include "io/temp_dir.h"
+#include "util/stopwatch.h"
+
+using namespace nodb;
+using namespace nodb::bench;
+
+int main() {
+  PrintHeader("E9 / on-the-fly statistics and predicate ordering");
+
+  auto dir = CheckOk(TempDir::Create("nodb-stats"), "temp dir");
+  SyntheticSpec spec;
+  spec.num_tuples = 120000;
+  spec.num_attributes = 6;
+  spec.ints_per_cycle = 2;
+  spec.strings_per_cycle = 1;
+  spec.doubles_per_cycle = 0;
+  spec.dates_per_cycle = 0;
+  spec.attribute_width = 16;  // long strings make LIKE expensive
+  std::string path = dir.FilePath("skewed.csv");
+  CheckOk(GenerateSyntheticCsv(path, spec, CsvDialect()).status(),
+          "generate");
+  Catalog catalog;
+  CheckOk(catalog.RegisterTable(
+              {"skewed", path, spec.MakeSchema(), CsvDialect()}),
+          "register");
+
+  // attr0/attr1 INT, attr2 STRING, repeating. The LIKE pattern with a
+  // leading wildcard must inspect whole strings; the numeric predicate
+  // passes ~0.1% of rows.
+  const std::string sql =
+      "SELECT COUNT(*) AS n FROM skewed "
+      "WHERE attr2 LIKE '%zz%' AND attr0 < 1000";
+
+  auto run_engine = [&](bool stats_on) {
+    NoDbConfig config;
+    config.enable_statistics = stats_on;
+    NoDbEngine engine(catalog, config,
+                      stats_on ? "with-stats" : "no-stats");
+    // Query 1 is identical for both: no statistics exist yet. It
+    // builds map+cache (and, when enabled, statistics).
+    auto q1 = CheckOk(engine.Execute(sql), "q1");
+    // Query 2 runs over warm structures; only predicate order differs.
+    auto q2 = CheckOk(engine.Execute(sql), "q2");
+    auto q3 = CheckOk(engine.Execute(sql), "q3");
+    std::printf(
+        "%-11s q1 %8.2f ms   q2 %8.2f ms   q3 %8.2f ms   (n=%s)\n",
+        std::string(engine.name()).c_str(), q1.metrics.total_ns / 1e6,
+        q2.metrics.total_ns / 1e6, q3.metrics.total_ns / 1e6,
+        q1.result.Row(0)[0].ToString().c_str());
+    return q2.metrics.total_ns + q3.metrics.total_ns;
+  };
+
+  std::printf("\npredicate: LIKE-first in source order; selectivity of "
+              "numeric conjunct ~0.1%%\n\n");
+  int64_t without = run_engine(false);
+  int64_t with = run_engine(true);
+  std::printf(
+      "\nshape: with statistics the warm queries run %.1fx faster "
+      "(selective conjunct ordered first)\n",
+      static_cast<double>(without) / static_cast<double>(with));
+
+  // --- statistics accuracy report.
+  NoDbConfig config;
+  NoDbEngine engine(catalog, config);
+  CheckOk(engine.Execute("SELECT attr0, attr1 FROM skewed LIMIT 1")
+              .status(),
+          "touch");
+  CheckOk(engine.Execute("SELECT COUNT(*) FROM skewed WHERE attr0 > 0 "
+                         "AND attr1 > 0")
+              .status(),
+          "full scan");
+  const RawTableState* state = engine.table_state("skewed");
+  const AttributeStats* stats = state->stats().GetStats(0);
+  if (stats != nullptr) {
+    std::printf(
+        "\nattr0 statistics after 2 queries: rows=%llu nulls=%llu "
+        "min=%.0f max=%.0f ndv~%.0f (domain=1000000)\n",
+        static_cast<unsigned long long>(stats->row_count()),
+        static_cast<unsigned long long>(stats->null_count()),
+        stats->numeric_min().value_or(-1),
+        stats->numeric_max().value_or(-1), stats->EstimateDistinct());
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Experiment E10 — TPC-H workload (the substrate of the SIGMOD'12
+// evaluation this demo showcases).
+//
+// Generates lineitem + orders raw files, then runs Q1-shaped,
+// Q6-shaped and a join query on every engine. Conventional engines pay
+// their load first; PostgresRaw is measured cold (first touch) and
+// warm (adapted). Cross-engine row counts are verified to agree.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "datagen/tpch.h"
+#include "engines/load_first_engine.h"
+#include "engines/nodb_engine.h"
+#include "io/temp_dir.h"
+
+using namespace nodb;
+using namespace nodb::bench;
+
+int main() {
+  PrintHeader("E10 / TPC-H-shaped workload on raw files");
+  auto dir = CheckOk(TempDir::Create("nodb-tpch"), "temp dir");
+  TpchSpec spec;
+  spec.scale_factor = 0.01;  // ~15k orders, ~60k lineitems
+  std::string li_path = dir.FilePath("lineitem.tbl");
+  std::string ord_path = dir.FilePath("orders.tbl");
+  uint64_t li_rows = CheckOk(GenerateTpchLineitem(li_path, spec), "lineitem");
+  uint64_t ord_rows = CheckOk(GenerateTpchOrders(ord_path, spec), "orders");
+  std::printf("lineitem: %llu rows, orders: %llu rows\n",
+              static_cast<unsigned long long>(li_rows),
+              static_cast<unsigned long long>(ord_rows));
+
+  Catalog catalog;
+  CheckOk(catalog.RegisterTable({"lineitem", li_path, TpchLineitemSchema(),
+                                 CsvDialect::Pipe()}),
+          "register");
+  CheckOk(catalog.RegisterTable(
+              {"orders", ord_path, TpchOrdersSchema(), CsvDialect::Pipe()}),
+          "register");
+
+  struct NamedQuery {
+    const char* name;
+    const char* sql;
+  };
+  NamedQuery queries[] = {
+      {"Q1 (pricing summary)",
+       "SELECT l_returnflag, l_linestatus, SUM(l_quantity) AS sum_qty, "
+       "SUM(l_extendedprice) AS sum_base, "
+       "SUM(l_extendedprice * (1 - l_discount)) AS sum_disc, "
+       "AVG(l_quantity) AS avg_qty, COUNT(*) AS n FROM lineitem "
+       "WHERE l_shipdate <= DATE '1998-08-01' "
+       "GROUP BY l_returnflag, l_linestatus "
+       "ORDER BY l_returnflag, l_linestatus"},
+      {"Q6 (forecast revenue)",
+       "SELECT SUM(l_extendedprice * l_discount) AS revenue FROM lineitem "
+       "WHERE l_shipdate >= DATE '1994-01-01' "
+       "AND l_shipdate < DATE '1995-01-01' "
+       "AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24"},
+      {"QJ (urgent lineitems)",
+       "SELECT COUNT(*) AS n, SUM(l.l_extendedprice) AS s "
+       "FROM lineitem l JOIN orders o ON l.l_orderkey = o.o_orderkey "
+       "WHERE o.o_orderpriority = '1-URGENT'"},
+  };
+
+  NoDbEngine raw(catalog, NoDbConfig(), "PostgresRaw");
+  LoadFirstEngine pg(catalog, LoadProfile::kPostgres);
+  int64_t load_ns = CheckOk(pg.Initialize(), "load");
+  std::printf("PostgreSQL load time: %s (PostgresRaw: none)\n\n",
+              FormatNanos(load_ns).c_str());
+
+  std::printf("%-24s %14s %14s %14s  match\n", "query", "PostgresRaw.cold",
+              "PostgresRaw.warm", "PostgreSQL");
+  for (const auto& q : queries) {
+    auto cold = CheckOk(raw.Execute(q.sql), q.name);
+    auto warm = CheckOk(raw.Execute(q.sql), q.name);
+    auto conv = CheckOk(pg.Execute(q.sql), q.name);
+    bool match = cold.result.CanonicalRows() == conv.result.CanonicalRows();
+    std::printf("%-24s %14s %14s %14s  %s\n", q.name,
+                FormatNanos(cold.metrics.total_ns).c_str(),
+                FormatNanos(warm.metrics.total_ns).c_str(),
+                FormatNanos(conv.metrics.total_ns).c_str(),
+                match ? "yes" : "NO!");
+  }
+
+  std::printf(
+      "\ndata-to-query totals after the 3-query workload (x2 for raw):\n"
+      "  PostgresRaw: %s (zero load)\n  PostgreSQL:  %s (incl. load)\n",
+      FormatNanos(raw.totals().data_to_query_ns()).c_str(),
+      FormatNanos(pg.totals().data_to_query_ns()).c_str());
+  return 0;
+}

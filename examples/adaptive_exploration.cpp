@@ -1,0 +1,97 @@
+// Adaptive exploration: the demo's Part-II scenario as a library user
+// experiences it. A scientist "skims" an unfamiliar wide CSV file:
+// exploratory queries move across the attributes, and the engine's
+// positional map / cache / statistics follow the workload — visible in
+// the monitoring panel after every phase.
+
+#include <cstdio>
+
+#include "catalog/catalog.h"
+#include "datagen/synthetic.h"
+#include "engines/nodb_engine.h"
+#include "io/temp_dir.h"
+#include "monitor/panel.h"
+
+using namespace nodb;
+
+namespace {
+
+void RunPhase(NoDbEngine& engine, const char* title,
+              const std::vector<std::string>& queries) {
+  std::printf("\n##### %s\n", title);
+  for (const auto& sql : queries) {
+    auto outcome = engine.Execute(sql);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   outcome.status().ToString().c_str());
+      std::exit(1);
+    }
+    std::printf("  %-70s %10.2f ms  (%zu rows)\n", sql.c_str(),
+                outcome->metrics.total_ns / 1e6,
+                outcome->result.num_rows());
+  }
+  std::printf("\n%s",
+              MonitorPanel::RenderTableState(*engine.table_state("sky"))
+                  .c_str());
+}
+
+}  // namespace
+
+int main() {
+  auto dir = TempDir::Create("nodb-explore");
+  if (!dir.ok()) return 1;
+
+  // An astronomy-flavoured file: 80k observations x 24 attributes.
+  SyntheticSpec spec;
+  spec.num_tuples = 80000;
+  spec.num_attributes = 24;
+  spec.ints_per_cycle = 2;
+  spec.doubles_per_cycle = 1;
+  spec.strings_per_cycle = 0;
+  spec.dates_per_cycle = 1;
+  spec.attribute_width = 10;
+  std::string path = dir->FilePath("sky.csv");
+  if (!GenerateSyntheticCsv(path, spec, CsvDialect()).ok()) return 1;
+
+  Catalog catalog;
+  if (!catalog.RegisterTable({"sky", path, spec.MakeSchema(),
+                              CsvDialect()})
+           .ok()) {
+    return 1;
+  }
+
+  NoDbConfig config;
+  config.positional_map_budget = 16u << 20;
+  config.cache_budget = 32u << 20;
+  NoDbEngine engine(catalog, config);
+
+  RunPhase(engine, "phase 1: first contact - what is in this file?",
+           {
+               "SELECT COUNT(*) FROM sky",
+               "SELECT attr0, attr1, attr2 FROM sky LIMIT 5",
+           });
+
+  RunPhase(engine,
+           "phase 2: drill into the first attribute window (it warms up)",
+           {
+               "SELECT MIN(attr0) AS lo, MAX(attr0) AS hi FROM sky",
+               "SELECT AVG(attr2) AS mean FROM sky WHERE attr0 < 3000000000",
+               "SELECT AVG(attr2) AS mean FROM sky WHERE attr0 < 1000000000",
+           });
+
+  RunPhase(engine,
+           "phase 3: the investigation moves - new attributes, new "
+           "structures, old ones age out",
+           {
+               "SELECT attr16, attr18 FROM sky WHERE attr17 < 1000000000 "
+               "LIMIT 10",
+               "SELECT COUNT(*) AS flagged FROM sky "
+               "WHERE attr18 > 5000000000 AND attr16 < 2000000000",
+               "SELECT MAX(attr19) AS latest FROM sky",
+           });
+
+  std::printf(
+      "\nDone: the engine never loaded the file, yet repeated queries "
+      "run at loaded-database speed for the touched attributes.\n");
+  return 0;
+}

@@ -1,0 +1,269 @@
+// nodb_shell: an interactive SQL shell over raw CSV files.
+//
+// Usage:
+//   nodb_shell                      # starts with a demo table
+//   nodb_shell file.csv "a:int,b:string,c:date" [delimiter]
+//
+// Meta-commands:
+//   \open NAME PATH SCHEMA [DELIM]  register a raw file as a table
+//   \tables                         list registered tables
+//   \panel [TABLE]                  show the monitoring panel
+//   \explain SQL                    show the (adaptive) query plan
+//   \baseline on|off                toggle map+cache+stats together
+//   \timing on|off                  per-query breakdown line
+//   \help  \quit
+//
+// Every other line is executed as SQL. Runs fine non-interactively:
+// pipe SQL in, one statement per line.
+
+#include <cstdio>
+#include <unistd.h>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "csv/schema_inference.h"
+#include "datagen/synthetic.h"
+#include "engines/nodb_engine.h"
+#include "engines/result_export.h"
+#include "io/temp_dir.h"
+#include "monitor/panel.h"
+#include "util/string_util.h"
+
+using namespace nodb;
+
+namespace {
+
+Result<std::shared_ptr<Schema>> ParseSchemaSpec(const std::string& spec) {
+  std::vector<Field> fields;
+  for (const auto& part : SplitString(spec, ',')) {
+    auto nv = SplitString(std::string(TrimView(part)), ':');
+    if (nv.size() != 2) {
+      return Status::InvalidArgument(
+          "schema spec must be name:type[,name:type...]; got '" + part +
+          "'");
+    }
+    NODB_ASSIGN_OR_RETURN(DataType type, DataTypeFromString(nv[1]));
+    fields.push_back(Field{nv[0], type});
+  }
+  return Schema::Make(std::move(fields));
+}
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  \\open NAME PATH SCHEMA [DELIM]   e.g. \\open t data.csv "
+      "\"id:int,name:string\" ,\n"
+      "  \\tables    \\panel [TABLE]    \\explain SQL\n"
+      "  \\export FILE SQL                 run SQL, write result as CSV\n"
+      "  \\baseline on|off    \\timing on|off    \\help    \\quit\n"
+      "anything else runs as SQL. Omit SCHEMA in \\open to infer it.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Catalog catalog;
+  std::unique_ptr<TempDir> demo_dir;
+
+  if (argc >= 3) {
+    auto schema = ParseSchemaSpec(argv[2]);
+    if (!schema.ok()) {
+      std::fprintf(stderr, "%s\n", schema.status().ToString().c_str());
+      return 1;
+    }
+    CsvDialect dialect;
+    if (argc >= 4) dialect.delimiter = argv[3][0];
+    Status st = catalog.RegisterTable({"t", argv[1], *schema, dialect});
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("registered '%s' as table t (%s)\n", argv[1],
+                (*schema)->ToString().c_str());
+  } else if (argc == 2) {
+    // File without a schema: infer it from a sample.
+    auto inferred = InferSchema(argv[1], CsvDialect());
+    if (!inferred.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   inferred.status().ToString().c_str());
+      return 1;
+    }
+    Status st = catalog.RegisterTable(
+        {"t", argv[1], inferred->schema, inferred->dialect});
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("registered '%s' as table t with inferred schema (%s)%s\n",
+                argv[1], inferred->schema->ToString().c_str(),
+                inferred->dialect.has_header ? " [header detected]" : "");
+  } else {
+    // No file given: create a demo table so the shell is explorable.
+    auto dir = TempDir::Create("nodb-shell");
+    if (!dir.ok()) return 1;
+    demo_dir = std::make_unique<TempDir>(std::move(*dir));
+    SyntheticSpec spec;
+    spec.num_tuples = 20000;
+    spec.num_attributes = 8;
+    spec.ints_per_cycle = 2;
+    spec.strings_per_cycle = 1;
+    spec.dates_per_cycle = 1;
+    std::string path = demo_dir->FilePath("demo.csv");
+    if (!GenerateSyntheticCsv(path, spec, CsvDialect()).ok()) return 1;
+    (void)catalog.RegisterTable(
+        {"demo", path, spec.MakeSchema(), CsvDialect()});
+    std::printf("no file given; created table 'demo' (%s)\n",
+                spec.MakeSchema()->ToString().c_str());
+  }
+
+  NoDbEngine engine(catalog, NoDbConfig());
+  bool timing = true;
+  bool interactive = isatty(0);
+  PrintHelp();
+
+  std::string line;
+  while (true) {
+    if (interactive) {
+      std::printf("nodb> ");
+      std::fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) break;
+    std::string_view trimmed = TrimView(line);
+    if (trimmed.empty()) continue;
+
+    if (trimmed[0] == '\\') {
+      std::istringstream iss{std::string(trimmed)};
+      std::string cmd;
+      iss >> cmd;
+      if (cmd == "\\quit" || cmd == "\\q") break;
+      if (cmd == "\\help") {
+        PrintHelp();
+      } else if (cmd == "\\tables") {
+        for (const auto& name : engine.catalog().TableNames()) {
+          auto info = engine.catalog().GetTable(name);
+          std::printf("  %-12s %s  (%s)\n", name.c_str(),
+                      info->path.c_str(), info->schema->ToString().c_str());
+        }
+      } else if (cmd == "\\panel") {
+        std::string table;
+        iss >> table;
+        if (table.empty() && !engine.catalog().TableNames().empty()) {
+          table = engine.catalog().TableNames()[0];
+        }
+        const RawTableState* state = engine.table_state(table);
+        if (state == nullptr) {
+          std::printf("no adaptive state yet for '%s' (query it first)\n",
+                      table.c_str());
+        } else {
+          std::printf("%s", MonitorPanel::RenderTableState(*state).c_str());
+        }
+      } else if (cmd == "\\explain") {
+        std::string sql;
+        std::getline(iss, sql);
+        auto plan = engine.Explain(sql);
+        if (!plan.ok()) {
+          std::printf("error: %s\n", plan.status().ToString().c_str());
+        } else {
+          std::printf("%s", plan->c_str());
+        }
+      } else if (cmd == "\\export") {
+        std::string out_path, sql;
+        iss >> out_path;
+        std::getline(iss, sql);
+        auto outcome = engine.Execute(TrimView(sql));
+        if (!outcome.ok()) {
+          std::printf("error: %s\n", outcome.status().ToString().c_str());
+          continue;
+        }
+        CsvDialect out_dialect;
+        out_dialect.has_header = true;
+        out_dialect.allow_quoting = true;
+        Status st =
+            WriteResultToCsv(outcome->result, out_path, out_dialect);
+        std::printf("%s\n", st.ok()
+                                ? ("wrote " +
+                                   std::to_string(outcome->result.num_rows()) +
+                                   " rows to " + out_path)
+                                      .c_str()
+                                : st.ToString().c_str());
+      } else if (cmd == "\\baseline") {
+        std::string mode;
+        iss >> mode;
+        bool on = (mode == "on");
+        engine.SetPositionalMapEnabled(!on);
+        engine.SetCacheEnabled(!on);
+        engine.SetStatisticsEnabled(!on);
+        std::printf("NoDB components %s\n", on ? "DISABLED (baseline "
+                                                 "external-files mode)"
+                                               : "enabled");
+      } else if (cmd == "\\timing") {
+        std::string mode;
+        iss >> mode;
+        timing = (mode != "off");
+        std::printf("timing %s\n", timing ? "on" : "off");
+      } else if (cmd == "\\open") {
+        std::string name, path, schema_spec, delim;
+        iss >> name >> path;
+        // Schema may be quoted.
+        std::string rest;
+        std::getline(iss, rest);
+        rest = std::string(TrimView(rest));
+        if (!rest.empty() && rest[0] == '"') {
+          size_t close = rest.find('"', 1);
+          schema_spec = rest.substr(1, close - 1);
+          if (close != std::string::npos && close + 1 < rest.size()) {
+            delim = std::string(TrimView(rest.substr(close + 1)));
+          }
+        } else {
+          std::istringstream rss(rest);
+          rss >> schema_spec >> delim;
+        }
+        if (schema_spec.empty()) {
+          // No schema given: infer it.
+          CsvDialect dialect;
+          if (!delim.empty()) dialect.delimiter = delim[0];
+          auto inferred = InferSchema(path, dialect);
+          if (!inferred.ok()) {
+            std::printf("error: %s\n",
+                        inferred.status().ToString().c_str());
+            continue;
+          }
+          Status st = engine.catalog().RegisterTable(
+              {name, path, inferred->schema, inferred->dialect});
+          std::printf("%s (inferred: %s)\n",
+                      st.ok() ? "registered" : st.ToString().c_str(),
+                      inferred->schema->ToString().c_str());
+          continue;
+        }
+        auto schema = ParseSchemaSpec(schema_spec);
+        if (!schema.ok()) {
+          std::printf("error: %s\n", schema.status().ToString().c_str());
+          continue;
+        }
+        CsvDialect dialect;
+        if (!delim.empty()) dialect.delimiter = delim[0];
+        Status st =
+            engine.catalog().RegisterTable({name, path, *schema, dialect});
+        std::printf("%s\n", st.ok() ? "registered" : st.ToString().c_str());
+      } else {
+        std::printf("unknown command %s (try \\help)\n", cmd.c_str());
+      }
+      continue;
+    }
+
+    auto outcome = engine.Execute(trimmed);
+    if (!outcome.ok()) {
+      std::printf("error: %s\n", outcome.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s", outcome->result.ToString(25).c_str());
+    if (timing) {
+      std::printf("%s", MonitorPanel::RenderBreakdown("  time",
+                                                      outcome->metrics)
+                            .c_str());
+    }
+  }
+  return 0;
+}

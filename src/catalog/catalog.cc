@@ -1,0 +1,46 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+
+namespace nodb {
+
+Status Catalog::RegisterTable(RawTableInfo info) {
+  if (info.schema == nullptr) {
+    return Status::InvalidArgument("table '" + info.name +
+                                   "' registered without a schema");
+  }
+  auto [it, inserted] = tables_.emplace(info.name, info);
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("table '" + info.name +
+                                 "' is already registered");
+  }
+  return Status::OK();
+}
+
+Status Catalog::ReplaceTable(RawTableInfo info) {
+  if (info.schema == nullptr) {
+    return Status::InvalidArgument("table '" + info.name +
+                                   "' registered without a schema");
+  }
+  tables_[info.name] = std::move(info);
+  return Status::OK();
+}
+
+Result<RawTableInfo> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, info] : tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace nodb

@@ -1,0 +1,53 @@
+#ifndef NODB_CATALOG_CATALOG_H_
+#define NODB_CATALOG_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "csv/dialect.h"
+#include "types/schema.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace nodb {
+
+/// Registration record of a raw table: where the file lives and how to
+/// interpret it. Registering a table performs **no data access** — that
+/// is the point of NoDB; the engine touches the file only when a query
+/// references the table.
+struct RawTableInfo {
+  std::string name;
+  std::string path;
+  std::shared_ptr<Schema> schema;
+  CsvDialect dialect;
+};
+
+/// Name → raw-file registry shared by all engines.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Registers a raw CSV file as queryable table `name`.
+  Status RegisterTable(RawTableInfo info);
+
+  /// Replaces an existing registration (e.g. to point a table at a new
+  /// file — the demo's second update scenario).
+  Status ReplaceTable(RawTableInfo info);
+
+  Result<RawTableInfo> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::unordered_map<std::string, RawTableInfo> tables_;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_CATALOG_CATALOG_H_

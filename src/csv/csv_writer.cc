@@ -1,0 +1,74 @@
+#include "csv/csv_writer.h"
+
+namespace nodb {
+
+CsvWriter::CsvWriter(std::unique_ptr<WritableFile> file, CsvDialect dialect,
+                     size_t buffer_bytes)
+    : file_(std::move(file)),
+      dialect_(dialect),
+      buffer_bytes_(buffer_bytes) {
+  buffer_.reserve(buffer_bytes_ + 4096);
+}
+
+void CsvWriter::AppendEscaped(std::string_view field) {
+  bool needs_quote = false;
+  if (dialect_.allow_quoting) {
+    for (char c : field) {
+      if (c == dialect_.delimiter || c == dialect_.quote || c == '\n' ||
+          c == '\r') {
+        needs_quote = true;
+        break;
+      }
+    }
+  }
+  if (!needs_quote) {
+    buffer_.append(field);
+    return;
+  }
+  buffer_.push_back(dialect_.quote);
+  for (char c : field) {
+    buffer_.push_back(c);
+    if (c == dialect_.quote) buffer_.push_back(dialect_.quote);
+  }
+  buffer_.push_back(dialect_.quote);
+}
+
+void CsvWriter::BeginRecord() {
+  record_open_ = true;
+  first_field_ = true;
+}
+
+void CsvWriter::AddField(std::string_view field) {
+  if (!first_field_) buffer_.push_back(dialect_.delimiter);
+  first_field_ = false;
+  AppendEscaped(field);
+}
+
+Status CsvWriter::FinishRecord() {
+  buffer_.push_back('\n');
+  record_open_ = false;
+  if (buffer_.size() >= buffer_bytes_) return FlushBuffer();
+  return Status::OK();
+}
+
+Status CsvWriter::WriteRecord(const std::vector<std::string>& fields) {
+  BeginRecord();
+  for (const auto& f : fields) AddField(f);
+  return FinishRecord();
+}
+
+Status CsvWriter::FlushBuffer() {
+  if (!buffer_.empty()) {
+    NODB_RETURN_NOT_OK(file_->Append(Slice(buffer_)));
+    bytes_written_ += buffer_.size();
+    buffer_.clear();
+  }
+  return Status::OK();
+}
+
+Status CsvWriter::Close() {
+  NODB_RETURN_NOT_OK(FlushBuffer());
+  return file_->Close();
+}
+
+}  // namespace nodb

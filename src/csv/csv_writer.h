@@ -1,0 +1,54 @@
+#ifndef NODB_CSV_CSV_WRITER_H_
+#define NODB_CSV_CSV_WRITER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "csv/dialect.h"
+#include "io/file.h"
+#include "util/status.h"
+
+namespace nodb {
+
+/// Buffered writer of CSV records; used by the data generators and by
+/// tests constructing raw fixtures.
+///
+/// When the dialect allows quoting, fields containing the delimiter,
+/// quote or newline are quoted with doubled-quote escaping; otherwise
+/// fields are written verbatim (the caller guarantees they are clean).
+class CsvWriter {
+ public:
+  CsvWriter(std::unique_ptr<WritableFile> file, CsvDialect dialect,
+            size_t buffer_bytes = 1 << 20);
+
+  /// Writes one record followed by '\n'.
+  Status WriteRecord(const std::vector<std::string>& fields);
+
+  /// Appends one field of the current record (FinishRecord ends it).
+  /// This avoids materializing a vector per row in tight generators.
+  void BeginRecord();
+  void AddField(std::string_view field);
+  Status FinishRecord();
+
+  /// Flushes buffered bytes and closes the file.
+  Status Close();
+
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  void AppendEscaped(std::string_view field);
+  Status FlushBuffer();
+
+  std::unique_ptr<WritableFile> file_;
+  CsvDialect dialect_;
+  std::string buffer_;
+  size_t buffer_bytes_;
+  uint64_t bytes_written_ = 0;
+  bool record_open_ = false;
+  bool first_field_ = true;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_CSV_CSV_WRITER_H_

@@ -1,0 +1,37 @@
+#ifndef NODB_CSV_DIALECT_H_
+#define NODB_CSV_DIALECT_H_
+
+namespace nodb {
+
+/// Syntactic parameters of a raw CSV file.
+///
+/// The engine supports classic comma-separated files and the
+/// pipe-separated TPC-H convention; quoting (RFC-4180 doubled-quote
+/// escaping) is optional because it disables the memchr fast path in
+/// the tokenizer.
+struct CsvDialect {
+  char delimiter = ',';
+  char quote = '"';
+  /// When false the tokenizer treats quote characters as ordinary bytes.
+  bool allow_quoting = false;
+  /// When true the first line of the file holds column names.
+  bool has_header = false;
+
+  /// TPC-H style: '|'-separated, no quoting, no header.
+  static CsvDialect Pipe() {
+    CsvDialect d;
+    d.delimiter = '|';
+    return d;
+  }
+
+  /// Plain CSV with quoting enabled.
+  static CsvDialect QuotedCsv() {
+    CsvDialect d;
+    d.allow_quoting = true;
+    return d;
+  }
+};
+
+}  // namespace nodb
+
+#endif  // NODB_CSV_DIALECT_H_

@@ -1,0 +1,51 @@
+#ifndef NODB_CSV_SCHEMA_INFERENCE_H_
+#define NODB_CSV_SCHEMA_INFERENCE_H_
+
+#include <memory>
+#include <string>
+
+#include "csv/dialect.h"
+#include "types/schema.h"
+#include "util/result.h"
+
+namespace nodb {
+
+/// Options for schema inference.
+struct InferenceOptions {
+  /// Rows sampled from the head of the file.
+  uint64_t sample_rows = 1000;
+  /// Treat the first line as column names when every field of it fails
+  /// to parse under the types inferred from the following rows.
+  bool detect_header = true;
+  /// Name prefix for unnamed columns: attr0, attr1, ...
+  std::string column_prefix = "attr";
+};
+
+/// Result of InferSchema.
+struct InferredTable {
+  std::shared_ptr<Schema> schema;
+  CsvDialect dialect;  // input dialect with has_header resolved
+  uint64_t sampled_rows = 0;
+};
+
+/// Infers column count, names and types of a raw CSV file by sampling
+/// its head — the zero-friction entry point of the NoDB philosophy: a
+/// user should be able to query a file they have never described.
+///
+/// Type lattice per column, narrowed by every sampled value:
+///   INT -> DOUBLE -> STRING, and DATE -> STRING
+/// (a column starts as the most specific type its first non-empty
+/// value admits; later values can only widen it). Empty fields are
+/// ignored (NULLs carry no type evidence). A column with no non-empty
+/// sample values falls back to STRING.
+///
+/// Header detection: if `detect_header` and the first row is all-text
+/// while the remaining sample admits non-STRING types for at least one
+/// column, the first row is taken as column names.
+Result<InferredTable> InferSchema(const std::string& path,
+                                  const CsvDialect& dialect,
+                                  const InferenceOptions& options = {});
+
+}  // namespace nodb
+
+#endif  // NODB_CSV_SCHEMA_INFERENCE_H_

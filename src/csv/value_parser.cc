@@ -1,0 +1,62 @@
+#include "csv/value_parser.h"
+
+#include <charconv>
+
+#include "types/date_util.h"
+
+namespace nodb {
+
+Result<int64_t> ValueParser::ParseInt64(Slice text) {
+  int64_t value = 0;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::ParseError("not an integer: '" + text.ToString() + "'");
+  }
+  return value;
+}
+
+Result<double> ValueParser::ParseDouble(Slice text) {
+  double value = 0;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::ParseError("not a number: '" + text.ToString() + "'");
+  }
+  return value;
+}
+
+Result<int64_t> ValueParser::ParseDateDays(Slice text) {
+  return ParseDate(text.view());
+}
+
+Status ValueParser::ParseInto(Slice text, DataType type,
+                              ColumnVector* col) {
+  if (text.empty()) {
+    col->AppendNull();
+    return Status::OK();
+  }
+  switch (type) {
+    case DataType::kInt64: {
+      NODB_ASSIGN_OR_RETURN(int64_t v, ParseInt64(text));
+      col->AppendInt64(v);
+      return Status::OK();
+    }
+    case DataType::kDouble: {
+      NODB_ASSIGN_OR_RETURN(double v, ParseDouble(text));
+      col->AppendDouble(v);
+      return Status::OK();
+    }
+    case DataType::kString:
+      col->AppendString(text);
+      return Status::OK();
+    case DataType::kDate: {
+      NODB_ASSIGN_OR_RETURN(int64_t v, ParseDateDays(text));
+      col->AppendDate(v);
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unhandled type in ParseInto");
+}
+
+}  // namespace nodb

@@ -1,0 +1,36 @@
+#ifndef NODB_CSV_VALUE_PARSER_H_
+#define NODB_CSV_VALUE_PARSER_H_
+
+#include <cstdint>
+
+#include "types/column_vector.h"
+#include "types/data_type.h"
+#include "util/result.h"
+#include "util/slice.h"
+
+namespace nodb {
+
+/// Converts raw field text into binary values (the paper's "parsing"
+/// + "conversion" phase).
+///
+/// All parsers are locale-independent and allocation-free. Empty fields
+/// parse as NULL for every type, matching the loaders of mainstream
+/// systems.
+class ValueParser {
+ public:
+  /// Parses decimal integers with optional sign.
+  static Result<int64_t> ParseInt64(Slice text);
+
+  /// Parses floating point (accepts integer-looking text too).
+  static Result<double> ParseDouble(Slice text);
+
+  /// Parses "YYYY-MM-DD" into days since epoch.
+  static Result<int64_t> ParseDateDays(Slice text);
+
+  /// Parses `text` as `type` and appends it to `col` (NULL when empty).
+  static Status ParseInto(Slice text, DataType type, ColumnVector* col);
+};
+
+}  // namespace nodb
+
+#endif  // NODB_CSV_VALUE_PARSER_H_

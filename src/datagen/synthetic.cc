@@ -1,0 +1,114 @@
+#include "datagen/synthetic.h"
+
+#include <cstdio>
+#include <optional>
+
+#include "csv/csv_writer.h"
+#include "io/file.h"
+#include "types/date_util.h"
+#include "util/random.h"
+
+namespace nodb {
+
+namespace {
+
+DataType TypeForColumn(const SyntheticSpec& spec, uint32_t col) {
+  uint32_t cycle = spec.ints_per_cycle + spec.doubles_per_cycle +
+                   spec.strings_per_cycle + spec.dates_per_cycle;
+  if (cycle == 0) return DataType::kInt64;
+  uint32_t r = col % cycle;
+  if (r < spec.ints_per_cycle) return DataType::kInt64;
+  r -= spec.ints_per_cycle;
+  if (r < spec.doubles_per_cycle) return DataType::kDouble;
+  r -= spec.doubles_per_cycle;
+  if (r < spec.strings_per_cycle) return DataType::kString;
+  return DataType::kDate;
+}
+
+}  // namespace
+
+std::shared_ptr<Schema> SyntheticSpec::MakeSchema() const {
+  std::vector<Field> fields;
+  fields.reserve(num_attributes);
+  for (uint32_t c = 0; c < num_attributes; ++c) {
+    fields.push_back(
+        Field{"attr" + std::to_string(c), TypeForColumn(*this, c)});
+  }
+  return Schema::Make(std::move(fields));
+}
+
+Result<uint64_t> GenerateSyntheticCsv(const std::string& path,
+                                      const SyntheticSpec& spec,
+                                      const CsvDialect& dialect) {
+  NODB_ASSIGN_OR_RETURN(auto file, OpenWritableFile(path));
+  CsvWriter writer(std::move(file), dialect);
+  Random rng(spec.seed);
+  std::optional<ZipfGenerator> zipf;
+  if (spec.zipf_theta > 0) {
+    zipf.emplace(spec.domain_size, spec.zipf_theta, spec.seed);
+  }
+  auto schema = spec.MakeSchema();
+
+  if (dialect.has_header) {
+    writer.BeginRecord();
+    for (const Field& f : schema->fields()) writer.AddField(f.name);
+    NODB_RETURN_NOT_OK(writer.FinishRecord());
+  }
+
+  const uint32_t width = spec.attribute_width == 0 ? 1 : spec.attribute_width;
+  char buf[64];
+  for (uint64_t row = 0; row < spec.num_tuples; ++row) {
+    writer.BeginRecord();
+    for (uint32_t col = 0; col < spec.num_attributes; ++col) {
+      if (spec.null_fraction > 0 && rng.Bernoulli(spec.null_fraction)) {
+        writer.AddField("");
+        continue;
+      }
+      uint64_t draw = zipf ? zipf->Next() : rng.Uniform(spec.domain_size);
+      switch (schema->field(col).type) {
+        case DataType::kInt64: {
+          // Zero-padded to the requested width so every field has a
+          // predictable text length.
+          int n = std::snprintf(buf, sizeof(buf), "%0*llu",
+                                static_cast<int>(width),
+                                static_cast<unsigned long long>(draw));
+          writer.AddField(std::string_view(buf, n));
+          break;
+        }
+        case DataType::kDouble: {
+          // Zero-padded to width (spaces are not valid numeric text).
+          int n = std::snprintf(buf, sizeof(buf), "%0*.2f",
+                                static_cast<int>(width),
+                                static_cast<double>(draw) / 100.0);
+          writer.AddField(std::string_view(buf, n));
+          break;
+        }
+        case DataType::kString: {
+          std::string s = rng.NextString(width);
+          // Embed the draw so strings carry selectable information.
+          std::snprintf(buf, sizeof(buf), "%llu",
+                        static_cast<unsigned long long>(draw % 100));
+          for (size_t i = 0; buf[i] != '\0' && i < s.size(); ++i) {
+            s[i] = buf[i];
+          }
+          writer.AddField(s);
+          break;
+        }
+        case DataType::kDate: {
+          // Dates span 1992-01-01 .. ~1998 like TPC-H.
+          int64_t base = CivilToDays(1992, 1, 1);
+          writer.AddField(FormatDate(base + static_cast<int64_t>(
+                                                draw % 2500)));
+          break;
+        }
+      }
+    }
+    NODB_RETURN_NOT_OK(writer.FinishRecord());
+  }
+  uint64_t bytes = writer.bytes_written();
+  NODB_RETURN_NOT_OK(writer.Close());
+  NODB_ASSIGN_OR_RETURN(bytes, GetFileSize(path));
+  return bytes;
+}
+
+}  // namespace nodb

@@ -1,0 +1,57 @@
+#ifndef NODB_DATAGEN_SYNTHETIC_H_
+#define NODB_DATAGEN_SYNTHETIC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "csv/dialect.h"
+#include "types/schema.h"
+#include "util/result.h"
+
+namespace nodb {
+
+/// Knobs of the demo's workload generator (§4.2 "we allow the user to
+/// directly generate their own input CSV files and choose parameters
+/// such as the number of attributes and the number of tuples in the
+/// file, the width of attributes, as well as the type of the input
+/// data").
+struct SyntheticSpec {
+  uint64_t num_tuples = 10000;
+  uint32_t num_attributes = 10;
+
+  /// Type mix; columns cycle through the enabled types. Ratios are
+  /// expressed as counts per cycle, so {int=1,double=0,string=0,date=0}
+  /// means all-integer (the demo's default stress case).
+  uint32_t ints_per_cycle = 1;
+  uint32_t doubles_per_cycle = 0;
+  uint32_t strings_per_cycle = 0;
+  uint32_t dates_per_cycle = 0;
+
+  /// Width (digits/characters) of generated attribute text. Wider
+  /// attributes make positional jumps more valuable.
+  uint32_t attribute_width = 8;
+
+  /// Distinct values per attribute; values are uniform over the domain
+  /// unless zipf_theta > 0.
+  uint64_t domain_size = 1000000;
+  double zipf_theta = 0.0;
+
+  /// Fraction of fields emitted empty (NULL).
+  double null_fraction = 0.0;
+
+  uint64_t seed = 42;
+
+  /// Column names are attr0..attrN-1.
+  std::shared_ptr<Schema> MakeSchema() const;
+};
+
+/// Writes a raw CSV file per `spec` with `dialect`. Returns the file
+/// size in bytes.
+Result<uint64_t> GenerateSyntheticCsv(const std::string& path,
+                                      const SyntheticSpec& spec,
+                                      const CsvDialect& dialect);
+
+}  // namespace nodb
+
+#endif  // NODB_DATAGEN_SYNTHETIC_H_

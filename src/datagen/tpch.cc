@@ -1,0 +1,162 @@
+#include "datagen/tpch.h"
+
+#include <cstdio>
+
+#include "csv/csv_writer.h"
+#include "io/file.h"
+#include "types/date_util.h"
+#include "util/random.h"
+
+namespace nodb {
+
+namespace {
+
+constexpr const char* kShipModes[] = {"AIR",  "TRUCK", "SHIP", "RAIL",
+                                      "MAIL", "FOB",   "REG AIR"};
+constexpr const char* kOrderPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                            "4-NOT SPECIFIED", "5-LOW"};
+constexpr const char* kInstructions[] = {"DELIVER IN PERSON", "COLLECT COD",
+                                         "NONE", "TAKE BACK RETURN"};
+
+std::string Money(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::shared_ptr<Schema> TpchLineitemSchema() {
+  return Schema::Make({
+      {"l_orderkey", DataType::kInt64},
+      {"l_partkey", DataType::kInt64},
+      {"l_suppkey", DataType::kInt64},
+      {"l_linenumber", DataType::kInt64},
+      {"l_quantity", DataType::kDouble},
+      {"l_extendedprice", DataType::kDouble},
+      {"l_discount", DataType::kDouble},
+      {"l_tax", DataType::kDouble},
+      {"l_returnflag", DataType::kString},
+      {"l_linestatus", DataType::kString},
+      {"l_shipdate", DataType::kDate},
+      {"l_commitdate", DataType::kDate},
+      {"l_receiptdate", DataType::kDate},
+      {"l_shipinstruct", DataType::kString},
+      {"l_shipmode", DataType::kString},
+      {"l_comment", DataType::kString},
+  });
+}
+
+std::shared_ptr<Schema> TpchOrdersSchema() {
+  return Schema::Make({
+      {"o_orderkey", DataType::kInt64},
+      {"o_custkey", DataType::kInt64},
+      {"o_orderstatus", DataType::kString},
+      {"o_totalprice", DataType::kDouble},
+      {"o_orderdate", DataType::kDate},
+      {"o_orderpriority", DataType::kString},
+      {"o_clerk", DataType::kString},
+      {"o_shippriority", DataType::kInt64},
+      {"o_comment", DataType::kString},
+  });
+}
+
+Result<uint64_t> GenerateTpchLineitem(const std::string& path,
+                                      const TpchSpec& spec) {
+  NODB_ASSIGN_OR_RETURN(auto file, OpenWritableFile(path));
+  CsvWriter writer(std::move(file), CsvDialect::Pipe());
+  Random rng(spec.seed);
+
+  const int64_t start_date = CivilToDays(1992, 1, 1);
+  const int64_t end_date = CivilToDays(1998, 8, 2);
+  const int64_t date_span = end_date - start_date;
+  const uint64_t orders = spec.num_orders();
+  uint64_t rows = 0;
+  char buf[64];
+
+  for (uint64_t o = 1; o <= orders; ++o) {
+    // dbgen emits 1-7 lineitems per order; mean 4.
+    uint32_t lines = 1 + static_cast<uint32_t>(rng.Uniform(7));
+    for (uint32_t ln = 1; ln <= lines; ++ln) {
+      writer.BeginRecord();
+      auto add_int = [&](uint64_t v) {
+        int n = std::snprintf(buf, sizeof(buf), "%llu",
+                              static_cast<unsigned long long>(v));
+        writer.AddField(std::string_view(buf, n));
+      };
+      add_int(o);                                 // l_orderkey
+      add_int(1 + rng.Uniform(200000));           // l_partkey
+      add_int(1 + rng.Uniform(10000));            // l_suppkey
+      add_int(ln);                                // l_linenumber
+      double qty = 1 + static_cast<double>(rng.Uniform(50));
+      writer.AddField(Money(qty));                // l_quantity
+      double price = qty * (900 + static_cast<double>(rng.Uniform(100000)) /
+                                      100.0);
+      writer.AddField(Money(price));              // l_extendedprice
+      writer.AddField(
+          Money(static_cast<double>(rng.Uniform(11)) / 100.0));  // l_discount
+      writer.AddField(
+          Money(static_cast<double>(rng.Uniform(9)) / 100.0));   // l_tax
+      int64_t ship = start_date + static_cast<int64_t>(
+                                      rng.Uniform(date_span));
+      // Return flag correlates with ship date as in dbgen: old rows are
+      // resolved (R/A), recent ones are pending (N).
+      bool old_row = ship < end_date - 120;
+      writer.AddField(old_row ? (rng.Bernoulli(0.5) ? "R" : "A") : "N");
+      writer.AddField(old_row ? "F" : "O");       // l_linestatus
+      writer.AddField(FormatDate(ship));          // l_shipdate
+      writer.AddField(FormatDate(ship + 1 + static_cast<int64_t>(
+                                                rng.Uniform(30))));
+      writer.AddField(FormatDate(ship + 1 + static_cast<int64_t>(
+                                                rng.Uniform(30))));
+      writer.AddField(kInstructions[rng.Uniform(4)]);
+      writer.AddField(kShipModes[rng.Uniform(7)]);
+      writer.AddField(rng.NextString(10 + rng.Uniform(34)));  // l_comment
+      NODB_RETURN_NOT_OK(writer.FinishRecord());
+      ++rows;
+    }
+  }
+  NODB_RETURN_NOT_OK(writer.Close());
+  return rows;
+}
+
+Result<uint64_t> GenerateTpchOrders(const std::string& path,
+                                    const TpchSpec& spec) {
+  NODB_ASSIGN_OR_RETURN(auto file, OpenWritableFile(path));
+  CsvWriter writer(std::move(file), CsvDialect::Pipe());
+  Random rng(spec.seed + 1);
+
+  const int64_t start_date = CivilToDays(1992, 1, 1);
+  const int64_t span = CivilToDays(1998, 8, 2) - start_date - 151;
+  const uint64_t orders = spec.num_orders();
+  char buf[64];
+
+  for (uint64_t o = 1; o <= orders; ++o) {
+    writer.BeginRecord();
+    auto add_int = [&](uint64_t v) {
+      int n = std::snprintf(buf, sizeof(buf), "%llu",
+                            static_cast<unsigned long long>(v));
+      writer.AddField(std::string_view(buf, n));
+    };
+    add_int(o);                                    // o_orderkey
+    add_int(1 + rng.Uniform(150000));              // o_custkey
+    const char* status[] = {"F", "O", "P"};
+    writer.AddField(status[rng.Uniform(3)]);       // o_orderstatus
+    writer.AddField(
+        Money(1000 + static_cast<double>(rng.Uniform(45000000)) / 100.0));
+    writer.AddField(
+        FormatDate(start_date + static_cast<int64_t>(rng.Uniform(span))));
+    writer.AddField(kOrderPriorities[rng.Uniform(5)]);
+    int n = std::snprintf(buf, sizeof(buf), "Clerk#%09llu",
+                          static_cast<unsigned long long>(
+                              1 + rng.Uniform(1000)));
+    writer.AddField(std::string_view(buf, n));     // o_clerk
+    add_int(0);                                    // o_shippriority
+    writer.AddField(rng.NextString(19 + rng.Uniform(59)));  // o_comment
+    NODB_RETURN_NOT_OK(writer.FinishRecord());
+  }
+  NODB_RETURN_NOT_OK(writer.Close());
+  return orders;
+}
+
+}  // namespace nodb

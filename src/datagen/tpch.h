@@ -1,0 +1,48 @@
+#ifndef NODB_DATAGEN_TPCH_H_
+#define NODB_DATAGEN_TPCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "csv/dialect.h"
+#include "types/schema.h"
+#include "util/result.h"
+
+namespace nodb {
+
+/// TPC-H-shaped raw-data generator.
+///
+/// The SIGMOD'12 PostgresRaw evaluation (which this demo showcases) uses
+/// TPC-H CSV files; dbgen itself is proprietary-ish tooling we replace
+/// with a generator that reproduces the schemas, cardinality ratios
+/// (lineitem ≈ 4 × orders) and value domains (dates in 1992-1998,
+/// quantities 1-50, prices, flags) that the benchmark queries select on.
+/// See DESIGN.md §3 for the substitution note.
+struct TpchSpec {
+  /// Scale factor: SF 1 ≈ 6M lineitem rows; default keeps CI-sized runs.
+  double scale_factor = 0.01;
+  uint64_t seed = 42;
+
+  uint64_t num_orders() const {
+    return static_cast<uint64_t>(1500000 * scale_factor);
+  }
+};
+
+/// Schema of the generated lineitem file (16 columns, dbgen order).
+std::shared_ptr<Schema> TpchLineitemSchema();
+
+/// Schema of the generated orders file (9 columns, dbgen order).
+std::shared_ptr<Schema> TpchOrdersSchema();
+
+/// Writes lineitem rows as '|'-separated text. Returns rows written.
+Result<uint64_t> GenerateTpchLineitem(const std::string& path,
+                                      const TpchSpec& spec);
+
+/// Writes orders rows as '|'-separated text. Returns rows written.
+Result<uint64_t> GenerateTpchOrders(const std::string& path,
+                                    const TpchSpec& spec);
+
+}  // namespace nodb
+
+#endif  // NODB_DATAGEN_TPCH_H_

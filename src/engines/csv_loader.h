@@ -1,0 +1,32 @@
+#ifndef NODB_ENGINES_CSV_LOADER_H_
+#define NODB_ENGINES_CSV_LOADER_H_
+
+#include <memory>
+#include <string>
+
+#include "csv/dialect.h"
+#include "exec/column_store.h"
+#include "types/schema.h"
+#include "util/result.h"
+
+namespace nodb {
+
+/// Statistics of one bulk load.
+struct LoadStats {
+  uint64_t rows = 0;
+  uint64_t bytes = 0;
+  int64_t elapsed_ns = 0;
+};
+
+/// Bulk-loads an entire raw CSV file into an in-memory binary column
+/// store — the conventional DBMS "COPY" phase that NoDB eliminates.
+/// Every field of every tuple is tokenized and converted, which is
+/// exactly the up-front cost the data-to-query-time race charges to
+/// the loading contestants.
+Result<std::shared_ptr<ColumnStoreTable>> LoadCsv(
+    const std::string& path, std::shared_ptr<Schema> schema,
+    const CsvDialect& dialect, LoadStats* stats = nullptr);
+
+}  // namespace nodb
+
+#endif  // NODB_ENGINES_CSV_LOADER_H_

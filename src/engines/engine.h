@@ -1,0 +1,48 @@
+#ifndef NODB_ENGINES_ENGINE_H_
+#define NODB_ENGINES_ENGINE_H_
+
+#include <string>
+#include <string_view>
+
+#include "exec/query_result.h"
+#include "monitor/query_metrics.h"
+#include "util/result.h"
+
+namespace nodb {
+
+/// A query result together with its cost breakdown.
+struct QueryOutcome {
+  QueryResult result;
+  QueryMetrics metrics;
+};
+
+/// Common surface of every contestant in the data-to-query-time race:
+/// the in-situ engines (PostgresRaw, Baseline) and the conventional
+/// load-first engines (PostgreSQL / MySQL / DBMS-X profiles).
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// One-time preparation before the first query. Conventional engines
+  /// load (and possibly index/tune) here; in-situ engines do nothing.
+  /// Returns nanoseconds spent. Execute() triggers it implicitly when
+  /// the caller does not.
+  virtual Result<int64_t> Initialize() = 0;
+
+  /// Parses, plans and runs one SQL query.
+  virtual Result<QueryOutcome> Execute(std::string_view sql) = 0;
+
+  /// Plans `sql` without executing it and returns a textual plan. For
+  /// the NoDB engine the plan reflects the *current* adaptive
+  /// statistics (predicate order may change as the engine learns).
+  virtual Result<std::string> Explain(std::string_view sql) = 0;
+
+  /// Cumulative init + query time (the race metric).
+  virtual const EngineTotals& totals() const = 0;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_ENGINES_ENGINE_H_

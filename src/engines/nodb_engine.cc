@@ -1,0 +1,161 @@
+#include "engines/nodb_engine.h"
+
+#include "raw/raw_scan.h"
+#include "raw/stats_collector.h"
+#include "sql/planner.h"
+#include "util/stopwatch.h"
+
+namespace nodb {
+
+/// Per-query scan factory: hands the planner RawScanOperators wired to
+/// this engine's table states and one shared metrics sink.
+class NoDbEngine::Factory final : public ScanFactory {
+ public:
+  Factory(NoDbEngine* engine, ScanMetrics* metrics)
+      : engine_(engine), metrics_(metrics) {}
+
+  Result<std::shared_ptr<Schema>> TableSchema(
+      const std::string& table) override {
+    NODB_ASSIGN_OR_RETURN(RawTableInfo info,
+                          engine_->catalog_.GetTable(table));
+    return info.schema;
+  }
+
+  Result<OperatorPtr> CreateScan(
+      const std::string& table,
+      const std::vector<size_t>& projection) override {
+    NODB_ASSIGN_OR_RETURN(RawTableState * state,
+                          engine_->GetOrCreateState(table));
+    std::vector<uint32_t> attrs(projection.begin(), projection.end());
+    return OperatorPtr(
+        std::make_unique<RawScanOperator>(state, std::move(attrs),
+                                          metrics_));
+  }
+
+ private:
+  NoDbEngine* engine_;
+  ScanMetrics* metrics_;
+};
+
+NoDbEngine::NoDbEngine(Catalog catalog, NoDbConfig config, std::string name)
+    : name_(std::move(name)),
+      catalog_(std::move(catalog)),
+      config_(config) {}
+
+Result<int64_t> NoDbEngine::Initialize() {
+  // The NoDB philosophy: there is no initialization step. A pointer to
+  // the raw files (the catalog) is all the engine needs.
+  return int64_t{0};
+}
+
+Result<RawTableState*> NoDbEngine::GetOrCreateState(
+    const std::string& table) {
+  auto it = states_.find(table);
+  if (it != states_.end()) {
+    // The raw file may have changed under us since the last query.
+    NODB_RETURN_NOT_OK(it->second->CheckForUpdates().status());
+    return it->second.get();
+  }
+  NODB_ASSIGN_OR_RETURN(RawTableInfo info, catalog_.GetTable(table));
+  auto state = std::make_unique<RawTableState>(std::move(info), config_);
+  NODB_RETURN_NOT_OK(state->Open());
+  RawTableState* ptr = state.get();
+  states_.emplace(table, std::move(state));
+  return ptr;
+}
+
+Result<QueryOutcome> NoDbEngine::Execute(std::string_view sql) {
+  Stopwatch watch;
+  QueryOutcome outcome;
+  outcome.metrics.sql = std::string(sql);
+
+  // On-the-fly statistics feed the planner's predicate ordering.
+  StatsSelectivityEstimator estimator;
+  if (config_.enable_statistics) {
+    for (const auto& [table, state] : states_) {
+      estimator.Register(table, &state->stats(), state->info().schema);
+    }
+  }
+  PlannerOptions options;
+  options.stats = config_.enable_statistics ? &estimator : nullptr;
+
+  Factory factory(this, &outcome.metrics.scan);
+  NODB_ASSIGN_OR_RETURN(OperatorPtr plan, PlanSql(sql, &factory, options));
+  NODB_ASSIGN_OR_RETURN(outcome.result, QueryResult::Drain(plan.get()));
+
+  outcome.metrics.total_ns = watch.ElapsedNanos();
+  totals_.AddQuery(outcome.metrics);
+  for (auto& [table, state] : states_) state->IncrementQueryCount();
+  return outcome;
+}
+
+Result<std::string> NoDbEngine::Explain(std::string_view sql) {
+  StatsSelectivityEstimator estimator;
+  if (config_.enable_statistics) {
+    for (const auto& [table, state] : states_) {
+      estimator.Register(table, &state->stats(), state->info().schema);
+    }
+  }
+  std::string text;
+  PlannerOptions options;
+  options.stats = config_.enable_statistics ? &estimator : nullptr;
+  options.explain = &text;
+  ScanMetrics scratch;
+  Factory factory(this, &scratch);
+  NODB_RETURN_NOT_OK(PlanSql(sql, &factory, options).status());
+  return text;
+}
+
+void NoDbEngine::SetPositionalMapEnabled(bool enabled) {
+  config_.enable_positional_map = enabled;
+  for (auto& [name, state] : states_) {
+    state->SetComponentFlags(config_.enable_positional_map,
+                             config_.enable_cache,
+                             config_.enable_statistics);
+  }
+}
+
+void NoDbEngine::SetCacheEnabled(bool enabled) {
+  config_.enable_cache = enabled;
+  for (auto& [name, state] : states_) {
+    state->SetComponentFlags(config_.enable_positional_map,
+                             config_.enable_cache,
+                             config_.enable_statistics);
+  }
+}
+
+void NoDbEngine::SetStatisticsEnabled(bool enabled) {
+  config_.enable_statistics = enabled;
+  for (auto& [name, state] : states_) {
+    state->SetComponentFlags(config_.enable_positional_map,
+                             config_.enable_cache,
+                             config_.enable_statistics);
+  }
+}
+
+const RawTableState* NoDbEngine::table_state(
+    const std::string& table) const {
+  auto it = states_.find(table);
+  return it == states_.end() ? nullptr : it->second.get();
+}
+
+Result<FileChange> NoDbEngine::RefreshTable(const std::string& table) {
+  auto it = states_.find(table);
+  if (it == states_.end()) {
+    // First touch: fresh state reflects the file as it is now.
+    NODB_RETURN_NOT_OK(GetOrCreateState(table).status());
+    return FileChange::kUnchanged;
+  }
+  return it->second->CheckForUpdates();
+}
+
+Status NoDbEngine::ReplaceTable(const RawTableInfo& info) {
+  NODB_RETURN_NOT_OK(catalog_.ReplaceTable(info));
+  auto it = states_.find(info.name);
+  if (it != states_.end()) {
+    NODB_RETURN_NOT_OK(it->second->ReplaceFile(info));
+  }
+  return Status::OK();
+}
+
+}  // namespace nodb

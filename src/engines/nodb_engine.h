@@ -1,0 +1,74 @@
+#ifndef NODB_ENGINES_NODB_ENGINE_H_
+#define NODB_ENGINES_NODB_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "catalog/catalog.h"
+#include "engines/engine.h"
+#include "raw/nodb_config.h"
+#include "raw/table_state.h"
+
+namespace nodb {
+
+/// The PostgresRaw reproduction: executes SQL directly over raw CSV
+/// files with zero loading, adaptively building the positional map,
+/// cache and statistics as side-effects of query execution.
+///
+/// With `NoDbConfig::Baseline()` this same engine *is* the paper's
+/// Baseline contestant (naive external-files access): identical query
+/// plans, no auxiliary structures — which is exactly the comparison
+/// Figure 3 makes.
+class NoDbEngine final : public Engine {
+ public:
+  NoDbEngine(Catalog catalog, NoDbConfig config,
+             std::string name = "PostgresRaw");
+
+  std::string_view name() const override { return name_; }
+
+  /// In-situ: nothing to do. Registers no I/O, returns ~0.
+  Result<int64_t> Initialize() override;
+
+  Result<QueryOutcome> Execute(std::string_view sql) override;
+
+  Result<std::string> Explain(std::string_view sql) override;
+
+  const EngineTotals& totals() const override { return totals_; }
+
+  /// Runtime component toggles (the demo GUI's switches). Applies to
+  /// future queries on all tables; existing structures are retained
+  /// (disabled components are simply not consulted or populated).
+  void SetPositionalMapEnabled(bool enabled);
+  void SetCacheEnabled(bool enabled);
+  void SetStatisticsEnabled(bool enabled);
+
+  /// Adaptive state of `table` (for the monitoring panel and tests);
+  /// nullptr before the first query touches the table.
+  const RawTableState* table_state(const std::string& table) const;
+
+  /// Re-checks the raw file behind `table` right now (demo "Updates"
+  /// scenario). Queries also run this check automatically.
+  Result<FileChange> RefreshTable(const std::string& table);
+
+  /// Points `table` at a different raw file, dropping adaptive state.
+  Status ReplaceTable(const RawTableInfo& info);
+
+  const NoDbConfig& config() const { return config_; }
+  Catalog& catalog() { return catalog_; }
+
+ private:
+  class Factory;
+
+  Result<RawTableState*> GetOrCreateState(const std::string& table);
+
+  std::string name_;
+  Catalog catalog_;
+  NoDbConfig config_;
+  std::unordered_map<std::string, std::unique_ptr<RawTableState>> states_;
+  EngineTotals totals_;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_ENGINES_NODB_ENGINE_H_

@@ -1,0 +1,44 @@
+#include "engines/result_export.h"
+
+#include "csv/csv_writer.h"
+#include "io/file.h"
+
+namespace nodb {
+
+Status WriteResultToCsv(const QueryResult& result, const std::string& path,
+                        const CsvDialect& dialect) {
+  NODB_ASSIGN_OR_RETURN(auto file, OpenWritableFile(path));
+  CsvWriter writer(std::move(file), dialect);
+
+  const Schema& schema = *result.schema();
+  if (dialect.has_header) {
+    writer.BeginRecord();
+    for (size_t c = 0; c < schema.num_fields(); ++c) {
+      writer.AddField(schema.field(c).name);
+    }
+    NODB_RETURN_NOT_OK(writer.FinishRecord());
+  }
+
+  const RecordBatch& rows = result.batch();
+  for (size_t r = 0; r < result.num_rows(); ++r) {
+    writer.BeginRecord();
+    for (size_t c = 0; c < rows.num_columns(); ++c) {
+      const ColumnVector& col = rows.column(c);
+      if (col.IsNull(r)) {
+        writer.AddField("");
+        continue;
+      }
+      switch (col.type()) {
+        case DataType::kString:
+          writer.AddField(col.GetString(r));
+          break;
+        default:
+          writer.AddField(col.GetValue(r).ToString());
+      }
+    }
+    NODB_RETURN_NOT_OK(writer.FinishRecord());
+  }
+  return writer.Close();
+}
+
+}  // namespace nodb

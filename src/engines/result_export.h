@@ -1,0 +1,24 @@
+#ifndef NODB_ENGINES_RESULT_EXPORT_H_
+#define NODB_ENGINES_RESULT_EXPORT_H_
+
+#include <string>
+
+#include "csv/dialect.h"
+#include "exec/query_result.h"
+#include "util/status.h"
+
+namespace nodb {
+
+/// Writes a materialized query result back out as a CSV file (the
+/// `COPY (SELECT ...) TO 'file'` workflow). A header row with the
+/// output column names is written when `dialect.has_header` is set;
+/// NULLs become empty fields, dates their `YYYY-MM-DD` text.
+///
+/// Together with the in-situ engine this closes the raw-data loop:
+/// raw file in, raw file out, no database in between.
+Status WriteResultToCsv(const QueryResult& result, const std::string& path,
+                        const CsvDialect& dialect);
+
+}  // namespace nodb
+
+#endif  // NODB_ENGINES_RESULT_EXPORT_H_

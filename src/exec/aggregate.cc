@@ -1,0 +1,272 @@
+#include "exec/aggregate.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace nodb {
+
+namespace {
+
+/// Serializes one column cell into the group hash key.
+void AppendKeyBytes(const ColumnVector& col, size_t row, std::string* key) {
+  if (col.IsNull(row)) {
+    key->push_back('\0');
+    return;
+  }
+  key->push_back('\1');
+  switch (col.type()) {
+    case DataType::kInt64:
+    case DataType::kDate: {
+      int64_t v = col.GetInt64(row);
+      key->append(reinterpret_cast<const char*>(&v), sizeof(v));
+      break;
+    }
+    case DataType::kDouble: {
+      double v = col.GetDouble(row);
+      key->append(reinterpret_cast<const char*>(&v), sizeof(v));
+      break;
+    }
+    case DataType::kString: {
+      std::string_view s = col.GetString(row);
+      uint32_t len = static_cast<uint32_t>(s.size());
+      key->append(reinterpret_cast<const char*>(&len), sizeof(len));
+      key->append(s.data(), s.size());
+      break;
+    }
+  }
+}
+
+/// Ordering for MIN/MAX across the types we support.
+int CompareValues(const Value& a, const Value& b) {
+  if (a.is_string()) {
+    return a.str().compare(b.str());
+  }
+  double x = a.AsDouble();
+  double y = b.AsDouble();
+  if (x < y) return -1;
+  if (x > y) return 1;
+  return 0;
+}
+
+}  // namespace
+
+std::string_view AggFuncToString(AggFunc func) {
+  switch (func) {
+    case AggFunc::kCountStar:
+      return "COUNT(*)";
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+Result<OperatorPtr> HashAggregateOperator::Create(
+    OperatorPtr child, std::vector<ExprPtr> group_by,
+    std::vector<std::string> group_names,
+    std::vector<AggregateSpec> aggregates) {
+  if (group_by.size() != group_names.size()) {
+    return Status::Internal("group_by exprs/names size mismatch");
+  }
+  const Schema& in = *child->output_schema();
+  std::vector<Field> fields;
+  for (size_t i = 0; i < group_by.size(); ++i) {
+    NODB_ASSIGN_OR_RETURN(DataType t, group_by[i]->OutputType(in));
+    fields.push_back(Field{group_names[i], t});
+  }
+  std::vector<DataType> agg_types;
+  for (const auto& spec : aggregates) {
+    DataType out = DataType::kInt64;
+    switch (spec.func) {
+      case AggFunc::kCountStar:
+      case AggFunc::kCount:
+        out = DataType::kInt64;
+        break;
+      case AggFunc::kAvg:
+        out = DataType::kDouble;
+        break;
+      case AggFunc::kSum: {
+        NODB_ASSIGN_OR_RETURN(DataType t, spec.input->OutputType(in));
+        if (t == DataType::kString) {
+          return Status::InvalidArgument("SUM over string column");
+        }
+        out = (t == DataType::kInt64 || t == DataType::kDate)
+                  ? DataType::kInt64
+                  : DataType::kDouble;
+        break;
+      }
+      case AggFunc::kMin:
+      case AggFunc::kMax: {
+        NODB_ASSIGN_OR_RETURN(out, spec.input->OutputType(in));
+        break;
+      }
+    }
+    if (spec.func == AggFunc::kAvg) {
+      NODB_ASSIGN_OR_RETURN(DataType t, spec.input->OutputType(in));
+      if (t == DataType::kString) {
+        return Status::InvalidArgument("AVG over string column");
+      }
+    }
+    agg_types.push_back(out);
+    fields.push_back(Field{spec.name, out});
+  }
+  auto schema = Schema::Make(std::move(fields));
+  return OperatorPtr(new HashAggregateOperator(
+      std::move(child), std::move(group_by), std::move(aggregates),
+      std::move(agg_types), std::move(schema)));
+}
+
+Status HashAggregateOperator::Open() {
+  group_index_.clear();
+  groups_.clear();
+  emit_cursor_ = 0;
+  consumed_ = false;
+  return child_->Open();
+}
+
+void HashAggregateOperator::UpdateState(AggState* state,
+                                        const AggregateSpec& spec,
+                                        const ColumnVector* input,
+                                        size_t row) {
+  if (spec.func == AggFunc::kCountStar) {
+    ++state->count;
+    return;
+  }
+  if (input->IsNull(row)) return;  // aggregates skip NULLs
+  switch (spec.func) {
+    case AggFunc::kCountStar:
+      break;
+    case AggFunc::kCount:
+      ++state->count;
+      break;
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      ++state->count;
+      if (input->type() == DataType::kDouble) {
+        state->dsum += input->GetDouble(row);
+      } else {
+        state->isum += input->GetInt64(row);
+        state->dsum += static_cast<double>(input->GetInt64(row));
+      }
+      break;
+    case AggFunc::kMin:
+    case AggFunc::kMax: {
+      Value v = input->GetValue(row);
+      if (!state->has_value) {
+        state->extreme = std::move(v);
+        state->has_value = true;
+      } else {
+        int cmp = CompareValues(v, state->extreme);
+        if ((spec.func == AggFunc::kMin && cmp < 0) ||
+            (spec.func == AggFunc::kMax && cmp > 0)) {
+          state->extreme = std::move(v);
+        }
+      }
+      break;
+    }
+  }
+}
+
+Status HashAggregateOperator::ConsumeChild() {
+  std::string key;
+  while (true) {
+    NODB_ASSIGN_OR_RETURN(BatchPtr batch, child_->Next());
+    if (batch == nullptr) break;
+
+    // Evaluate group keys and aggregate inputs once per batch.
+    std::vector<std::shared_ptr<ColumnVector>> key_cols;
+    key_cols.reserve(group_by_.size());
+    for (const auto& expr : group_by_) {
+      NODB_ASSIGN_OR_RETURN(auto col, expr->Evaluate(*batch));
+      key_cols.push_back(std::move(col));
+    }
+    std::vector<std::shared_ptr<ColumnVector>> agg_inputs(
+        aggregates_.size());
+    for (size_t a = 0; a < aggregates_.size(); ++a) {
+      if (aggregates_[a].input) {
+        NODB_ASSIGN_OR_RETURN(agg_inputs[a],
+                              aggregates_[a].input->Evaluate(*batch));
+      }
+    }
+
+    for (size_t row = 0; row < batch->num_rows(); ++row) {
+      key.clear();
+      for (const auto& col : key_cols) AppendKeyBytes(*col, row, &key);
+      auto [it, inserted] = group_index_.emplace(key, groups_.size());
+      if (inserted) {
+        Group g;
+        g.keys.reserve(key_cols.size());
+        for (const auto& col : key_cols) g.keys.push_back(col->GetValue(row));
+        g.states.resize(aggregates_.size());
+        groups_.push_back(std::move(g));
+      }
+      Group& group = groups_[it->second];
+      for (size_t a = 0; a < aggregates_.size(); ++a) {
+        UpdateState(&group.states[a], aggregates_[a], agg_inputs[a].get(),
+                    row);
+      }
+    }
+  }
+
+  // Global aggregation emits exactly one row even for empty input.
+  if (group_by_.empty() && groups_.empty()) {
+    Group g;
+    g.states.resize(aggregates_.size());
+    groups_.push_back(std::move(g));
+  }
+  return Status::OK();
+}
+
+Value HashAggregateOperator::Finalize(const AggState& state,
+                                      const AggregateSpec& spec,
+                                      DataType out_type) const {
+  switch (spec.func) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      return Value::Int64(state.count);
+    case AggFunc::kSum:
+      if (state.count == 0) return Value::Null();
+      return out_type == DataType::kInt64 ? Value::Int64(state.isum)
+                                          : Value::Double(state.dsum);
+    case AggFunc::kAvg:
+      if (state.count == 0) return Value::Null();
+      return Value::Double(state.dsum / static_cast<double>(state.count));
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return state.has_value ? state.extreme : Value::Null();
+  }
+  return Value::Null();
+}
+
+Result<BatchPtr> HashAggregateOperator::Next() {
+  if (!consumed_) {
+    NODB_RETURN_NOT_OK(ConsumeChild());
+    consumed_ = true;
+  }
+  if (emit_cursor_ >= groups_.size()) return BatchPtr();
+
+  size_t n = std::min(RecordBatch::kDefaultBatchRows,
+                      groups_.size() - emit_cursor_);
+  auto out = std::make_shared<RecordBatch>(schema_);
+  for (size_t i = 0; i < n; ++i) {
+    const Group& g = groups_[emit_cursor_ + i];
+    std::vector<Value> row;
+    row.reserve(schema_->num_fields());
+    for (const Value& k : g.keys) row.push_back(k);
+    for (size_t a = 0; a < aggregates_.size(); ++a) {
+      row.push_back(Finalize(g.states[a], aggregates_[a], agg_types_[a]));
+    }
+    out->AppendRow(row);
+  }
+  emit_cursor_ += n;
+  return out;
+}
+
+}  // namespace nodb

@@ -1,0 +1,86 @@
+#ifndef NODB_EXEC_AGGREGATE_H_
+#define NODB_EXEC_AGGREGATE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/expr.h"
+#include "exec/operator.h"
+
+namespace nodb {
+
+/// Aggregate functions supported by the engine.
+enum class AggFunc { kCountStar, kCount, kSum, kAvg, kMin, kMax };
+
+std::string_view AggFuncToString(AggFunc func);
+
+/// One aggregate in the SELECT list: FUNC(input) AS name.
+struct AggregateSpec {
+  AggFunc func;
+  /// Input expression; null only for kCountStar.
+  ExprPtr input;
+  std::string name;
+};
+
+/// Hash aggregation (blocking): consumes the child fully, then emits
+/// one row per group. With no GROUP BY keys a single global group is
+/// emitted even over empty input, matching SQL semantics.
+class HashAggregateOperator final : public ExecOperator {
+ public:
+  static Result<OperatorPtr> Create(OperatorPtr child,
+                                    std::vector<ExprPtr> group_by,
+                                    std::vector<std::string> group_names,
+                                    std::vector<AggregateSpec> aggregates);
+
+  Status Open() override;
+  Result<BatchPtr> Next() override;
+  std::shared_ptr<Schema> output_schema() const override { return schema_; }
+
+ private:
+  /// Running state for one (group, aggregate) pair.
+  struct AggState {
+    int64_t count = 0;
+    int64_t isum = 0;
+    double dsum = 0;
+    bool has_value = false;
+    Value extreme;  // MIN/MAX carrier
+  };
+
+  struct Group {
+    std::vector<Value> keys;
+    std::vector<AggState> states;
+  };
+
+  HashAggregateOperator(OperatorPtr child, std::vector<ExprPtr> group_by,
+                        std::vector<AggregateSpec> aggregates,
+                        std::vector<DataType> agg_types,
+                        std::shared_ptr<Schema> schema)
+      : child_(std::move(child)),
+        group_by_(std::move(group_by)),
+        aggregates_(std::move(aggregates)),
+        agg_types_(std::move(agg_types)),
+        schema_(std::move(schema)) {}
+
+  Status ConsumeChild();
+  void UpdateState(AggState* state, const AggregateSpec& spec,
+                   const ColumnVector* input, size_t row);
+  Value Finalize(const AggState& state, const AggregateSpec& spec,
+                 DataType out_type) const;
+
+  OperatorPtr child_;
+  std::vector<ExprPtr> group_by_;
+  std::vector<AggregateSpec> aggregates_;
+  std::vector<DataType> agg_types_;
+  std::shared_ptr<Schema> schema_;
+
+  std::unordered_map<std::string, size_t> group_index_;
+  std::vector<Group> groups_;
+  size_t emit_cursor_ = 0;
+  bool consumed_ = false;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_EXEC_AGGREGATE_H_

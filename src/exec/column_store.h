@@ -1,0 +1,69 @@
+#ifndef NODB_EXEC_COLUMN_STORE_H_
+#define NODB_EXEC_COLUMN_STORE_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/operator.h"
+#include "types/column_vector.h"
+#include "types/schema.h"
+
+namespace nodb {
+
+/// A fully-loaded, in-memory binary table (one ColumnVector per column).
+///
+/// This is what a conventional DBMS owns *after* its loading phase; the
+/// LoadFirstEngine materializes one of these per table, and its scans
+/// read from here instead of the raw file.
+class ColumnStoreTable {
+ public:
+  explicit ColumnStoreTable(std::shared_ptr<Schema> schema);
+
+  const std::shared_ptr<Schema>& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+
+  ColumnVector& column(size_t i) { return *columns_[i]; }
+  const ColumnVector& column(size_t i) const { return *columns_[i]; }
+  const std::shared_ptr<ColumnVector>& column_ptr(size_t i) const {
+    return columns_[i];
+  }
+
+  /// Recomputes row count after direct column appends.
+  void SetNumRows(size_t n) { num_rows_ = n; }
+
+  size_t MemoryUsage() const;
+
+ private:
+  std::shared_ptr<Schema> schema_;
+  std::vector<std::shared_ptr<ColumnVector>> columns_;
+  size_t num_rows_ = 0;
+};
+
+/// Leaf operator scanning a ColumnStoreTable in batches.
+///
+/// `projection` selects which columns are emitted, letting the planner
+/// push column pruning down to the loaded table just as the raw scan
+/// prunes attributes. An empty projection is meaningful: it emits
+/// zero-column batches that still carry row counts (COUNT(*) plans).
+class ColumnStoreScan final : public ExecOperator {
+ public:
+  ColumnStoreScan(std::shared_ptr<const ColumnStoreTable> table,
+                  std::vector<size_t> projection);
+
+  /// Convenience: a scan emitting every column.
+  static std::vector<size_t> AllColumns(const ColumnStoreTable& table);
+
+  Status Open() override;
+  Result<BatchPtr> Next() override;
+  std::shared_ptr<Schema> output_schema() const override { return schema_; }
+
+ private:
+  std::shared_ptr<const ColumnStoreTable> table_;
+  std::vector<size_t> projection_;
+  std::shared_ptr<Schema> schema_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_EXEC_COLUMN_STORE_H_

@@ -1,0 +1,33 @@
+#ifndef NODB_EXEC_DISTINCT_H_
+#define NODB_EXEC_DISTINCT_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+
+#include "exec/operator.h"
+
+namespace nodb {
+
+/// SELECT DISTINCT: streaming hash-based row deduplication. Rows are
+/// serialized (type-tagged, NULL-aware) and emitted on first sight, so
+/// the operator pipelines — no full materialization.
+class DistinctOperator final : public ExecOperator {
+ public:
+  explicit DistinctOperator(OperatorPtr child)
+      : child_(std::move(child)) {}
+
+  Status Open() override;
+  Result<BatchPtr> Next() override;
+  std::shared_ptr<Schema> output_schema() const override {
+    return child_->output_schema();
+  }
+
+ private:
+  OperatorPtr child_;
+  std::unordered_set<std::string> seen_;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_EXEC_DISTINCT_H_

@@ -1,0 +1,393 @@
+#include "exec/expr.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace nodb {
+
+namespace {
+
+/// Emits a boolean (kInt64 0/1) column.
+std::shared_ptr<ColumnVector> MakeBoolColumn(size_t reserve) {
+  auto col = std::make_shared<ColumnVector>(DataType::kInt64);
+  col->Reserve(reserve);
+  return col;
+}
+
+bool IsComparableNumeric(DataType t) {
+  return t == DataType::kInt64 || t == DataType::kDouble ||
+         t == DataType::kDate;
+}
+
+template <typename T>
+bool ApplyCompare(CompareOp op, const T& a, const T& b) {
+  switch (op) {
+    case CompareOp::kEq:
+      return a == b;
+    case CompareOp::kNe:
+      return a != b;
+    case CompareOp::kLt:
+      return a < b;
+    case CompareOp::kLe:
+      return a <= b;
+    case CompareOp::kGt:
+      return a > b;
+    case CompareOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string_view CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string_view ArithOpToString(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return "+";
+    case ArithOp::kSub:
+      return "-";
+    case ArithOp::kMul:
+      return "*";
+    case ArithOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------- ColumnRef
+
+Result<DataType> ColumnRefExpr::OutputType(const Schema& schema) const {
+  if (index_ >= schema.num_fields()) {
+    return Status::Internal("column index out of range: " +
+                            std::to_string(index_));
+  }
+  return schema.field(index_).type;
+}
+
+Result<std::shared_ptr<ColumnVector>> ColumnRefExpr::Evaluate(
+    const RecordBatch& batch) const {
+  if (index_ >= batch.num_columns()) {
+    return Status::Internal("column index out of range in batch");
+  }
+  return batch.column_ptr(index_);
+}
+
+// ------------------------------------------------------------------ Literal
+
+Result<DataType> LiteralExpr::OutputType(const Schema&) const {
+  return type_;
+}
+
+Result<std::shared_ptr<ColumnVector>> LiteralExpr::Evaluate(
+    const RecordBatch& batch) const {
+  auto col = std::make_shared<ColumnVector>(type_);
+  col->Reserve(batch.num_rows());
+  for (size_t i = 0; i < batch.num_rows(); ++i) col->AppendValue(value_);
+  return col;
+}
+
+// ------------------------------------------------------------------ Compare
+
+Result<DataType> CompareExpr::OutputType(const Schema& schema) const {
+  NODB_ASSIGN_OR_RETURN(DataType lt, left_->OutputType(schema));
+  NODB_ASSIGN_OR_RETURN(DataType rt, right_->OutputType(schema));
+  bool ok = (IsComparableNumeric(lt) && IsComparableNumeric(rt)) ||
+            (lt == DataType::kString && rt == DataType::kString);
+  if (!ok) {
+    return Status::InvalidArgument(
+        "cannot compare " + std::string(DataTypeToString(lt)) + " with " +
+        std::string(DataTypeToString(rt)) + " in " + ToString());
+  }
+  return DataType::kInt64;
+}
+
+Result<std::shared_ptr<ColumnVector>> CompareExpr::Evaluate(
+    const RecordBatch& batch) const {
+  NODB_ASSIGN_OR_RETURN(auto lhs, left_->Evaluate(batch));
+  NODB_ASSIGN_OR_RETURN(auto rhs, right_->Evaluate(batch));
+  size_t n = batch.num_rows();
+  auto out = MakeBoolColumn(n);
+
+  const bool strings = lhs->type() == DataType::kString;
+  // Integer-exact path when neither side is floating point.
+  const bool int_exact = !strings && lhs->type() != DataType::kDouble &&
+                         rhs->type() != DataType::kDouble;
+  for (size_t i = 0; i < n; ++i) {
+    if (lhs->IsNull(i) || rhs->IsNull(i)) {
+      out->AppendNull();
+      continue;
+    }
+    bool pass;
+    if (strings) {
+      pass = ApplyCompare(op_, lhs->GetString(i), rhs->GetString(i));
+    } else if (int_exact) {
+      pass = ApplyCompare(op_, lhs->GetInt64(i), rhs->GetInt64(i));
+    } else {
+      pass = ApplyCompare(op_, lhs->GetNumeric(i), rhs->GetNumeric(i));
+    }
+    out->AppendInt64(pass ? 1 : 0);
+  }
+  return out;
+}
+
+std::string CompareExpr::ToString() const {
+  return "(" + left_->ToString() + " " +
+         std::string(CompareOpToString(op_)) + " " + right_->ToString() +
+         ")";
+}
+
+// ------------------------------------------------------------------ Logical
+
+Result<DataType> LogicalExpr::OutputType(const Schema& schema) const {
+  NODB_ASSIGN_OR_RETURN(DataType lt, left_->OutputType(schema));
+  if (lt != DataType::kInt64) {
+    return Status::InvalidArgument("logical operand is not boolean: " +
+                                   left_->ToString());
+  }
+  if (right_) {
+    NODB_ASSIGN_OR_RETURN(DataType rt, right_->OutputType(schema));
+    if (rt != DataType::kInt64) {
+      return Status::InvalidArgument("logical operand is not boolean: " +
+                                     right_->ToString());
+    }
+  }
+  return DataType::kInt64;
+}
+
+Result<std::shared_ptr<ColumnVector>> LogicalExpr::Evaluate(
+    const RecordBatch& batch) const {
+  NODB_ASSIGN_OR_RETURN(auto lhs, left_->Evaluate(batch));
+  size_t n = batch.num_rows();
+  auto out = MakeBoolColumn(n);
+
+  if (op_ == LogicalOp::kNot) {
+    for (size_t i = 0; i < n; ++i) {
+      if (lhs->IsNull(i)) {
+        out->AppendNull();
+      } else {
+        out->AppendInt64(lhs->GetInt64(i) != 0 ? 0 : 1);
+      }
+    }
+    return out;
+  }
+
+  NODB_ASSIGN_OR_RETURN(auto rhs, right_->Evaluate(batch));
+  for (size_t i = 0; i < n; ++i) {
+    // Three-valued logic: unknown (NULL) combines per SQL rules.
+    int l = lhs->IsNull(i) ? -1 : (lhs->GetInt64(i) != 0 ? 1 : 0);
+    int r = rhs->IsNull(i) ? -1 : (rhs->GetInt64(i) != 0 ? 1 : 0);
+    int v;
+    if (op_ == LogicalOp::kAnd) {
+      if (l == 0 || r == 0) {
+        v = 0;
+      } else if (l == -1 || r == -1) {
+        v = -1;
+      } else {
+        v = 1;
+      }
+    } else {  // OR
+      if (l == 1 || r == 1) {
+        v = 1;
+      } else if (l == -1 || r == -1) {
+        v = -1;
+      } else {
+        v = 0;
+      }
+    }
+    if (v == -1) {
+      out->AppendNull();
+    } else {
+      out->AppendInt64(v);
+    }
+  }
+  return out;
+}
+
+std::string LogicalExpr::ToString() const {
+  if (op_ == LogicalOp::kNot) return "(NOT " + left_->ToString() + ")";
+  return "(" + left_->ToString() +
+         (op_ == LogicalOp::kAnd ? " AND " : " OR ") + right_->ToString() +
+         ")";
+}
+
+// --------------------------------------------------------------- Arithmetic
+
+Result<DataType> ArithExpr::OutputType(const Schema& schema) const {
+  NODB_ASSIGN_OR_RETURN(DataType lt, left_->OutputType(schema));
+  NODB_ASSIGN_OR_RETURN(DataType rt, right_->OutputType(schema));
+  if (!IsComparableNumeric(lt) || !IsComparableNumeric(rt)) {
+    return Status::InvalidArgument("arithmetic on non-numeric operand in " +
+                                   ToString());
+  }
+  if (op_ != ArithOp::kDiv && lt != DataType::kDouble &&
+      rt != DataType::kDouble) {
+    return DataType::kInt64;
+  }
+  return DataType::kDouble;
+}
+
+Result<std::shared_ptr<ColumnVector>> ArithExpr::Evaluate(
+    const RecordBatch& batch) const {
+  NODB_ASSIGN_OR_RETURN(auto lhs, left_->Evaluate(batch));
+  NODB_ASSIGN_OR_RETURN(auto rhs, right_->Evaluate(batch));
+  size_t n = batch.num_rows();
+  bool int_out = op_ != ArithOp::kDiv &&
+                 lhs->type() != DataType::kDouble &&
+                 rhs->type() != DataType::kDouble;
+  auto out = std::make_shared<ColumnVector>(
+      int_out ? DataType::kInt64 : DataType::kDouble);
+  out->Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (lhs->IsNull(i) || rhs->IsNull(i)) {
+      out->AppendNull();
+      continue;
+    }
+    if (int_out) {
+      int64_t a = lhs->GetInt64(i);
+      int64_t b = rhs->GetInt64(i);
+      int64_t v = 0;
+      switch (op_) {
+        case ArithOp::kAdd:
+          v = a + b;
+          break;
+        case ArithOp::kSub:
+          v = a - b;
+          break;
+        case ArithOp::kMul:
+          v = a * b;
+          break;
+        case ArithOp::kDiv:
+          break;  // unreachable: division always emits double
+      }
+      out->AppendInt64(v);
+    } else {
+      double a = lhs->GetNumeric(i);
+      double b = rhs->GetNumeric(i);
+      double v = 0;
+      switch (op_) {
+        case ArithOp::kAdd:
+          v = a + b;
+          break;
+        case ArithOp::kSub:
+          v = a - b;
+          break;
+        case ArithOp::kMul:
+          v = a * b;
+          break;
+        case ArithOp::kDiv:
+          if (b == 0) {
+            out->AppendNull();  // SQL engines yield error; we yield NULL
+            continue;
+          }
+          v = a / b;
+          break;
+      }
+      out->AppendDouble(v);
+    }
+  }
+  return out;
+}
+
+std::string ArithExpr::ToString() const {
+  return "(" + left_->ToString() + " " +
+         std::string(ArithOpToString(op_)) + " " + right_->ToString() + ")";
+}
+
+// ------------------------------------------------------------------ IsNull
+
+Result<DataType> IsNullExpr::OutputType(const Schema& schema) const {
+  NODB_RETURN_NOT_OK(input_->OutputType(schema).status());
+  return DataType::kInt64;
+}
+
+Result<std::shared_ptr<ColumnVector>> IsNullExpr::Evaluate(
+    const RecordBatch& batch) const {
+  NODB_ASSIGN_OR_RETURN(auto in, input_->Evaluate(batch));
+  size_t n = batch.num_rows();
+  auto out = MakeBoolColumn(n);
+  for (size_t i = 0; i < n; ++i) {
+    bool is_null = in->IsNull(i);
+    out->AppendInt64((is_null != negated_) ? 1 : 0);
+  }
+  return out;
+}
+
+std::string IsNullExpr::ToString() const {
+  return "(" + input_->ToString() + (negated_ ? " IS NOT NULL" : " IS NULL") +
+         ")";
+}
+
+// -------------------------------------------------------------------- Like
+
+Result<DataType> LikeExpr::OutputType(const Schema& schema) const {
+  NODB_ASSIGN_OR_RETURN(DataType t, input_->OutputType(schema));
+  if (t != DataType::kString) {
+    return Status::InvalidArgument("LIKE on non-string operand in " +
+                                   ToString());
+  }
+  return DataType::kInt64;
+}
+
+bool LikeExpr::Match(std::string_view text, std::string_view pattern) {
+  // Iterative wildcard match with backtracking on the last '%'.
+  size_t t = 0, p = 0;
+  size_t star_p = std::string_view::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+Result<std::shared_ptr<ColumnVector>> LikeExpr::Evaluate(
+    const RecordBatch& batch) const {
+  NODB_ASSIGN_OR_RETURN(auto in, input_->Evaluate(batch));
+  size_t n = batch.num_rows();
+  auto out = MakeBoolColumn(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (in->IsNull(i)) {
+      out->AppendNull();
+      continue;
+    }
+    bool m = Match(in->GetString(i), pattern_);
+    out->AppendInt64((m != negated_) ? 1 : 0);
+  }
+  return out;
+}
+
+std::string LikeExpr::ToString() const {
+  return "(" + input_->ToString() + (negated_ ? " NOT LIKE '" : " LIKE '") +
+         pattern_ + "')";
+}
+
+}  // namespace nodb

@@ -1,0 +1,220 @@
+#ifndef NODB_EXEC_EXPR_H_
+#define NODB_EXEC_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "types/record_batch.h"
+#include "types/schema.h"
+#include "types/value.h"
+#include "util/result.h"
+
+namespace nodb {
+
+class Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// Binary comparison operators.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Binary/unary logical connectives with SQL three-valued semantics.
+enum class LogicalOp { kAnd, kOr, kNot };
+
+/// Binary arithmetic operators.
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+
+std::string_view CompareOpToString(CompareOp op);
+std::string_view ArithOpToString(ArithOp op);
+
+/// A scalar expression evaluated column-at-a-time over a RecordBatch.
+///
+/// Expressions are produced by the SQL binder with column references
+/// already resolved to positional indices into the operator's input
+/// schema. Booleans are represented as kInt64 columns holding 0/1/NULL
+/// (SQL three-valued logic).
+class Expr {
+ public:
+  virtual ~Expr() = default;
+
+  /// Result type of this expression over `schema`.
+  virtual Result<DataType> OutputType(const Schema& schema) const = 0;
+
+  /// Evaluates over all rows of `batch`.
+  virtual Result<std::shared_ptr<ColumnVector>> Evaluate(
+      const RecordBatch& batch) const = 0;
+
+  /// Appends the input-column indices this expression reads.
+  virtual void CollectColumns(std::vector<size_t>* cols) const = 0;
+
+  virtual std::string ToString() const = 0;
+};
+
+/// Reference to input column `index` (name kept for display).
+class ColumnRefExpr final : public Expr {
+ public:
+  ColumnRefExpr(size_t index, std::string name, DataType type)
+      : index_(index), name_(std::move(name)), type_(type) {}
+
+  size_t index() const { return index_; }
+  const std::string& name() const { return name_; }
+  DataType type() const { return type_; }
+
+  Result<DataType> OutputType(const Schema& schema) const override;
+  Result<std::shared_ptr<ColumnVector>> Evaluate(
+      const RecordBatch& batch) const override;
+  void CollectColumns(std::vector<size_t>* cols) const override {
+    cols->push_back(index_);
+  }
+  std::string ToString() const override { return name_; }
+
+ private:
+  size_t index_;
+  std::string name_;
+  DataType type_;
+};
+
+/// A constant.
+class LiteralExpr final : public Expr {
+ public:
+  LiteralExpr(Value value, DataType type)
+      : value_(std::move(value)), type_(type) {}
+
+  const Value& value() const { return value_; }
+  DataType type() const { return type_; }
+
+  Result<DataType> OutputType(const Schema& schema) const override;
+  Result<std::shared_ptr<ColumnVector>> Evaluate(
+      const RecordBatch& batch) const override;
+  void CollectColumns(std::vector<size_t>*) const override {}
+  std::string ToString() const override { return value_.ToString(); }
+
+ private:
+  Value value_;
+  DataType type_;
+};
+
+/// left <op> right with NULL-propagating semantics.
+class CompareExpr final : public Expr {
+ public:
+  CompareExpr(CompareOp op, ExprPtr left, ExprPtr right)
+      : op_(op), left_(std::move(left)), right_(std::move(right)) {}
+
+  CompareOp op() const { return op_; }
+  const ExprPtr& left() const { return left_; }
+  const ExprPtr& right() const { return right_; }
+
+  Result<DataType> OutputType(const Schema& schema) const override;
+  Result<std::shared_ptr<ColumnVector>> Evaluate(
+      const RecordBatch& batch) const override;
+  void CollectColumns(std::vector<size_t>* cols) const override {
+    left_->CollectColumns(cols);
+    right_->CollectColumns(cols);
+  }
+  std::string ToString() const override;
+
+ private:
+  CompareOp op_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+/// AND / OR / NOT with three-valued logic.
+class LogicalExpr final : public Expr {
+ public:
+  /// For kNot, `right` is null.
+  LogicalExpr(LogicalOp op, ExprPtr left, ExprPtr right)
+      : op_(op), left_(std::move(left)), right_(std::move(right)) {}
+
+  LogicalOp op() const { return op_; }
+  const ExprPtr& left() const { return left_; }
+  const ExprPtr& right() const { return right_; }
+
+  Result<DataType> OutputType(const Schema& schema) const override;
+  Result<std::shared_ptr<ColumnVector>> Evaluate(
+      const RecordBatch& batch) const override;
+  void CollectColumns(std::vector<size_t>* cols) const override {
+    left_->CollectColumns(cols);
+    if (right_) right_->CollectColumns(cols);
+  }
+  std::string ToString() const override;
+
+ private:
+  LogicalOp op_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+/// left <op> right. INT op INT stays INT (except /), everything else
+/// computes in double. DATE participates as its day number.
+class ArithExpr final : public Expr {
+ public:
+  ArithExpr(ArithOp op, ExprPtr left, ExprPtr right)
+      : op_(op), left_(std::move(left)), right_(std::move(right)) {}
+
+  ArithOp op() const { return op_; }
+  const ExprPtr& left() const { return left_; }
+  const ExprPtr& right() const { return right_; }
+
+  Result<DataType> OutputType(const Schema& schema) const override;
+  Result<std::shared_ptr<ColumnVector>> Evaluate(
+      const RecordBatch& batch) const override;
+  void CollectColumns(std::vector<size_t>* cols) const override {
+    left_->CollectColumns(cols);
+    right_->CollectColumns(cols);
+  }
+  std::string ToString() const override;
+
+ private:
+  ArithOp op_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+/// col IS [NOT] NULL.
+class IsNullExpr final : public Expr {
+ public:
+  IsNullExpr(ExprPtr input, bool negated)
+      : input_(std::move(input)), negated_(negated) {}
+
+  Result<DataType> OutputType(const Schema& schema) const override;
+  Result<std::shared_ptr<ColumnVector>> Evaluate(
+      const RecordBatch& batch) const override;
+  void CollectColumns(std::vector<size_t>* cols) const override {
+    input_->CollectColumns(cols);
+  }
+  std::string ToString() const override;
+
+ private:
+  ExprPtr input_;
+  bool negated_;
+};
+
+/// string LIKE pattern with '%' and '_' wildcards.
+class LikeExpr final : public Expr {
+ public:
+  LikeExpr(ExprPtr input, std::string pattern, bool negated)
+      : input_(std::move(input)),
+        pattern_(std::move(pattern)),
+        negated_(negated) {}
+
+  Result<DataType> OutputType(const Schema& schema) const override;
+  Result<std::shared_ptr<ColumnVector>> Evaluate(
+      const RecordBatch& batch) const override;
+  void CollectColumns(std::vector<size_t>* cols) const override {
+    input_->CollectColumns(cols);
+  }
+  std::string ToString() const override;
+
+  /// Wildcard matcher exposed for direct use and tests.
+  static bool Match(std::string_view text, std::string_view pattern);
+
+ private:
+  ExprPtr input_;
+  std::string pattern_;
+  bool negated_;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_EXEC_EXPR_H_

@@ -1,0 +1,37 @@
+#include "exec/filter.h"
+
+namespace nodb {
+
+Status FilterOperator::Open() { return child_->Open(); }
+
+Result<BatchPtr> FilterOperator::Next() {
+  while (true) {
+    NODB_ASSIGN_OR_RETURN(BatchPtr batch, child_->Next());
+    if (batch == nullptr) return BatchPtr();
+    NODB_ASSIGN_OR_RETURN(auto mask, predicate_->Evaluate(*batch));
+
+    size_t n = batch->num_rows();
+    size_t passing = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (!mask->IsNull(i) && mask->GetInt64(i) != 0) ++passing;
+    }
+    if (passing == 0) continue;       // fully filtered; pull next batch
+    if (passing == n) return batch;   // nothing filtered; pass through
+
+    auto out = std::make_shared<RecordBatch>(batch->schema());
+    for (size_t c = 0; c < batch->num_columns(); ++c) {
+      ColumnVector& dst = out->column(c);
+      dst.Reserve(passing);
+      const ColumnVector& src = batch->column(c);
+      for (size_t i = 0; i < n; ++i) {
+        if (!mask->IsNull(i) && mask->GetInt64(i) != 0) {
+          dst.AppendFrom(src, i);
+        }
+      }
+    }
+    out->SetNumRows(passing);
+    return out;
+  }
+}
+
+}  // namespace nodb

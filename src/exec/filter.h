@@ -1,0 +1,36 @@
+#ifndef NODB_EXEC_FILTER_H_
+#define NODB_EXEC_FILTER_H_
+
+#include <memory>
+
+#include "exec/expr.h"
+#include "exec/operator.h"
+
+namespace nodb {
+
+/// Keeps rows whose predicate evaluates to TRUE (not FALSE, not NULL).
+///
+/// Filtering happens column-at-a-time: the predicate produces a boolean
+/// column and passing rows are gathered into a fresh batch. Combined
+/// with the leaf scans emitting only required columns, this realizes the
+/// paper's *selective tuple formation* — full tuples never exist for
+/// rows that do not qualify.
+class FilterOperator final : public ExecOperator {
+ public:
+  FilterOperator(OperatorPtr child, ExprPtr predicate)
+      : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+  Status Open() override;
+  Result<BatchPtr> Next() override;
+  std::shared_ptr<Schema> output_schema() const override {
+    return child_->output_schema();
+  }
+
+ private:
+  OperatorPtr child_;
+  ExprPtr predicate_;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_EXEC_FILTER_H_

@@ -1,0 +1,32 @@
+#ifndef NODB_EXEC_LIMIT_H_
+#define NODB_EXEC_LIMIT_H_
+
+#include <memory>
+
+#include "exec/operator.h"
+
+namespace nodb {
+
+/// LIMIT n [OFFSET m]: stops pulling from the child once satisfied.
+class LimitOperator final : public ExecOperator {
+ public:
+  LimitOperator(OperatorPtr child, uint64_t limit, uint64_t offset = 0)
+      : child_(std::move(child)), limit_(limit), offset_(offset) {}
+
+  Status Open() override;
+  Result<BatchPtr> Next() override;
+  std::shared_ptr<Schema> output_schema() const override {
+    return child_->output_schema();
+  }
+
+ private:
+  OperatorPtr child_;
+  uint64_t limit_;
+  uint64_t offset_;
+  uint64_t skipped_ = 0;
+  uint64_t emitted_ = 0;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_EXEC_LIMIT_H_

@@ -1,0 +1,40 @@
+#ifndef NODB_EXEC_OPERATOR_H_
+#define NODB_EXEC_OPERATOR_H_
+
+#include <memory>
+
+#include "types/record_batch.h"
+#include "types/schema.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace nodb {
+
+using BatchPtr = std::shared_ptr<RecordBatch>;
+
+/// Vectorized volcano operator: pull batches until nullptr (exhausted).
+///
+/// The contract mirrors the paper's architecture claim — PostgresRaw
+/// "overrides the scan operator … the rest of the query plan works
+/// without any changes": every plan above the leaf uses this interface
+/// only, so the in-situ RawScanOperator, the loaded-table scan and the
+/// test vector scan are interchangeable leaves.
+class ExecOperator {
+ public:
+  virtual ~ExecOperator() = default;
+
+  /// Called once before the first Next().
+  virtual Status Open() = 0;
+
+  /// Returns the next batch, or nullptr when exhausted.
+  virtual Result<BatchPtr> Next() = 0;
+
+  /// Schema of emitted batches.
+  virtual std::shared_ptr<Schema> output_schema() const = 0;
+};
+
+using OperatorPtr = std::unique_ptr<ExecOperator>;
+
+}  // namespace nodb
+
+#endif  // NODB_EXEC_OPERATOR_H_

@@ -1,0 +1,37 @@
+#include "exec/project.h"
+
+namespace nodb {
+
+Result<OperatorPtr> ProjectOperator::Create(OperatorPtr child,
+                                            std::vector<ExprPtr> exprs,
+                                            std::vector<std::string> names) {
+  if (exprs.size() != names.size()) {
+    return Status::Internal("projection exprs/names size mismatch");
+  }
+  std::vector<Field> fields;
+  fields.reserve(exprs.size());
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    NODB_ASSIGN_OR_RETURN(DataType t,
+                          exprs[i]->OutputType(*child->output_schema()));
+    fields.push_back(Field{names[i], t});
+  }
+  return OperatorPtr(new ProjectOperator(std::move(child), std::move(exprs),
+                                         Schema::Make(std::move(fields))));
+}
+
+Status ProjectOperator::Open() { return child_->Open(); }
+
+Result<BatchPtr> ProjectOperator::Next() {
+  NODB_ASSIGN_OR_RETURN(BatchPtr batch, child_->Next());
+  if (batch == nullptr) return BatchPtr();
+  std::vector<std::shared_ptr<ColumnVector>> cols;
+  cols.reserve(exprs_.size());
+  for (const auto& expr : exprs_) {
+    NODB_ASSIGN_OR_RETURN(auto col, expr->Evaluate(*batch));
+    cols.push_back(std::move(col));
+  }
+  return std::make_shared<RecordBatch>(schema_, std::move(cols),
+                                       batch->num_rows());
+}
+
+}  // namespace nodb

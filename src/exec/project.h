@@ -1,0 +1,41 @@
+#ifndef NODB_EXEC_PROJECT_H_
+#define NODB_EXEC_PROJECT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/expr.h"
+#include "exec/operator.h"
+
+namespace nodb {
+
+/// Computes one output column per expression.
+///
+/// Construction validates expression types against the child schema via
+/// Create() so planner errors surface before execution starts.
+class ProjectOperator final : public ExecOperator {
+ public:
+  static Result<OperatorPtr> Create(OperatorPtr child,
+                                    std::vector<ExprPtr> exprs,
+                                    std::vector<std::string> names);
+
+  Status Open() override;
+  Result<BatchPtr> Next() override;
+  std::shared_ptr<Schema> output_schema() const override { return schema_; }
+
+ private:
+  ProjectOperator(OperatorPtr child, std::vector<ExprPtr> exprs,
+                  std::shared_ptr<Schema> schema)
+      : child_(std::move(child)),
+        exprs_(std::move(exprs)),
+        schema_(std::move(schema)) {}
+
+  OperatorPtr child_;
+  std::vector<ExprPtr> exprs_;
+  std::shared_ptr<Schema> schema_;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_EXEC_PROJECT_H_

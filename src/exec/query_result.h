@@ -1,0 +1,45 @@
+#ifndef NODB_EXEC_QUERY_RESULT_H_
+#define NODB_EXEC_QUERY_RESULT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+#include "types/record_batch.h"
+
+namespace nodb {
+
+/// A fully-materialized query answer.
+///
+/// Engines drain the root operator into one of these; tests and the
+/// equivalence property suite compare results across engines via
+/// CanonicalRows().
+class QueryResult {
+ public:
+  QueryResult() = default;
+
+  /// Drains `op` (Open + Next-until-null).
+  static Result<QueryResult> Drain(ExecOperator* op);
+
+  const std::shared_ptr<Schema>& schema() const { return schema_; }
+  size_t num_rows() const { return rows_ ? rows_->num_rows() : 0; }
+
+  std::vector<Value> Row(size_t i) const { return rows_->Row(i); }
+  const RecordBatch& batch() const { return *rows_; }
+
+  /// All rows rendered to strings and sorted — an order-insensitive
+  /// canonical form for cross-engine comparison.
+  std::vector<std::string> CanonicalRows() const;
+
+  /// Pretty-prints up to `max_rows` rows with a header.
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  std::shared_ptr<Schema> schema_;
+  BatchPtr rows_;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_EXEC_QUERY_RESULT_H_

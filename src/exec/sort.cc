@@ -1,0 +1,94 @@
+#include "exec/sort.h"
+
+#include <algorithm>
+
+namespace nodb {
+
+Status SortOperator::Open() {
+  materialized_.reset();
+  order_.clear();
+  emit_cursor_ = 0;
+  sorted_ = false;
+  return child_->Open();
+}
+
+Status SortOperator::Materialize() {
+  auto schema = child_->output_schema();
+  materialized_ = std::make_shared<RecordBatch>(schema);
+  size_t rows = 0;
+  while (true) {
+    auto next = child_->Next();
+    NODB_RETURN_NOT_OK(next.status());
+    BatchPtr batch = *next;
+    if (batch == nullptr) break;
+    for (size_t c = 0; c < batch->num_columns(); ++c) {
+      ColumnVector& dst = materialized_->column(c);
+      for (size_t i = 0; i < batch->num_rows(); ++i) {
+        dst.AppendFrom(batch->column(c), i);
+      }
+    }
+    rows += batch->num_rows();
+  }
+  materialized_->SetNumRows(rows);
+
+  // Evaluate sort keys once over the whole materialized input.
+  std::vector<std::shared_ptr<ColumnVector>> key_cols;
+  key_cols.reserve(keys_.size());
+  for (const auto& key : keys_) {
+    auto col = key.expr->Evaluate(*materialized_);
+    NODB_RETURN_NOT_OK(col.status());
+    key_cols.push_back(*col);
+  }
+
+  order_.resize(rows);
+  for (size_t i = 0; i < rows; ++i) order_[i] = i;
+  std::stable_sort(
+      order_.begin(), order_.end(), [&](size_t a, size_t b) {
+        for (size_t k = 0; k < keys_.size(); ++k) {
+          const ColumnVector& col = *key_cols[k];
+          bool an = col.IsNull(a);
+          bool bn = col.IsNull(b);
+          int cmp;
+          if (an && bn) {
+            cmp = 0;
+          } else if (an) {
+            cmp = -1;  // NULLs first on ascending
+          } else if (bn) {
+            cmp = 1;
+          } else if (col.type() == DataType::kString) {
+            cmp = col.GetString(a).compare(col.GetString(b));
+            cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+          } else {
+            double x = col.GetNumeric(a);
+            double y = col.GetNumeric(b);
+            cmp = x < y ? -1 : (x > y ? 1 : 0);
+          }
+          if (cmp != 0) return keys_[k].ascending ? cmp < 0 : cmp > 0;
+        }
+        return false;
+      });
+  return Status::OK();
+}
+
+Result<BatchPtr> SortOperator::Next() {
+  if (!sorted_) {
+    NODB_RETURN_NOT_OK(Materialize());
+    sorted_ = true;
+  }
+  size_t total = order_.size();
+  if (emit_cursor_ >= total) return BatchPtr();
+  size_t n = std::min(RecordBatch::kDefaultBatchRows, total - emit_cursor_);
+  auto out = std::make_shared<RecordBatch>(materialized_->schema());
+  for (size_t c = 0; c < materialized_->num_columns(); ++c) {
+    ColumnVector& dst = out->column(c);
+    dst.Reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      dst.AppendFrom(materialized_->column(c), order_[emit_cursor_ + i]);
+    }
+  }
+  out->SetNumRows(n);
+  emit_cursor_ += n;
+  return out;
+}
+
+}  // namespace nodb

@@ -1,0 +1,176 @@
+#include "io/file.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace nodb {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& context) {
+  return context + ": " + ::strerror(errno);
+}
+
+class PosixRandomAccessFile final : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+
+  ~PosixRandomAccessFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Read(uint64_t offset, size_t length, char* scratch,
+              Slice* out) const override {
+    size_t done = 0;
+    while (done < length) {
+      ssize_t n = ::pread(fd_, scratch + done, length - done,
+                          static_cast<off_t>(offset + done));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(ErrnoMessage("pread " + path_));
+      }
+      if (n == 0) break;  // EOF
+      done += static_cast<size_t>(n);
+    }
+    *out = Slice(scratch, done);
+    return Status::OK();
+  }
+
+  Result<uint64_t> Size() const override {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) {
+      return Status::IOError(ErrnoMessage("fstat " + path_));
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  const std::string& path() const override { return path_; }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(Slice data) override {
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(ErrnoMessage("write " + path_));
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Flush() override { return Status::OK(); }
+
+  Status Close() override {
+    if (fd_ >= 0) {
+      if (::close(fd_) != 0) {
+        fd_ = -1;
+        return Status::IOError(ErrnoMessage("close " + path_));
+      }
+      fd_ = -1;
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<RandomAccessFile>> OpenRandomAccessFile(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError(ErrnoMessage("open " + path));
+  }
+  return std::unique_ptr<RandomAccessFile>(
+      new PosixRandomAccessFile(path, fd));
+}
+
+Result<std::unique_ptr<WritableFile>> OpenWritableFile(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError(ErrnoMessage("open " + path));
+  }
+  return std::unique_ptr<WritableFile>(new PosixWritableFile(path, fd));
+}
+
+Result<std::unique_ptr<WritableFile>> OpenAppendableFile(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::IOError(ErrnoMessage("open " + path));
+  }
+  return std::unique_ptr<WritableFile>(new PosixWritableFile(path, fd));
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  NODB_ASSIGN_OR_RETURN(auto file, OpenRandomAccessFile(path));
+  NODB_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  std::string out;
+  out.resize(size);
+  Slice got;
+  NODB_RETURN_NOT_OK(file->Read(0, size, out.data(), &got));
+  out.resize(got.size());
+  return out;
+}
+
+Status WriteStringToFile(const std::string& path, Slice contents) {
+  NODB_ASSIGN_OR_RETURN(auto file, OpenWritableFile(path));
+  NODB_RETURN_NOT_OK(file->Append(contents));
+  return file->Close();
+}
+
+Result<uint64_t> GetFileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::IOError(ErrnoMessage("stat " + path));
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Result<int64_t> GetFileMtimeNanos(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::IOError(ErrnoMessage("stat " + path));
+  }
+  return static_cast<int64_t>(st.st_mtim.tv_sec) * 1000000000LL +
+         st.st_mtim.tv_nsec;
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IOError(ErrnoMessage("unlink " + path));
+  }
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+}  // namespace nodb

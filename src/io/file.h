@@ -1,0 +1,75 @@
+#ifndef NODB_IO_FILE_H_
+#define NODB_IO_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/result.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace nodb {
+
+/// Read-only file with positional (pread) access.
+///
+/// The raw scan reads through a BufferedReader on top of this; the
+/// positional map allows jumping, hence positional rather than streaming
+/// reads.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  /// Reads up to `length` bytes at `offset` into `scratch`; `*out` views
+  /// the bytes actually read (short reads happen only at end of file).
+  virtual Status Read(uint64_t offset, size_t length, char* scratch,
+                      Slice* out) const = 0;
+
+  /// Current file size in bytes.
+  virtual Result<uint64_t> Size() const = 0;
+
+  virtual const std::string& path() const = 0;
+};
+
+/// Append-only file used by the data generators and CSV writer.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(Slice data) = 0;
+  virtual Status Flush() = 0;
+  virtual Status Close() = 0;
+};
+
+/// Opens `path` for positional reads.
+Result<std::unique_ptr<RandomAccessFile>> OpenRandomAccessFile(
+    const std::string& path);
+
+/// Creates (truncating) `path` for appends.
+Result<std::unique_ptr<WritableFile>> OpenWritableFile(
+    const std::string& path);
+
+/// Opens `path` for appends, creating it when absent.
+Result<std::unique_ptr<WritableFile>> OpenAppendableFile(
+    const std::string& path);
+
+/// Reads an entire small file into a string (tests / fixtures).
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `contents` to `path`, truncating.
+Status WriteStringToFile(const std::string& path, Slice contents);
+
+/// Returns the file size without opening it.
+Result<uint64_t> GetFileSize(const std::string& path);
+
+/// Returns the file's mtime in nanoseconds since epoch.
+Result<int64_t> GetFileMtimeNanos(const std::string& path);
+
+/// Removes a file; OK if it did not exist.
+Status RemoveFileIfExists(const std::string& path);
+
+bool FileExists(const std::string& path);
+
+}  // namespace nodb
+
+#endif  // NODB_IO_FILE_H_

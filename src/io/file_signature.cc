@@ -1,0 +1,71 @@
+#include "io/file_signature.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "io/file.h"
+#include "util/hash.h"
+
+namespace nodb {
+
+std::string_view FileChangeToString(FileChange change) {
+  switch (change) {
+    case FileChange::kUnchanged:
+      return "unchanged";
+    case FileChange::kAppended:
+      return "appended";
+    case FileChange::kRewritten:
+      return "rewritten";
+  }
+  return "?";
+}
+
+Result<uint64_t> FileSignature::HashRange(const std::string& path,
+                                          uint64_t offset, size_t length) {
+  if (length == 0) return uint64_t{0};
+  NODB_ASSIGN_OR_RETURN(auto file, OpenRandomAccessFile(path));
+  std::vector<char> scratch(length);
+  Slice got;
+  NODB_RETURN_NOT_OK(file->Read(offset, length, scratch.data(), &got));
+  return Fnv1a64(got.data(), got.size());
+}
+
+Result<FileSignature> FileSignature::Capture(const std::string& path) {
+  FileSignature sig;
+  sig.path_ = path;
+  NODB_ASSIGN_OR_RETURN(sig.size_, GetFileSize(path));
+  NODB_ASSIGN_OR_RETURN(sig.mtime_nanos_, GetFileMtimeNanos(path));
+  size_t head_len =
+      static_cast<size_t>(std::min<uint64_t>(sig.size_, kProbeBytes));
+  NODB_ASSIGN_OR_RETURN(sig.head_hash_, HashRange(path, 0, head_len));
+  uint64_t tail_start = sig.size_ >= kProbeBytes ? sig.size_ - kProbeBytes : 0;
+  NODB_ASSIGN_OR_RETURN(
+      sig.tail_hash_,
+      HashRange(path, tail_start,
+                static_cast<size_t>(sig.size_ - tail_start)));
+  return sig;
+}
+
+Result<FileChange> FileSignature::Compare() const {
+  NODB_ASSIGN_OR_RETURN(uint64_t now_size, GetFileSize(path_));
+  NODB_ASSIGN_OR_RETURN(int64_t now_mtime, GetFileMtimeNanos(path_));
+  if (now_size == size_ && now_mtime == mtime_nanos_) {
+    return FileChange::kUnchanged;
+  }
+  if (now_size < size_) return FileChange::kRewritten;
+
+  // Same or larger: decide by re-hashing the regions the signature
+  // covered. Both must match for the old content to be a prefix.
+  size_t head_len =
+      static_cast<size_t>(std::min<uint64_t>(size_, kProbeBytes));
+  NODB_ASSIGN_OR_RETURN(uint64_t now_head, HashRange(path_, 0, head_len));
+  if (now_head != head_hash_) return FileChange::kRewritten;
+  uint64_t tail_start = size_ >= kProbeBytes ? size_ - kProbeBytes : 0;
+  NODB_ASSIGN_OR_RETURN(
+      uint64_t now_tail,
+      HashRange(path_, tail_start, static_cast<size_t>(size_ - tail_start)));
+  if (now_tail != tail_hash_) return FileChange::kRewritten;
+  return now_size == size_ ? FileChange::kUnchanged : FileChange::kAppended;
+}
+
+}  // namespace nodb

@@ -1,0 +1,60 @@
+#ifndef NODB_IO_FILE_SIGNATURE_H_
+#define NODB_IO_FILE_SIGNATURE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace nodb {
+
+/// How a raw file changed since a signature was captured.
+///
+/// Drives the demo's "Updates" scenario (§4.2): appends keep the
+/// positional map / cache / statistics valid for the old region, while
+/// rewrites invalidate everything.
+enum class FileChange {
+  kUnchanged,
+  kAppended,   ///< grew; old content is a byte-identical prefix
+  kRewritten,  ///< shrank or content changed
+};
+
+std::string_view FileChangeToString(FileChange change);
+
+/// Compact fingerprint of a raw file: size, mtime, and checksums of the
+/// head block and of the block ending at the recorded size.
+///
+/// Checksums cover at most kProbeBytes each, so capture and comparison
+/// cost O(1) regardless of file size — cheap enough to run before every
+/// query.
+class FileSignature {
+ public:
+  static constexpr size_t kProbeBytes = 64 * 1024;
+
+  FileSignature() = default;
+
+  /// Fingerprints `path` as it exists now.
+  static Result<FileSignature> Capture(const std::string& path);
+
+  /// Classifies how the file at `path` relates to this signature.
+  Result<FileChange> Compare() const;
+
+  uint64_t size() const { return size_; }
+  int64_t mtime_nanos() const { return mtime_nanos_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  uint64_t size_ = 0;
+  int64_t mtime_nanos_ = 0;
+  uint64_t head_hash_ = 0;
+  uint64_t tail_hash_ = 0;  // hash of bytes [max(0,size-probe), size)
+
+  static Result<uint64_t> HashRange(const std::string& path,
+                                    uint64_t offset, size_t length);
+};
+
+}  // namespace nodb
+
+#endif  // NODB_IO_FILE_SIGNATURE_H_

@@ -1,0 +1,78 @@
+#include "io/temp_dir.h"
+
+#include <dirent.h>
+#include <stdlib.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <vector>
+
+namespace nodb {
+
+namespace {
+
+void RemoveRecursively(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  std::vector<std::string> subdirs;
+  struct dirent* entry;
+  while ((entry = ::readdir(d)) != nullptr) {
+    if (::strcmp(entry->d_name, ".") == 0 ||
+        ::strcmp(entry->d_name, "..") == 0) {
+      continue;
+    }
+    std::string full = dir + "/" + entry->d_name;
+    struct stat st;
+    if (::lstat(full.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+      subdirs.push_back(full);
+    } else {
+      ::unlink(full.c_str());
+    }
+  }
+  ::closedir(d);
+  for (const auto& sub : subdirs) RemoveRecursively(sub);
+  ::rmdir(dir.c_str());
+}
+
+}  // namespace
+
+Result<TempDir> TempDir::Create(const std::string& prefix) {
+  const char* base = ::getenv("TMPDIR");
+  std::string tmpl = std::string(base != nullptr ? base : "/tmp") + "/" +
+                     prefix + ".XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) == nullptr) {
+    return Status::IOError("mkdtemp failed for " + tmpl);
+  }
+  return TempDir(std::string(buf.data()));
+}
+
+TempDir::TempDir(TempDir&& other) noexcept : path_(std::move(other.path_)) {
+  other.path_.clear();
+}
+
+TempDir& TempDir::operator=(TempDir&& other) noexcept {
+  if (this != &other) {
+    Remove();
+    path_ = std::move(other.path_);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+TempDir::~TempDir() { Remove(); }
+
+void TempDir::Remove() {
+  if (!path_.empty()) {
+    RemoveRecursively(path_);
+    path_.clear();
+  }
+}
+
+std::string TempDir::FilePath(const std::string& name) const {
+  return path_ + "/" + name;
+}
+
+}  // namespace nodb

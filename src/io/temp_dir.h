@@ -1,0 +1,39 @@
+#ifndef NODB_IO_TEMP_DIR_H_
+#define NODB_IO_TEMP_DIR_H_
+
+#include <string>
+
+#include "util/result.h"
+
+namespace nodb {
+
+/// A mkdtemp-backed directory removed (recursively) on destruction.
+///
+/// Tests, examples and benches generate raw CSV fixtures inside one of
+/// these so runs leave nothing behind.
+class TempDir {
+ public:
+  /// Creates a fresh directory under $TMPDIR (default /tmp).
+  static Result<TempDir> Create(const std::string& prefix = "nodb");
+
+  TempDir(TempDir&& other) noexcept;
+  TempDir& operator=(TempDir&& other) noexcept;
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+  ~TempDir();
+
+  const std::string& path() const { return path_; }
+
+  /// Returns `path()/name`.
+  std::string FilePath(const std::string& name) const;
+
+ private:
+  explicit TempDir(std::string path) : path_(std::move(path)) {}
+  void Remove();
+
+  std::string path_;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_IO_TEMP_DIR_H_

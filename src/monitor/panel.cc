@@ -1,0 +1,115 @@
+#include "monitor/panel.h"
+
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace nodb {
+
+std::string MonitorPanel::Bar(double fraction, size_t width) {
+  if (fraction < 0) fraction = 0;
+  double shown = std::min(fraction, 1.0);
+  size_t filled = static_cast<size_t>(shown * width + 0.5);
+  std::string bar = "[";
+  bar.append(filled, '#');
+  bar.append(width - filled, '.');
+  bar += "]";
+  char pct[16];
+  std::snprintf(pct, sizeof(pct), " %5.1f%%", fraction * 100.0);
+  bar += pct;
+  return bar;
+}
+
+std::string MonitorPanel::RenderTableState(const RawTableState& state) {
+  std::string out;
+  out += "=== PostgresRaw monitoring: table '" + state.info().name +
+         "' ===\n";
+  const PositionalMap& map = state.map();
+  const RawCache& cache = state.cache();
+
+  out += "positional map  " + Bar(map.utilization()) + "  " +
+         FormatBytes(map.bytes_used()) + " / " +
+         FormatBytes(map.budget_bytes()) + ", " +
+         std::to_string(map.num_chunks()) + " chunks, " +
+         std::to_string(map.evictions()) + " evictions\n";
+  out += "cache           " + Bar(cache.utilization()) + "  " +
+         FormatBytes(cache.bytes_used()) + " / " +
+         FormatBytes(cache.budget_bytes()) + ", " +
+         std::to_string(cache.num_segments()) + " segments, hits " +
+         std::to_string(cache.hits()) + " / misses " +
+         std::to_string(cache.misses()) + "\n";
+  out += "tuple index     " + std::to_string(map.known_rows()) +
+         " rows known" +
+         std::string(map.rows_complete() ? " (complete)" : " (partial)") +
+         "\n";
+
+  const auto& counts = state.attribute_access_counts();
+  out += "attribute usage / positional-map coverage:\n";
+  for (size_t a = 0; a < counts.size(); ++a) {
+    if (counts[a] == 0 && map.CoverageFraction(static_cast<uint32_t>(a)) ==
+                              0.0) {
+      continue;
+    }
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  %-16s accesses %6llu   map %s\n",
+                  state.info().schema->field(a).name.c_str(),
+                  static_cast<unsigned long long>(counts[a]),
+                  Bar(map.CoverageFraction(static_cast<uint32_t>(a)), 20)
+                      .c_str());
+    out += line;
+  }
+  const auto covered = state.stats().CoveredAttributes();
+  out += "statistics on " + std::to_string(covered.size()) +
+         " attribute(s)\n";
+  return out;
+}
+
+std::string MonitorPanel::RenderBreakdown(const std::string& label,
+                                          const QueryMetrics& metrics) {
+  char line[256];
+  std::snprintf(
+      line, sizeof(line),
+      "%-24s total %10s | proc %10s | io %10s | convert %10s | "
+      "parse %10s | tokenize %10s | nodb %10s\n",
+      label.c_str(), FormatNanos(metrics.total_ns).c_str(),
+      FormatNanos(metrics.processing_ns()).c_str(),
+      FormatNanos(metrics.scan.io_ns).c_str(),
+      FormatNanos(metrics.scan.convert_ns).c_str(),
+      FormatNanos(metrics.scan.parsing_ns).c_str(),
+      FormatNanos(metrics.scan.tokenize_ns).c_str(),
+      FormatNanos(metrics.scan.nodb_ns).c_str());
+  return line;
+}
+
+std::string MonitorPanel::BreakdownCsvHeader() {
+  return "label,total_ns,processing_ns,io_ns,convert_ns,parsing_ns,"
+         "tokenize_ns,nodb_ns,rows,bytes_read,cache_hits,cache_misses,"
+         "map_exact,map_anchor,map_blind";
+}
+
+std::string MonitorPanel::BreakdownCsvRow(const std::string& label,
+                                          const QueryMetrics& metrics) {
+  char line[320];
+  const ScanMetrics& s = metrics.scan;
+  std::snprintf(line, sizeof(line),
+                "%s,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%llu,%llu,%llu,"
+                "%llu,%llu,%llu,%llu",
+                label.c_str(), static_cast<long long>(metrics.total_ns),
+                static_cast<long long>(metrics.processing_ns()),
+                static_cast<long long>(s.io_ns),
+                static_cast<long long>(s.convert_ns),
+                static_cast<long long>(s.parsing_ns),
+                static_cast<long long>(s.tokenize_ns),
+                static_cast<long long>(s.nodb_ns),
+                static_cast<unsigned long long>(s.rows_scanned),
+                static_cast<unsigned long long>(s.bytes_read),
+                static_cast<unsigned long long>(s.cache_block_hits),
+                static_cast<unsigned long long>(s.cache_block_misses),
+                static_cast<unsigned long long>(s.map_exact_probes),
+                static_cast<unsigned long long>(s.map_anchor_probes),
+                static_cast<unsigned long long>(s.map_blind_rows));
+  return line;
+}
+
+}  // namespace nodb

@@ -1,0 +1,42 @@
+#ifndef NODB_MONITOR_PANEL_H_
+#define NODB_MONITOR_PANEL_H_
+
+#include <string>
+#include <vector>
+
+#include "monitor/query_metrics.h"
+#include "raw/table_state.h"
+
+namespace nodb {
+
+/// Text renderings of the demo's GUI panels.
+///
+/// The original demonstration visualizes internal PostgresRaw state in
+/// a graphical interface (Figure 2); this library exposes the same
+/// counters as ASCII panels and CSV series so benches, examples and
+/// logs can show the identical information.
+class MonitorPanel {
+ public:
+  /// The System Monitoring Panel (Figure 2): map/cache utilization
+  /// bars, structure sizes, per-attribute access counts and known-file
+  /// coverage shading for the touched attributes.
+  static std::string RenderTableState(const RawTableState& state);
+
+  /// The Query Execution Breakdown panel (Figure 3): one stacked row
+  /// of Processing / IO / Convert / Parsing / Tokenizing / NoDB.
+  static std::string RenderBreakdown(const std::string& label,
+                                     const QueryMetrics& metrics);
+
+  /// CSV header + row emitters for machine-readable series (the
+  /// benches print these so experiments can be re-plotted).
+  static std::string BreakdownCsvHeader();
+  static std::string BreakdownCsvRow(const std::string& label,
+                                     const QueryMetrics& metrics);
+
+  /// A horizontal percentage bar, e.g. "[#####.....] 50.0%".
+  static std::string Bar(double fraction, size_t width = 30);
+};
+
+}  // namespace nodb
+
+#endif  // NODB_MONITOR_PANEL_H_

@@ -1,0 +1,42 @@
+#ifndef NODB_MONITOR_QUERY_METRICS_H_
+#define NODB_MONITOR_QUERY_METRICS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "raw/scan_metrics.h"
+
+namespace nodb {
+
+/// End-to-end cost of one query in the Figure-3 categories.
+struct QueryMetrics {
+  std::string sql;
+  int64_t total_ns = 0;
+  ScanMetrics scan;
+
+  /// Plan work above the scan (filters, aggregation, joins,
+  /// materialization): everything the scan categories do not explain.
+  int64_t processing_ns() const {
+    return std::max<int64_t>(0, total_ns - scan.TotalScanNs());
+  }
+};
+
+/// Cumulative engine-level accounting for the data-to-query-time race
+/// (§4.3): initialization (loading/tuning) plus every query so far.
+struct EngineTotals {
+  int64_t init_ns = 0;
+  int64_t query_ns = 0;
+  uint64_t queries = 0;
+
+  int64_t data_to_query_ns() const { return init_ns + query_ns; }
+
+  void AddQuery(const QueryMetrics& metrics) {
+    query_ns += metrics.total_ns;
+    ++queries;
+  }
+};
+
+}  // namespace nodb
+
+#endif  // NODB_MONITOR_QUERY_METRICS_H_

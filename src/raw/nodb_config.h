@@ -1,0 +1,50 @@
+#ifndef NODB_RAW_NODB_CONFIG_H_
+#define NODB_RAW_NODB_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nodb {
+
+/// Runtime knobs of the NoDB layer — the parameters the demo GUI
+/// exposes ("the user can enable or disable the NoDB components of
+/// PostgresRaw and specify the amount of storage space which is devoted
+/// to internal indexes and caches").
+struct NoDbConfig {
+  /// Adaptive positional map (paper §3.1).
+  bool enable_positional_map = true;
+  size_t positional_map_budget = 64u << 20;  // bytes
+
+  /// Binary raw-data cache (paper §3.2).
+  bool enable_cache = true;
+  size_t cache_budget = 256u << 20;  // bytes
+
+  /// On-the-fly statistics (paper §3.3).
+  bool enable_statistics = true;
+
+  /// Row-block granularity shared by the map and cache. One chunk /
+  /// cached column segment covers this many consecutive tuples.
+  uint32_t rows_per_block = 4096;
+
+  /// Distance policy (paper §3.1 "Adaptive Behavior"): a query's
+  /// attribute combination is indexed as a new chunk when covering it
+  /// would need more than this many existing chunks.
+  uint32_t max_covering_chunks = 1;
+
+  /// I/O buffer for the raw-file reader.
+  size_t read_buffer_bytes = 1u << 20;
+
+  /// Returns the paper's "Baseline" configuration: plain external-files
+  /// behaviour with every NoDB structure disabled.
+  static NoDbConfig Baseline() {
+    NoDbConfig config;
+    config.enable_positional_map = false;
+    config.enable_cache = false;
+    config.enable_statistics = false;
+    return config;
+  }
+};
+
+}  // namespace nodb
+
+#endif  // NODB_RAW_NODB_CONFIG_H_

@@ -1,0 +1,218 @@
+#include "raw/positional_map.h"
+
+#include <algorithm>
+
+namespace nodb {
+
+PositionalMap::PositionalMap(size_t budget_bytes, uint32_t rows_per_block,
+                             uint32_t max_covering_chunks)
+    : budget_bytes_(budget_bytes),
+      rows_per_block_(rows_per_block == 0 ? 1 : rows_per_block),
+      max_covering_chunks_(max_covering_chunks) {}
+
+PositionalMap::Probe PositionalMap::BlockPlan::Lookup(uint64_t row,
+                                                      size_t i) const {
+  Probe probe;
+  const Source& src = sources_[i];
+  if (src.chunk == nullptr) return probe;  // anchor = attr 0 at offset 0
+  uint64_t rel = row - block_first_row_;
+  if (rel >= src.chunk->rows) return probe;  // row beyond chunk coverage
+  const uint32_t* cell =
+      src.chunk->data.data() +
+      (rel * src.chunk->attrs.size() + src.column) * 2;
+  if (src.exact) {
+    probe.exact = true;
+    probe.start = cell[0];
+    probe.end = cell[1];
+    return probe;
+  }
+  // The chunk knows (start, end) of an attribute *before* the request;
+  // the byte after its end delimiter is the start of the next
+  // attribute, which is the tightest anchor we can offer.
+  probe.anchor_attr = src.anchor_attr + 1;
+  probe.anchor_rel = cell[1] + 1;
+  return probe;
+}
+
+PositionalMap::BlockPlan PositionalMap::PrepareBlock(
+    uint64_t first_row, const std::vector<uint32_t>& attrs) {
+  BlockPlan plan;
+  plan.block_first_row_ = BlockIndex(first_row) * rows_per_block_;
+  plan.sources_.resize(attrs.size());
+
+  auto it = blocks_.find(BlockIndex(first_row));
+  if (it != blocks_.end()) {
+    // Prefer a single chunk that covers the whole combination: this is
+    // what a previous query with the same attribute set left behind,
+    // and using it keeps chunks_used() == 1 so the distance policy
+    // does not re-index a combination that already exists.
+    for (const auto& chunk_ptr : it->second) {
+      Chunk* chunk = chunk_ptr.get();
+      bool covers_all = true;
+      for (uint32_t want : attrs) {
+        if (!std::binary_search(chunk->attrs.begin(), chunk->attrs.end(),
+                                want)) {
+          covers_all = false;
+          break;
+        }
+      }
+      if (!covers_all) continue;
+      for (size_t i = 0; i < attrs.size(); ++i) {
+        auto pos = std::lower_bound(chunk->attrs.begin(),
+                                    chunk->attrs.end(), attrs[i]);
+        BlockPlan::Source& src = plan.sources_[i];
+        src.chunk = chunk;
+        src.column = static_cast<uint32_t>(pos - chunk->attrs.begin());
+        src.exact = true;
+        src.anchor_attr = attrs[i];
+      }
+      Touch(chunk);
+      plan.fully_covered_ = true;
+      plan.chunks_used_ = 1;
+      return plan;
+    }
+    for (const auto& chunk_ptr : it->second) {
+      Chunk* chunk = chunk_ptr.get();
+      bool used = false;
+      for (size_t i = 0; i < attrs.size(); ++i) {
+        uint32_t want = attrs[i];
+        // Greatest chunk attribute <= want.
+        auto pos = std::upper_bound(chunk->attrs.begin(),
+                                    chunk->attrs.end(), want);
+        if (pos == chunk->attrs.begin()) continue;
+        --pos;
+        uint32_t have = *pos;
+        BlockPlan::Source& src = plan.sources_[i];
+        bool better;
+        if (src.chunk == nullptr) {
+          better = true;
+        } else if (src.exact) {
+          better = false;
+        } else {
+          better = (have == want) || have > src.anchor_attr;
+        }
+        if (better) {
+          src.chunk = chunk;
+          src.column = static_cast<uint32_t>(pos - chunk->attrs.begin());
+          src.exact = (have == want);
+          src.anchor_attr = have;
+          used = true;
+        }
+      }
+      if (used) Touch(chunk);
+    }
+  }
+
+  // Summaries for the distance policy.
+  std::vector<const Chunk*> distinct;
+  plan.fully_covered_ = true;
+  for (const auto& src : plan.sources_) {
+    if (!src.exact) plan.fully_covered_ = false;
+    if (src.chunk != nullptr &&
+        std::find(distinct.begin(), distinct.end(), src.chunk) ==
+            distinct.end()) {
+      distinct.push_back(src.chunk);
+    }
+  }
+  plan.chunks_used_ = static_cast<uint32_t>(distinct.size());
+  return plan;
+}
+
+bool PositionalMap::ShouldIndexCombination(const BlockPlan& plan) const {
+  if (!plan.fully_covered()) return true;
+  return plan.chunks_used() > max_covering_chunks_;
+}
+
+void PositionalMap::ChunkBuilder::AddRow(const uint32_t* starts,
+                                         const uint32_t* ends) {
+  for (size_t j = 0; j < attrs_.size(); ++j) {
+    data_.push_back(starts[j]);
+    data_.push_back(ends[j]);
+  }
+  ++rows_;
+}
+
+PositionalMap::ChunkBuilder PositionalMap::StartChunk(
+    uint64_t first_row, const std::vector<uint32_t>& attrs) {
+  ChunkBuilder builder;
+  builder.first_row_ = first_row;
+  builder.attrs_ = attrs;
+  builder.data_.reserve(static_cast<size_t>(rows_per_block_) *
+                        attrs.size() * 2);
+  return builder;
+}
+
+void PositionalMap::CommitChunk(ChunkBuilder builder) {
+  if (builder.rows_ == 0) return;
+  auto chunk = std::make_unique<Chunk>();
+  chunk->first_row = builder.first_row_;
+  chunk->attrs = std::move(builder.attrs_);
+  chunk->data = std::move(builder.data_);
+  chunk->rows = builder.rows_;
+  chunk->bytes = chunk->data.capacity() * sizeof(uint32_t) +
+                 chunk->attrs.capacity() * sizeof(uint32_t) +
+                 sizeof(Chunk);
+  bytes_used_ += chunk->bytes;
+  ++num_chunks_;
+
+  lru_.push_front(chunk.get());
+  chunk->lru_pos = lru_.begin();
+  blocks_[BlockIndex(chunk->first_row)].push_back(std::move(chunk));
+  EvictOverBudget();
+}
+
+void PositionalMap::Touch(Chunk* chunk) {
+  lru_.erase(chunk->lru_pos);
+  lru_.push_front(chunk);
+  chunk->lru_pos = lru_.begin();
+}
+
+void PositionalMap::EvictOverBudget() {
+  while (bytes_used_ > budget_bytes_ && !lru_.empty()) {
+    Chunk* victim = lru_.back();
+    lru_.pop_back();
+    bytes_used_ -= victim->bytes;
+    --num_chunks_;
+    ++evictions_;
+    auto it = blocks_.find(BlockIndex(victim->first_row));
+    NODB_CHECK(it != blocks_.end());
+    auto& vec = it->second;
+    for (auto cit = vec.begin(); cit != vec.end(); ++cit) {
+      if (cit->get() == victim) {
+        vec.erase(cit);
+        break;
+      }
+    }
+    if (vec.empty()) blocks_.erase(it);
+  }
+}
+
+double PositionalMap::CoverageFraction(uint32_t attr) const {
+  if (row_starts_.empty()) return 0.0;
+  uint64_t covered = 0;
+  for (const auto& [block, chunks] : blocks_) {
+    size_t best = 0;
+    for (const auto& chunk : chunks) {
+      if (std::binary_search(chunk->attrs.begin(), chunk->attrs.end(),
+                             attr)) {
+        best = std::max(best, chunk->rows);
+      }
+    }
+    covered += best;
+  }
+  return static_cast<double>(covered) /
+         static_cast<double>(row_starts_.size());
+}
+
+void PositionalMap::Clear() {
+  row_starts_.clear();
+  rows_complete_ = false;
+  indexed_file_size_ = 0;
+  next_discovery_offset_ = 0;
+  blocks_.clear();
+  lru_.clear();
+  bytes_used_ = 0;
+  num_chunks_ = 0;
+}
+
+}  // namespace nodb

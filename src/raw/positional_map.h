@@ -1,0 +1,206 @@
+#ifndef NODB_RAW_POSITIONAL_MAP_H_
+#define NODB_RAW_POSITIONAL_MAP_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace nodb {
+
+/// The adaptive positional map (paper §3.1).
+///
+/// Low-level metadata about the structure of a raw CSV file, collected
+/// exclusively as a side-effect of query-driven tokenizing and used by
+/// later queries to jump (nearly) directly to the attributes they need.
+///
+/// Two layers of state:
+///
+///  1. **Tuple boundaries** (the row index): the absolute byte offset
+///     where every known row starts, discovered sequentially the first
+///     time the scan walks the file. Boundaries are the backbone that
+///     makes all relative positions interpretable; they live outside
+///     the eviction budget (8 bytes per row) and are dropped only when
+///     the file is rewritten.
+///
+///  2. **Attribute chunks**: for a *block* of `rows_per_block`
+///     consecutive rows and one attribute *combination* (the set a
+///     query requested, stored together exactly as the paper
+///     describes), the start/end byte span of each of those attributes
+///     in each row, relative to the row start. Chunks are the LRU
+///     eviction unit.
+///
+/// Lookup returns either the exact span of the requested attribute or
+/// the best *anchor* — the known start of the greatest attribute not
+/// exceeding the request — from which the tokenizer resumes scanning
+/// mid-row instead of from byte 0.
+class PositionalMap {
+ private:
+  struct Chunk;  // defined below; named early so BlockPlan can refer to it
+
+ public:
+  PositionalMap(size_t budget_bytes, uint32_t rows_per_block,
+                uint32_t max_covering_chunks);
+
+  // ------------------------------------------------------ tuple index
+  /// Rows whose start offsets are known (contiguous from row 0).
+  uint64_t known_rows() const { return row_starts_.size(); }
+
+  /// Byte offset where row `row` starts. Requires row < known_rows().
+  uint64_t row_start(uint64_t row) const { return row_starts_[row]; }
+
+  /// Records the start of row known_rows() (sequential discovery).
+  void AddRowStart(uint64_t offset) { row_starts_.push_back(offset); }
+
+  /// Marks that the discovery scan reached end of file: exactly
+  /// known_rows() rows exist in `file_size` bytes.
+  void MarkRowsComplete(uint64_t file_size) {
+    rows_complete_ = true;
+    indexed_file_size_ = file_size;
+  }
+  bool rows_complete() const { return rows_complete_; }
+  uint64_t indexed_file_size() const { return indexed_file_size_; }
+
+  /// Offset where the next undiscovered row starts (the resume point
+  /// of an interrupted or append-extended discovery scan).
+  uint64_t next_discovery_offset() const { return next_discovery_offset_; }
+  void set_next_discovery_offset(uint64_t offset) {
+    next_discovery_offset_ = offset;
+  }
+
+  /// Reopens discovery after an append: the file grew but existing
+  /// boundaries remain valid.
+  void ReopenForAppend() { rows_complete_ = false; }
+
+  // ------------------------------------------------------------ probe
+  /// Result of probing the map for (row, attribute).
+  struct Probe {
+    bool exact = false;     ///< start/end of the attribute are known
+    uint32_t start = 0;     ///< field start, relative to row start
+    uint32_t end = 0;       ///< field end (delimiter offset), when exact
+    uint32_t anchor_attr = 0;  ///< else: tokenize from this attribute...
+    uint32_t anchor_rel = 0;   ///< ...which starts here (rel offset)
+  };
+
+  /// Prepared per-block lookup for a fixed attribute set: resolves
+  /// which chunk serves each requested attribute once, then answers
+  /// row-level probes with array indexing. Valid until the map mutates.
+  class BlockPlan {
+   public:
+    /// Probes (row, attrs[i]); `row` is absolute.
+    Probe Lookup(uint64_t row, size_t i) const;
+
+    /// True when attrs[i] is exactly covered for the whole block.
+    bool IsExact(size_t i) const { return sources_[i].exact; }
+
+    /// Number of distinct chunks this plan draws from.
+    uint32_t chunks_used() const { return chunks_used_; }
+
+    /// True when every requested attribute has an exact source.
+    bool fully_covered() const { return fully_covered_; }
+
+   private:
+    friend class PositionalMap;
+    struct Source {
+      const Chunk* chunk = nullptr;  // null = no information
+      uint32_t column = 0;                 // index into chunk attrs
+      bool exact = false;  // chunk column == requested attr
+      uint32_t anchor_attr = 0;
+    };
+    uint64_t block_first_row_ = 0;
+    std::vector<Source> sources_;  // parallel to requested attrs
+    uint32_t chunks_used_ = 0;
+    bool fully_covered_ = false;
+  };
+
+  /// Builds the lookup plan for `attrs` (sorted ascending) over the
+  /// block containing `first_row` and touches used chunks' LRU state.
+  BlockPlan PrepareBlock(uint64_t first_row,
+                         const std::vector<uint32_t>& attrs);
+
+  /// Distance policy: should the scan collect a new chunk for this
+  /// combination in this block? True when the plan leaves attributes
+  /// uncovered or scattered over more than `max_covering_chunks`.
+  bool ShouldIndexCombination(const BlockPlan& plan) const;
+
+  // ------------------------------------------------- chunk population
+  /// Accumulates one block-chunk worth of spans during a scan.
+  class ChunkBuilder {
+   public:
+    /// `spans` holds (start, end) per attribute, parallel to `attrs`.
+    void AddRow(const uint32_t* starts, const uint32_t* ends);
+    size_t rows() const { return rows_; }
+
+   private:
+    friend class PositionalMap;
+    uint64_t first_row_ = 0;
+    std::vector<uint32_t> attrs_;
+    std::vector<uint32_t> data_;  // interleaved start,end per attr
+    size_t rows_ = 0;
+  };
+
+  /// Starts collecting a chunk for `attrs` (sorted) at `first_row`
+  /// (a block boundary).
+  ChunkBuilder StartChunk(uint64_t first_row,
+                          const std::vector<uint32_t>& attrs);
+
+  /// Installs a finished chunk and evicts LRU chunks over budget.
+  void CommitChunk(ChunkBuilder builder);
+
+  // ------------------------------------------------------------ stats
+  size_t bytes_used() const { return bytes_used_; }
+  size_t budget_bytes() const { return budget_bytes_; }
+  double utilization() const {
+    return budget_bytes_ == 0
+               ? 0.0
+               : static_cast<double>(bytes_used_) / budget_bytes_;
+  }
+  size_t num_chunks() const { return num_chunks_; }
+  uint64_t evictions() const { return evictions_; }
+  uint32_t rows_per_block() const { return rows_per_block_; }
+
+  /// Fraction of known rows whose positions for `attr` are indexed.
+  double CoverageFraction(uint32_t attr) const;
+
+  /// Drops every chunk and the row index (file rewritten).
+  void Clear();
+
+ private:
+  /// One (block × attribute-combination) unit; the LRU element.
+  struct Chunk {
+    uint64_t first_row = 0;
+    std::vector<uint32_t> attrs;  // sorted combination
+    std::vector<uint32_t> data;   // rows × attrs × {start,end}
+    size_t rows = 0;
+    size_t bytes = 0;
+    std::list<Chunk*>::iterator lru_pos;
+  };
+
+  uint64_t BlockIndex(uint64_t row) const { return row / rows_per_block_; }
+  void Touch(Chunk* chunk);
+  void EvictOverBudget();
+
+  size_t budget_bytes_;
+  uint32_t rows_per_block_;
+  uint32_t max_covering_chunks_;
+
+  std::vector<uint64_t> row_starts_;
+  bool rows_complete_ = false;
+  uint64_t indexed_file_size_ = 0;
+  uint64_t next_discovery_offset_ = 0;
+
+  /// block index -> chunks covering that block.
+  std::map<uint64_t, std::vector<std::unique_ptr<Chunk>>> blocks_;
+  std::list<Chunk*> lru_;  // front = most recent
+  size_t bytes_used_ = 0;
+  size_t num_chunks_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_RAW_POSITIONAL_MAP_H_

@@ -1,0 +1,63 @@
+#include "raw/raw_cache.h"
+
+namespace nodb {
+
+std::shared_ptr<const ColumnVector> RawCache::Get(uint32_t attr,
+                                                  uint64_t block) {
+  auto it = entries_.find(Key{attr, block});
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.erase(it->second.lru_pos);
+  lru_.push_front(it->first);
+  it->second.lru_pos = lru_.begin();
+  return it->second.segment;
+}
+
+bool RawCache::Contains(uint32_t attr, uint64_t block) const {
+  return entries_.count(Key{attr, block}) > 0;
+}
+
+void RawCache::Put(uint32_t attr, uint64_t block,
+                   std::shared_ptr<const ColumnVector> segment) {
+  Key key{attr, block};
+  size_t bytes = segment->MemoryUsage() + sizeof(Entry) + sizeof(Key);
+  if (bytes > budget_bytes_) return;
+
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Replace (e.g. a partial tail block re-parsed after an append).
+    bytes_used_ -= it->second.bytes;
+    lru_.erase(it->second.lru_pos);
+    entries_.erase(it);
+  }
+  lru_.push_front(key);
+  Entry entry;
+  entry.segment = std::move(segment);
+  entry.bytes = bytes;
+  entry.lru_pos = lru_.begin();
+  entries_.emplace(key, std::move(entry));
+  bytes_used_ += bytes;
+  EvictOverBudget();
+}
+
+void RawCache::EvictOverBudget() {
+  while (bytes_used_ > budget_bytes_ && lru_.size() > 1) {
+    Key victim = lru_.back();
+    lru_.pop_back();
+    auto it = entries_.find(victim);
+    bytes_used_ -= it->second.bytes;
+    entries_.erase(it);
+    ++evictions_;
+  }
+}
+
+void RawCache::Clear() {
+  entries_.clear();
+  lru_.clear();
+  bytes_used_ = 0;
+}
+
+}  // namespace nodb

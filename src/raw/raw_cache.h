@@ -1,0 +1,90 @@
+#ifndef NODB_RAW_RAW_CACHE_H_
+#define NODB_RAW_RAW_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "types/column_vector.h"
+#include "util/hash.h"
+
+namespace nodb {
+
+/// The PostgresRaw cache (paper §3.2): previously accessed attributes,
+/// already parsed into binary, keyed by (attribute, row-block).
+///
+/// "The cache follows the format of the positional map" — segments use
+/// the same rows_per_block granularity, so a scan can serve one
+/// attribute of a block from cache while tokenizing another from the
+/// raw file in the same plan. Population happens during scans and only
+/// for attributes the current query requested ("caching does not force
+/// additional data to be parsed"); eviction is LRU under a byte budget.
+class RawCache {
+ public:
+  explicit RawCache(size_t budget_bytes) : budget_bytes_(budget_bytes) {}
+
+  RawCache(const RawCache&) = delete;
+  RawCache& operator=(const RawCache&) = delete;
+
+  /// Returns the cached segment for (attr, block) or nullptr. Hits
+  /// refresh LRU recency and are counted.
+  std::shared_ptr<const ColumnVector> Get(uint32_t attr, uint64_t block);
+
+  /// Peeks without touching LRU or counters (planning-time check).
+  bool Contains(uint32_t attr, uint64_t block) const;
+
+  /// Inserts a segment; evicts LRU entries over budget. Segments
+  /// larger than the whole budget are rejected silently.
+  void Put(uint32_t attr, uint64_t block,
+           std::shared_ptr<const ColumnVector> segment);
+
+  /// Drops everything (file rewritten / table replaced).
+  void Clear();
+
+  size_t bytes_used() const { return bytes_used_; }
+  size_t budget_bytes() const { return budget_bytes_; }
+  double utilization() const {
+    return budget_bytes_ == 0
+               ? 0.0
+               : static_cast<double>(bytes_used_) / budget_bytes_;
+  }
+  size_t num_segments() const { return entries_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Key {
+    uint32_t attr;
+    uint64_t block;
+    bool operator==(const Key& o) const {
+      return attr == o.attr && block == o.block;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return static_cast<size_t>(
+          CombineHash64(MixHash64(k.attr), MixHash64(k.block)));
+    }
+  };
+  struct Entry {
+    std::shared_ptr<const ColumnVector> segment;
+    size_t bytes = 0;
+    std::list<Key>::iterator lru_pos;
+  };
+
+  void EvictOverBudget();
+
+  size_t budget_bytes_;
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+  std::list<Key> lru_;  // front = most recent
+  size_t bytes_used_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_RAW_RAW_CACHE_H_

@@ -1,0 +1,67 @@
+#ifndef NODB_RAW_SCAN_METRICS_H_
+#define NODB_RAW_SCAN_METRICS_H_
+
+#include <cstdint>
+
+namespace nodb {
+
+/// Cost breakdown of one raw scan, in the categories of the demo's
+/// Query Execution Breakdown panel (Figure 3).
+///
+/// Category mapping:
+///  - io_ns:       physical pread() time (BufferedReader accounting)
+///  - parsing_ns:  locating tuple boundaries (newline scans, row
+///                 bookkeeping), excluding I/O inside
+///  - tokenize_ns: delimiter scanning inside tuples (CsvTokenizer),
+///                 excluding I/O inside
+///  - convert_ns:  text -> binary conversion (ValueParser)
+///  - nodb_ns:     positional map / cache / statistics maintenance —
+///                 the overhead *added* by the NoDB auxiliary
+///                 structures
+///
+/// "Processing" (the rest of the plan: filters, aggregates, joins,
+/// materialization) is derived at the engine level as
+/// total − (io + parsing + tokenize + convert + nodb).
+struct ScanMetrics {
+  int64_t io_ns = 0;
+  int64_t parsing_ns = 0;
+  int64_t tokenize_ns = 0;
+  int64_t convert_ns = 0;
+  int64_t nodb_ns = 0;
+
+  uint64_t rows_scanned = 0;
+  uint64_t bytes_read = 0;
+  uint64_t fields_tokenized = 0;
+  uint64_t fields_converted = 0;
+
+  uint64_t cache_block_hits = 0;
+  uint64_t cache_block_misses = 0;
+  uint64_t map_exact_probes = 0;   ///< field span served by the map
+  uint64_t map_anchor_probes = 0;  ///< partial help: jumped mid-tuple
+  uint64_t map_blind_rows = 0;     ///< tokenized from byte 0 of the row
+
+  void Add(const ScanMetrics& other) {
+    io_ns += other.io_ns;
+    parsing_ns += other.parsing_ns;
+    tokenize_ns += other.tokenize_ns;
+    convert_ns += other.convert_ns;
+    nodb_ns += other.nodb_ns;
+    rows_scanned += other.rows_scanned;
+    bytes_read += other.bytes_read;
+    fields_tokenized += other.fields_tokenized;
+    fields_converted += other.fields_converted;
+    cache_block_hits += other.cache_block_hits;
+    cache_block_misses += other.cache_block_misses;
+    map_exact_probes += other.map_exact_probes;
+    map_anchor_probes += other.map_anchor_probes;
+    map_blind_rows += other.map_blind_rows;
+  }
+
+  int64_t TotalScanNs() const {
+    return io_ns + parsing_ns + tokenize_ns + convert_ns + nodb_ns;
+  }
+};
+
+}  // namespace nodb
+
+#endif  // NODB_RAW_SCAN_METRICS_H_

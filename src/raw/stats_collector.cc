@@ -1,0 +1,290 @@
+#include "raw/stats_collector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash.h"
+
+namespace nodb {
+
+AttributeStats::AttributeStats(DataType type) : type_(type) {
+  numeric_sample_.reserve(kReservoirSize);
+  if (type == DataType::kString) string_sample_.reserve(kReservoirSize);
+}
+
+void AttributeStats::Sample(double numeric, const std::string* text) {
+  ++sampled_stream_;
+  size_t capacity = kReservoirSize;
+  if (type_ == DataType::kString) {
+    if (string_sample_.size() < capacity) {
+      string_sample_.push_back(*text);
+    } else {
+      uint64_t j = rng_.Uniform(sampled_stream_);
+      if (j < capacity) string_sample_[j] = *text;
+    }
+    return;
+  }
+  if (numeric_sample_.size() < capacity) {
+    numeric_sample_.push_back(numeric);
+  } else {
+    uint64_t j = rng_.Uniform(sampled_stream_);
+    if (j < capacity) numeric_sample_[j] = numeric;
+  }
+}
+
+void AttributeStats::Observe(const ColumnVector& column) {
+  for (size_t i = 0; i < column.size(); ++i) {
+    ++count_;
+    if (column.IsNull(i)) {
+      ++nulls_;
+      continue;
+    }
+    uint64_t hash;
+    if (type_ == DataType::kString) {
+      std::string_view s = column.GetString(i);
+      hash = Fnv1a64(s.data(), s.size());
+      std::string text(s);
+      Sample(0, &text);
+    } else {
+      double v = column.GetNumeric(i);
+      if (!min_ || v < *min_) min_ = v;
+      if (!max_ || v > *max_) max_ = v;
+      int64_t bits;
+      static_assert(sizeof(bits) == sizeof(v));
+      std::memcpy(&bits, &v, sizeof(v));
+      hash = MixHash64(static_cast<uint64_t>(bits));
+      Sample(v, nullptr);
+    }
+    // KMV sketch: keep the k smallest hashes.
+    if (kmv_.size() < kKmvSize) {
+      kmv_.insert(hash);
+    } else if (hash < *kmv_.rbegin()) {
+      kmv_.insert(hash);
+      if (kmv_.size() > kKmvSize) kmv_.erase(std::prev(kmv_.end()));
+    }
+  }
+}
+
+double AttributeStats::EstimateDistinct() const {
+  if (kmv_.empty()) return 0;
+  if (kmv_.size() < kKmvSize) return static_cast<double>(kmv_.size());
+  // Standard KMV estimator: (k-1) / normalized kth-minimum.
+  double kth = static_cast<double>(*kmv_.rbegin()) /
+               static_cast<double>(UINT64_MAX);
+  if (kth <= 0) return static_cast<double>(kmv_.size());
+  return (static_cast<double>(kKmvSize) - 1.0) / kth;
+}
+
+std::optional<double> AttributeStats::EstimateCompareSelectivity(
+    CompareOp op, const Value& literal) const {
+  if (type_ == DataType::kString) {
+    if (!literal.is_string() || string_sample_.empty()) return std::nullopt;
+    const std::string& lit = literal.str();
+    size_t pass = 0;
+    for (const auto& s : string_sample_) {
+      int cmp = s.compare(lit);
+      bool ok = false;
+      switch (op) {
+        case CompareOp::kEq:
+          ok = cmp == 0;
+          break;
+        case CompareOp::kNe:
+          ok = cmp != 0;
+          break;
+        case CompareOp::kLt:
+          ok = cmp < 0;
+          break;
+        case CompareOp::kLe:
+          ok = cmp <= 0;
+          break;
+        case CompareOp::kGt:
+          ok = cmp > 0;
+          break;
+        case CompareOp::kGe:
+          ok = cmp >= 0;
+          break;
+      }
+      if (ok) ++pass;
+    }
+    return static_cast<double>(pass) / string_sample_.size();
+  }
+  if (literal.is_null() || literal.is_string() || numeric_sample_.empty()) {
+    return std::nullopt;
+  }
+  double lit = literal.AsDouble();
+  size_t pass = 0;
+  for (double v : numeric_sample_) {
+    bool ok = false;
+    switch (op) {
+      case CompareOp::kEq:
+        ok = v == lit;
+        break;
+      case CompareOp::kNe:
+        ok = v != lit;
+        break;
+      case CompareOp::kLt:
+        ok = v < lit;
+        break;
+      case CompareOp::kLe:
+        ok = v <= lit;
+        break;
+      case CompareOp::kGt:
+        ok = v > lit;
+        break;
+      case CompareOp::kGe:
+        ok = v >= lit;
+        break;
+    }
+    if (ok) ++pass;
+  }
+  double frac = static_cast<double>(pass) / numeric_sample_.size();
+  if (op == CompareOp::kEq && pass == 0) {
+    // Equality that misses the sample: fall back on 1/NDV.
+    double ndv = EstimateDistinct();
+    return ndv > 0 ? 1.0 / ndv : frac;
+  }
+  return frac;
+}
+
+std::optional<double> AttributeStats::EstimateLikeSelectivity(
+    std::string_view pattern, bool negated) const {
+  if (string_sample_.empty()) return std::nullopt;
+  size_t pass = 0;
+  for (const auto& s : string_sample_) {
+    if (LikeExpr::Match(s, pattern) != negated) ++pass;
+  }
+  return static_cast<double>(pass) / string_sample_.size();
+}
+
+std::vector<uint64_t> AttributeStats::SampleHistogram(size_t buckets) const {
+  std::vector<uint64_t> hist(buckets, 0);
+  if (numeric_sample_.empty() || !min_ || !max_ || buckets == 0) {
+    return hist;
+  }
+  double lo = *min_;
+  double width = (*max_ - lo) / static_cast<double>(buckets);
+  if (width <= 0) {
+    hist[0] = numeric_sample_.size();
+    return hist;
+  }
+  for (double v : numeric_sample_) {
+    size_t b = static_cast<size_t>((v - lo) / width);
+    if (b >= buckets) b = buckets - 1;
+    ++hist[b];
+  }
+  return hist;
+}
+
+StatsCollector::StatsCollector(std::shared_ptr<Schema> schema)
+    : schema_(std::move(schema)) {
+  attrs_.resize(schema_->num_fields());
+}
+
+void StatsCollector::ObserveBlock(uint32_t attr, uint64_t block,
+                                  const ColumnVector& column) {
+  uint64_t key = (static_cast<uint64_t>(attr) << 40) | block;
+  if (!observed_.insert(key).second) return;  // already folded in
+  if (attrs_[attr] == nullptr) {
+    attrs_[attr] =
+        std::make_unique<AttributeStats>(schema_->field(attr).type);
+  }
+  attrs_[attr]->Observe(column);
+}
+
+std::vector<uint32_t> StatsCollector::CoveredAttributes() const {
+  std::vector<uint32_t> out;
+  for (uint32_t i = 0; i < attrs_.size(); ++i) {
+    if (HasStats(i)) out.push_back(i);
+  }
+  return out;
+}
+
+void StatsCollector::Clear() {
+  for (auto& a : attrs_) a.reset();
+  observed_.clear();
+}
+
+void StatsSelectivityEstimator::Register(const std::string& table,
+                                         const StatsCollector* stats,
+                                         std::shared_ptr<Schema> schema) {
+  tables_[table] = TableEntry{stats, std::move(schema)};
+}
+
+std::optional<double> StatsSelectivityEstimator::EstimateSelectivity(
+    const std::string& table, const Expr& predicate) const {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return std::nullopt;
+  const TableEntry& entry = it->second;
+
+  auto stats_for = [&](const Expr& e) -> const AttributeStats* {
+    const auto* ref = dynamic_cast<const ColumnRefExpr*>(&e);
+    if (ref == nullptr) return nullptr;
+    auto idx = entry.schema->FieldIndex(ref->name());
+    if (!idx.ok()) return nullptr;
+    if (!entry.stats->HasStats(static_cast<uint32_t>(*idx))) return nullptr;
+    return entry.stats->GetStats(static_cast<uint32_t>(*idx));
+  };
+
+  if (const auto* cmp = dynamic_cast<const CompareExpr*>(&predicate)) {
+    const AttributeStats* stats = stats_for(*cmp->left());
+    const Expr* literal_side = cmp->right().get();
+    CompareOp op = cmp->op();
+    if (stats == nullptr) {
+      stats = stats_for(*cmp->right());
+      literal_side = cmp->left().get();
+      // Mirror the operator: lit < col  ==  col > lit.
+      switch (op) {
+        case CompareOp::kLt:
+          op = CompareOp::kGt;
+          break;
+        case CompareOp::kLe:
+          op = CompareOp::kGe;
+          break;
+        case CompareOp::kGt:
+          op = CompareOp::kLt;
+          break;
+        case CompareOp::kGe:
+          op = CompareOp::kLe;
+          break;
+        default:
+          break;
+      }
+    }
+    if (stats == nullptr) return std::nullopt;
+    const auto* lit = dynamic_cast<const LiteralExpr*>(literal_side);
+    if (lit == nullptr) return std::nullopt;
+    return stats->EstimateCompareSelectivity(op, lit->value());
+  }
+
+  if (const auto* like = dynamic_cast<const LikeExpr*>(&predicate)) {
+    // LikeExpr does not expose its input publicly beyond CollectColumns;
+    // resolve via collected column indices against the projected schema
+    // is not possible here, so estimate only simple column LIKEs.
+    (void)like;
+    return std::nullopt;
+  }
+
+  if (const auto* isnull = dynamic_cast<const IsNullExpr*>(&predicate)) {
+    (void)isnull;
+    return std::nullopt;
+  }
+
+  // AND of estimable conjuncts: product (independence assumption).
+  if (const auto* logical = dynamic_cast<const LogicalExpr*>(&predicate)) {
+    if (logical->op() == LogicalOp::kAnd) {
+      auto l = EstimateSelectivity(table, *logical->left());
+      auto r = EstimateSelectivity(table, *logical->right());
+      if (l && r) return *l * *r;
+      return l ? l : r;
+    }
+    if (logical->op() == LogicalOp::kOr) {
+      auto l = EstimateSelectivity(table, *logical->left());
+      auto r = EstimateSelectivity(table, *logical->right());
+      if (l && r) return std::min(1.0, *l + *r - *l * *r);
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace nodb

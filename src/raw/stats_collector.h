@@ -1,0 +1,128 @@
+#ifndef NODB_RAW_STATS_COLLECTOR_H_
+#define NODB_RAW_STATS_COLLECTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "exec/expr.h"
+#include "sql/planner.h"
+#include "types/column_vector.h"
+#include "types/schema.h"
+#include "util/random.h"
+
+namespace nodb {
+
+/// Per-attribute statistics built on-the-fly during raw scans
+/// (paper §3.3): only for *requested* attributes, from values that were
+/// parsed anyway, incrementally covering more of the file as queries
+/// touch more of it.
+class AttributeStats {
+ public:
+  static constexpr size_t kReservoirSize = 512;
+  static constexpr size_t kKmvSize = 256;
+
+  explicit AttributeStats(DataType type);
+
+  /// Folds a parsed column segment into the stats.
+  void Observe(const ColumnVector& column);
+
+  uint64_t row_count() const { return count_; }
+  uint64_t null_count() const { return nulls_; }
+  double null_fraction() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(nulls_) /
+                             static_cast<double>(count_);
+  }
+  std::optional<double> numeric_min() const { return min_; }
+  std::optional<double> numeric_max() const { return max_; }
+
+  /// KMV (k minimum values) distinct-count estimate.
+  double EstimateDistinct() const;
+
+  /// Fraction of non-null values satisfying `op` against `literal`,
+  /// estimated from the reservoir sample. nullopt when the sample is
+  /// empty or types are incompatible.
+  std::optional<double> EstimateCompareSelectivity(CompareOp op,
+                                                   const Value& literal) const;
+
+  /// Fraction of sampled strings matching a LIKE pattern.
+  std::optional<double> EstimateLikeSelectivity(std::string_view pattern,
+                                                bool negated) const;
+
+  /// Equi-width histogram over the sample (numeric attributes).
+  std::vector<uint64_t> SampleHistogram(size_t buckets) const;
+
+  DataType type() const { return type_; }
+
+ private:
+  void Sample(double numeric, const std::string* text);
+
+  DataType type_;
+  uint64_t count_ = 0;
+  uint64_t nulls_ = 0;
+  std::optional<double> min_;
+  std::optional<double> max_;
+  std::set<uint64_t> kmv_;  // k smallest value hashes
+  std::vector<double> numeric_sample_;
+  std::vector<std::string> string_sample_;
+  uint64_t sampled_stream_ = 0;  // non-null values seen (reservoir index)
+  Random rng_{0x5747u};
+};
+
+/// All attributes of one raw table. Blocks already folded in are
+/// remembered so repeated scans do not double-count.
+class StatsCollector {
+ public:
+  explicit StatsCollector(std::shared_ptr<Schema> schema);
+
+  /// Folds `column` (the parsed values of `attr` for row-block `block`)
+  /// into the table stats, once per (attr, block).
+  void ObserveBlock(uint32_t attr, uint64_t block,
+                    const ColumnVector& column);
+
+  bool HasStats(uint32_t attr) const {
+    return attrs_[attr] != nullptr && attrs_[attr]->row_count() > 0;
+  }
+  const AttributeStats* GetStats(uint32_t attr) const {
+    return attrs_[attr].get();
+  }
+
+  /// Attributes with any statistics (for the monitoring panel).
+  std::vector<uint32_t> CoveredAttributes() const;
+
+  void Clear();
+
+ private:
+  std::shared_ptr<Schema> schema_;
+  std::vector<std::unique_ptr<AttributeStats>> attrs_;
+  std::unordered_set<uint64_t> observed_;  // (attr<<40)|block keys
+};
+
+/// Bridges table statistics into the planner's SelectivityEstimator
+/// seam. Bound predicates reference projected column positions, so
+/// resolution goes through the column *name* back to the table schema.
+class StatsSelectivityEstimator final : public SelectivityEstimator {
+ public:
+  /// Registers `stats` for `table`. Pointers must outlive the planner.
+  void Register(const std::string& table, const StatsCollector* stats,
+                std::shared_ptr<Schema> schema);
+
+  std::optional<double> EstimateSelectivity(
+      const std::string& table, const Expr& predicate) const override;
+
+ private:
+  struct TableEntry {
+    const StatsCollector* stats;
+    std::shared_ptr<Schema> schema;
+  };
+  std::unordered_map<std::string, TableEntry> tables_;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_RAW_STATS_COLLECTOR_H_

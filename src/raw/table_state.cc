@@ -1,0 +1,77 @@
+#include "raw/table_state.h"
+
+namespace nodb {
+
+RawTableState::RawTableState(RawTableInfo info, const NoDbConfig& config)
+    : info_(std::move(info)),
+      config_(config),
+      map_(config.positional_map_budget, config.rows_per_block,
+           config.max_covering_chunks),
+      cache_(config.cache_budget),
+      stats_(info_.schema),
+      access_counts_(info_.schema->num_fields(), 0) {}
+
+Status RawTableState::Open() {
+  NODB_ASSIGN_OR_RETURN(auto file, OpenRandomAccessFile(info_.path));
+  file_ = std::shared_ptr<RandomAccessFile>(std::move(file));
+  NODB_ASSIGN_OR_RETURN(signature_, FileSignature::Capture(info_.path));
+  return Status::OK();
+}
+
+Result<FileChange> RawTableState::CheckForUpdates() {
+  if (file_ == nullptr) {
+    NODB_RETURN_NOT_OK(Open());
+    return FileChange::kUnchanged;
+  }
+  NODB_ASSIGN_OR_RETURN(FileChange change, signature_.Compare());
+  if (change == FileChange::kUnchanged) return change;
+
+  if (change == FileChange::kAppended) {
+    // Appends keep every structure valid for the old byte range *if*
+    // the old content was newline-terminated (otherwise the final old
+    // tuple was extended in place and positions after it shifted).
+    bool clean_append = false;
+    if (signature_.size() > 0) {
+      char last;
+      Slice got;
+      Status s =
+          file_->Read(signature_.size() - 1, 1, &last, &got);
+      clean_append = s.ok() && got.size() == 1 && got[0] == '\n';
+    }
+    if (clean_append) {
+      map_.ReopenForAppend();
+    } else {
+      change = FileChange::kRewritten;
+    }
+  }
+  if (change == FileChange::kRewritten) {
+    InvalidateAll();
+  }
+  // Reopen: the inode may have been replaced (editors rewrite files).
+  NODB_ASSIGN_OR_RETURN(auto file, OpenRandomAccessFile(info_.path));
+  file_ = std::shared_ptr<RandomAccessFile>(std::move(file));
+  NODB_ASSIGN_OR_RETURN(signature_, FileSignature::Capture(info_.path));
+  return change;
+}
+
+Status RawTableState::ReplaceFile(const RawTableInfo& info) {
+  info_ = info;
+  InvalidateAll();
+  access_counts_.assign(info_.schema->num_fields(), 0);
+  return Open();
+}
+
+void RawTableState::RecordAttributeAccess(
+    const std::vector<uint32_t>& attrs) {
+  for (uint32_t a : attrs) {
+    if (a < access_counts_.size()) ++access_counts_[a];
+  }
+}
+
+void RawTableState::InvalidateAll() {
+  map_.Clear();
+  cache_.Clear();
+  stats_.Clear();
+}
+
+}  // namespace nodb

@@ -1,0 +1,87 @@
+#ifndef NODB_RAW_TABLE_STATE_H_
+#define NODB_RAW_TABLE_STATE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "io/file.h"
+#include "io/file_signature.h"
+#include "raw/nodb_config.h"
+#include "raw/positional_map.h"
+#include "raw/raw_cache.h"
+#include "raw/stats_collector.h"
+#include "util/result.h"
+
+namespace nodb {
+
+/// All adaptive state a NoDB engine accumulates for one raw table:
+/// the positional map, the binary cache, the on-the-fly statistics,
+/// the open file handle and the change-detection signature. Everything
+/// here is *disposable* — it is rebuilt from the raw file on demand —
+/// which is what makes in-situ querying safe under external updates.
+class RawTableState {
+ public:
+  RawTableState(RawTableInfo info, const NoDbConfig& config);
+
+  /// Opens the raw file and captures the initial signature.
+  Status Open();
+
+  /// Re-checks the raw file (demo §4.2 "Updates"):
+  ///  - unchanged: no-op;
+  ///  - appended (and the old content ended with a newline): keep all
+  ///    structures, reopen row discovery for the tail;
+  ///  - rewritten: drop map, cache and statistics.
+  Result<FileChange> CheckForUpdates();
+
+  /// Points the state at a different file (the demo's "new data file"
+  /// scenario); drops all structures.
+  Status ReplaceFile(const RawTableInfo& info);
+
+  const RawTableInfo& info() const { return info_; }
+  const NoDbConfig& config() const { return config_; }
+
+  /// Flips the component enable flags at runtime (demo GUI switches).
+  /// Budgets and block granularity stay fixed; retained structures are
+  /// simply ignored while their component is off.
+  void SetComponentFlags(bool map, bool cache, bool stats) {
+    config_.enable_positional_map = map;
+    config_.enable_cache = cache;
+    config_.enable_statistics = stats;
+  }
+  const std::shared_ptr<RandomAccessFile>& file() const { return file_; }
+
+  PositionalMap& map() { return map_; }
+  const PositionalMap& map() const { return map_; }
+  RawCache& cache() { return cache_; }
+  const RawCache& cache() const { return cache_; }
+  StatsCollector& stats() { return stats_; }
+  const StatsCollector& stats() const { return stats_; }
+
+  /// Per-attribute access counts (monitoring panel usage statistics).
+  void RecordAttributeAccess(const std::vector<uint32_t>& attrs);
+  const std::vector<uint64_t>& attribute_access_counts() const {
+    return access_counts_;
+  }
+
+  uint64_t queries_executed() const { return queries_executed_; }
+  void IncrementQueryCount() { ++queries_executed_; }
+
+ private:
+  void InvalidateAll();
+
+  RawTableInfo info_;
+  NoDbConfig config_;
+  std::shared_ptr<RandomAccessFile> file_;
+  FileSignature signature_;
+  PositionalMap map_;
+  RawCache cache_;
+  StatsCollector stats_;
+  std::vector<uint64_t> access_counts_;
+  uint64_t queries_executed_ = 0;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_RAW_TABLE_STATE_H_

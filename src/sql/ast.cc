@@ -1,0 +1,38 @@
+#include "sql/ast.h"
+
+namespace nodb {
+
+std::string ParsedExpr::ToString() const {
+  switch (kind) {
+    case Kind::kColumn:
+      return table.empty() ? column : table + "." + column;
+    case Kind::kLiteral:
+      return value.ToString();
+    case Kind::kCompare:
+      return "(" + left->ToString() + " " +
+             std::string(CompareOpToString(cmp)) + " " + right->ToString() +
+             ")";
+    case Kind::kLogical:
+      if (logic == LogicalOp::kNot) return "(NOT " + left->ToString() + ")";
+      return "(" + left->ToString() +
+             (logic == LogicalOp::kAnd ? " AND " : " OR ") +
+             right->ToString() + ")";
+    case Kind::kArith:
+      return "(" + left->ToString() + " " +
+             std::string(ArithOpToString(arith)) + " " + right->ToString() +
+             ")";
+    case Kind::kIsNull:
+      return "(" + left->ToString() +
+             (negated ? " IS NOT NULL)" : " IS NULL)");
+    case Kind::kLike:
+      return "(" + left->ToString() + (negated ? " NOT LIKE '" : " LIKE '") +
+             pattern + "')";
+    case Kind::kAggregate:
+      if (agg == AggFunc::kCountStar) return "COUNT(*)";
+      return std::string(AggFuncToString(agg)) + "(" + left->ToString() +
+             ")";
+  }
+  return "?";
+}
+
+}  // namespace nodb

@@ -1,0 +1,98 @@
+#ifndef NODB_SQL_AST_H_
+#define NODB_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/aggregate.h"
+#include "exec/expr.h"
+#include "types/value.h"
+
+namespace nodb {
+
+struct ParsedExpr;
+using ParsedExprPtr = std::shared_ptr<ParsedExpr>;
+
+/// An *unbound* expression as written in the query: column references
+/// are still names, types are unknown. The binder resolves it into an
+/// executable Expr.
+struct ParsedExpr {
+  enum class Kind {
+    kColumn,
+    kLiteral,
+    kCompare,
+    kLogical,
+    kArith,
+    kIsNull,
+    kLike,
+    kAggregate,
+  };
+
+  Kind kind;
+
+  // kColumn: optional qualifier ("t.col") and column name.
+  std::string table;
+  std::string column;
+
+  // kLiteral.
+  Value value;
+  DataType literal_type = DataType::kInt64;
+
+  // Operators.
+  CompareOp cmp = CompareOp::kEq;
+  LogicalOp logic = LogicalOp::kAnd;
+  ArithOp arith = ArithOp::kAdd;
+  ParsedExprPtr left;
+  ParsedExprPtr right;
+
+  // kIsNull / kLike.
+  bool negated = false;
+  std::string pattern;
+
+  // kAggregate: function over `left` (null for COUNT(*)).
+  AggFunc agg = AggFunc::kCountStar;
+
+  /// Display form for error messages and plan dumps.
+  std::string ToString() const;
+};
+
+/// One SELECT-list entry.
+struct SelectItem {
+  ParsedExprPtr expr;  // null when the item is '*'
+  std::string alias;   // empty = derive from the expression
+};
+
+/// One ORDER BY key.
+struct OrderItem {
+  ParsedExprPtr expr;
+  bool ascending = true;
+};
+
+/// A parsed SELECT statement over one table, optionally inner-joined
+/// with a second.
+struct SelectStatement {
+  std::vector<SelectItem> items;
+  bool select_star = false;
+  bool distinct = false;
+
+  std::string from_table;
+  std::string from_alias;
+
+  bool has_join = false;
+  std::string join_table;
+  std::string join_alias;
+  ParsedExprPtr join_condition;
+
+  ParsedExprPtr where;  // null = no predicate
+  std::vector<ParsedExprPtr> group_by;
+  ParsedExprPtr having;  // null = no HAVING clause
+  std::vector<OrderItem> order_by;
+  std::optional<uint64_t> limit;
+  uint64_t offset = 0;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_SQL_AST_H_

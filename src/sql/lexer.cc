@@ -1,0 +1,121 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+namespace nodb {
+
+Result<std::vector<Token>> LexSql(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+
+  auto is_ident_start = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  };
+  auto is_ident = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  };
+
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = i;
+
+    if (is_ident_start(c)) {
+      size_t start = i;
+      while (i < n && is_ident(sql[i])) ++i;
+      tok.type = TokenType::kIdentifier;
+      tok.text = std::string(sql.substr(start, i - start));
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.') {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) {
+          ++i;
+        }
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        is_float = true;
+        ++i;
+        if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) {
+          ++i;
+        }
+      }
+      tok.type = is_float ? TokenType::kFloat : TokenType::kInteger;
+      tok.text = std::string(sql.substr(start, i - start));
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {
+            value.push_back('\'');
+            i += 2;
+          } else {
+            ++i;
+            closed = true;
+            break;
+          }
+        } else {
+          value.push_back(sql[i]);
+          ++i;
+        }
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(tok.position));
+      }
+      tok.type = TokenType::kString;
+      tok.literal = std::move(value);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    // Multi-char operators first.
+    auto two = sql.substr(i, 2);
+    if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+      tok.type = TokenType::kSymbol;
+      tok.text = std::string(two);
+      tokens.push_back(std::move(tok));
+      i += 2;
+      continue;
+    }
+    static constexpr std::string_view kSingles = "=<>+-*/(),.;";
+    if (kSingles.find(c) != std::string_view::npos) {
+      tok.type = TokenType::kSymbol;
+      tok.text = std::string(1, c);
+      tokens.push_back(std::move(tok));
+      ++i;
+      continue;
+    }
+    return Status::ParseError("unexpected character '" + std::string(1, c) +
+                              "' at offset " + std::to_string(i));
+  }
+
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace nodb

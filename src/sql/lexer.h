@@ -1,0 +1,37 @@
+#ifndef NODB_SQL_LEXER_H_
+#define NODB_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace nodb {
+
+/// Token categories produced by the SQL lexer.
+enum class TokenType {
+  kIdentifier,  // table / column names (also keywords; parser decides)
+  kInteger,     // 123
+  kFloat,       // 1.5, 1e-3
+  kString,      // 'text' with '' escaping
+  kSymbol,      // operators and punctuation, in `text`
+  kEnd,
+};
+
+/// One lexed token. `text` views into the original query string for
+/// identifiers/symbols; string literals are unescaped into `literal`.
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;     // raw text (uppercased for identifiers? no — as-is)
+  std::string literal;  // unescaped string literal payload
+  size_t position = 0;  // byte offset in the query, for error messages
+};
+
+/// Splits a SQL string into tokens. Comments are not supported; SQL
+/// string literals use single quotes with '' escaping.
+Result<std::vector<Token>> LexSql(std::string_view sql);
+
+}  // namespace nodb
+
+#endif  // NODB_SQL_LEXER_H_

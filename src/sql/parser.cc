@@ -1,0 +1,530 @@
+#include "sql/parser.h"
+
+#include "csv/value_parser.h"
+#include "sql/lexer.h"
+#include "types/date_util.h"
+#include "util/string_util.h"
+
+namespace nodb {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStatement> Parse() {
+    SelectStatement stmt;
+    NODB_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    if (AcceptKeyword("DISTINCT")) stmt.distinct = true;
+    NODB_RETURN_NOT_OK(ParseSelectList(&stmt));
+    NODB_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    NODB_RETURN_NOT_OK(ParseFrom(&stmt));
+    if (AcceptKeyword("WHERE")) {
+      NODB_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    if (AcceptKeyword("GROUP")) {
+      NODB_RETURN_NOT_OK(ExpectKeyword("BY"));
+      do {
+        NODB_ASSIGN_OR_RETURN(auto e, ParseExpr());
+        stmt.group_by.push_back(std::move(e));
+      } while (AcceptSymbol(","));
+    }
+    if (AcceptKeyword("HAVING")) {
+      NODB_ASSIGN_OR_RETURN(stmt.having, ParseExpr());
+    }
+    if (AcceptKeyword("ORDER")) {
+      NODB_RETURN_NOT_OK(ExpectKeyword("BY"));
+      do {
+        OrderItem item;
+        NODB_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (AcceptKeyword("DESC")) {
+          item.ascending = false;
+        } else {
+          AcceptKeyword("ASC");
+        }
+        stmt.order_by.push_back(std::move(item));
+      } while (AcceptSymbol(","));
+    }
+    if (AcceptKeyword("LIMIT")) {
+      NODB_ASSIGN_OR_RETURN(uint64_t v, ExpectInteger());
+      stmt.limit = v;
+      if (AcceptKeyword("OFFSET")) {
+        NODB_ASSIGN_OR_RETURN(stmt.offset, ExpectInteger());
+      }
+    }
+    AcceptSymbol(";");
+    if (Peek().type != TokenType::kEnd) {
+      return Status::ParseError("unexpected trailing input: '" +
+                                Peek().text + "'");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool PeekKeyword(std::string_view kw, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.type == TokenType::kIdentifier &&
+           EqualsIgnoreCase(t.text, kw);
+  }
+  bool AcceptKeyword(std::string_view kw) {
+    if (PeekKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (!AcceptKeyword(kw)) {
+      return Status::ParseError("expected " + std::string(kw) + " near '" +
+                                Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  bool AcceptSymbol(std::string_view sym) {
+    if (Peek().type == TokenType::kSymbol && Peek().text == sym) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectSymbol(std::string_view sym) {
+    if (!AcceptSymbol(sym)) {
+      return Status::ParseError("expected '" + std::string(sym) +
+                                "' near '" + Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  Result<uint64_t> ExpectInteger() {
+    if (Peek().type != TokenType::kInteger) {
+      return Status::ParseError("expected integer near '" + Peek().text +
+                                "'");
+    }
+    NODB_ASSIGN_OR_RETURN(int64_t v,
+                          ValueParser::ParseInt64(Advance().text));
+    if (v < 0) return Status::ParseError("expected non-negative integer");
+    return static_cast<uint64_t>(v);
+  }
+  Result<std::string> ExpectIdentifier() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Status::ParseError("expected identifier near '" + Peek().text +
+                                "'");
+    }
+    return Advance().text;
+  }
+
+  static bool IsReserved(std::string_view word) {
+    static constexpr std::string_view kReserved[] = {
+        "SELECT", "FROM",   "WHERE",  "GROUP",   "BY",   "ORDER",
+        "LIMIT",  "OFFSET", "JOIN",   "ON",      "AND",  "OR",
+        "NOT",    "AS",     "ASC",    "DESC",    "BETWEEN", "IN",
+        "IS",     "NULL",   "LIKE",   "DATE",    "HAVING",
+        "DISTINCT",
+    };
+    for (auto kw : kReserved) {
+      if (EqualsIgnoreCase(word, kw)) return true;
+    }
+    return false;
+  }
+
+  Status ParseSelectList(SelectStatement* stmt) {
+    if (AcceptSymbol("*")) {
+      stmt->select_star = true;
+      return Status::OK();
+    }
+    do {
+      SelectItem item;
+      NODB_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (AcceptKeyword("AS")) {
+        NODB_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier());
+      } else if (Peek().type == TokenType::kIdentifier &&
+                 !IsReserved(Peek().text)) {
+        item.alias = Advance().text;  // bare alias
+      }
+      stmt->items.push_back(std::move(item));
+    } while (AcceptSymbol(","));
+    return Status::OK();
+  }
+
+  Status ParseFrom(SelectStatement* stmt) {
+    NODB_ASSIGN_OR_RETURN(stmt->from_table, ExpectIdentifier());
+    if (Peek().type == TokenType::kIdentifier && !IsReserved(Peek().text)) {
+      stmt->from_alias = Advance().text;
+    } else if (AcceptKeyword("AS")) {
+      NODB_ASSIGN_OR_RETURN(stmt->from_alias, ExpectIdentifier());
+    }
+    if (AcceptKeyword("JOIN")) {
+      stmt->has_join = true;
+      NODB_ASSIGN_OR_RETURN(stmt->join_table, ExpectIdentifier());
+      if (Peek().type == TokenType::kIdentifier &&
+          !IsReserved(Peek().text)) {
+        stmt->join_alias = Advance().text;
+      } else if (AcceptKeyword("AS")) {
+        NODB_ASSIGN_OR_RETURN(stmt->join_alias, ExpectIdentifier());
+      }
+      NODB_RETURN_NOT_OK(ExpectKeyword("ON"));
+      NODB_ASSIGN_OR_RETURN(stmt->join_condition, ParseExpr());
+    }
+    return Status::OK();
+  }
+
+  // expr := and_expr (OR and_expr)*
+  Result<ParsedExprPtr> ParseExpr() {
+    NODB_ASSIGN_OR_RETURN(auto left, ParseAnd());
+    while (AcceptKeyword("OR")) {
+      NODB_ASSIGN_OR_RETURN(auto right, ParseAnd());
+      auto node = std::make_shared<ParsedExpr>();
+      node->kind = ParsedExpr::Kind::kLogical;
+      node->logic = LogicalOp::kOr;
+      node->left = std::move(left);
+      node->right = std::move(right);
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  Result<ParsedExprPtr> ParseAnd() {
+    NODB_ASSIGN_OR_RETURN(auto left, ParseNot());
+    while (AcceptKeyword("AND")) {
+      NODB_ASSIGN_OR_RETURN(auto right, ParseNot());
+      auto node = std::make_shared<ParsedExpr>();
+      node->kind = ParsedExpr::Kind::kLogical;
+      node->logic = LogicalOp::kAnd;
+      node->left = std::move(left);
+      node->right = std::move(right);
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  Result<ParsedExprPtr> ParseNot() {
+    if (AcceptKeyword("NOT")) {
+      NODB_ASSIGN_OR_RETURN(auto inner, ParseNot());
+      auto node = std::make_shared<ParsedExpr>();
+      node->kind = ParsedExpr::Kind::kLogical;
+      node->logic = LogicalOp::kNot;
+      node->left = std::move(inner);
+      return ParsedExprPtr(std::move(node));
+    }
+    return ParseComparison();
+  }
+
+  Result<ParsedExprPtr> ParseComparison() {
+    NODB_ASSIGN_OR_RETURN(auto left, ParseAdditive());
+
+    // IS [NOT] NULL
+    if (AcceptKeyword("IS")) {
+      bool negated = AcceptKeyword("NOT");
+      NODB_RETURN_NOT_OK(ExpectKeyword("NULL"));
+      auto node = std::make_shared<ParsedExpr>();
+      node->kind = ParsedExpr::Kind::kIsNull;
+      node->left = std::move(left);
+      node->negated = negated;
+      return ParsedExprPtr(std::move(node));
+    }
+
+    bool negated = false;
+    if (PeekKeyword("NOT") &&
+        (PeekKeyword("LIKE", 1) || PeekKeyword("BETWEEN", 1) ||
+         PeekKeyword("IN", 1))) {
+      AcceptKeyword("NOT");
+      negated = true;
+    }
+
+    if (AcceptKeyword("LIKE")) {
+      if (Peek().type != TokenType::kString) {
+        return Status::ParseError("LIKE requires a string literal pattern");
+      }
+      auto node = std::make_shared<ParsedExpr>();
+      node->kind = ParsedExpr::Kind::kLike;
+      node->left = std::move(left);
+      node->pattern = Advance().literal;
+      node->negated = negated;
+      return ParsedExprPtr(std::move(node));
+    }
+
+    if (AcceptKeyword("BETWEEN")) {
+      NODB_ASSIGN_OR_RETURN(auto lo, ParseAdditive());
+      NODB_RETURN_NOT_OK(ExpectKeyword("AND"));
+      NODB_ASSIGN_OR_RETURN(auto hi, ParseAdditive());
+      // x BETWEEN a AND b  =>  x >= a AND x <= b
+      auto ge = std::make_shared<ParsedExpr>();
+      ge->kind = ParsedExpr::Kind::kCompare;
+      ge->cmp = CompareOp::kGe;
+      ge->left = left;
+      ge->right = std::move(lo);
+      auto le = std::make_shared<ParsedExpr>();
+      le->kind = ParsedExpr::Kind::kCompare;
+      le->cmp = CompareOp::kLe;
+      le->left = std::move(left);
+      le->right = std::move(hi);
+      auto both = std::make_shared<ParsedExpr>();
+      both->kind = ParsedExpr::Kind::kLogical;
+      both->logic = LogicalOp::kAnd;
+      both->left = std::move(ge);
+      both->right = std::move(le);
+      if (!negated) return ParsedExprPtr(std::move(both));
+      auto inv = std::make_shared<ParsedExpr>();
+      inv->kind = ParsedExpr::Kind::kLogical;
+      inv->logic = LogicalOp::kNot;
+      inv->left = std::move(both);
+      return ParsedExprPtr(std::move(inv));
+    }
+
+    if (AcceptKeyword("IN")) {
+      NODB_RETURN_NOT_OK(ExpectSymbol("("));
+      ParsedExprPtr any;
+      do {
+        NODB_ASSIGN_OR_RETURN(auto lit, ParsePrimary());
+        auto eq = std::make_shared<ParsedExpr>();
+        eq->kind = ParsedExpr::Kind::kCompare;
+        eq->cmp = CompareOp::kEq;
+        eq->left = left;
+        eq->right = std::move(lit);
+        if (any == nullptr) {
+          any = std::move(eq);
+        } else {
+          auto orr = std::make_shared<ParsedExpr>();
+          orr->kind = ParsedExpr::Kind::kLogical;
+          orr->logic = LogicalOp::kOr;
+          orr->left = std::move(any);
+          orr->right = std::move(eq);
+          any = std::move(orr);
+        }
+      } while (AcceptSymbol(","));
+      NODB_RETURN_NOT_OK(ExpectSymbol(")"));
+      if (!negated) return any;
+      auto inv = std::make_shared<ParsedExpr>();
+      inv->kind = ParsedExpr::Kind::kLogical;
+      inv->logic = LogicalOp::kNot;
+      inv->left = std::move(any);
+      return ParsedExprPtr(std::move(inv));
+    }
+
+    if (negated) {
+      return Status::ParseError("dangling NOT before '" + Peek().text + "'");
+    }
+
+    CompareOp op;
+    if (AcceptSymbol("=")) {
+      op = CompareOp::kEq;
+    } else if (AcceptSymbol("<>") || AcceptSymbol("!=")) {
+      op = CompareOp::kNe;
+    } else if (AcceptSymbol("<=")) {
+      op = CompareOp::kLe;
+    } else if (AcceptSymbol(">=")) {
+      op = CompareOp::kGe;
+    } else if (AcceptSymbol("<")) {
+      op = CompareOp::kLt;
+    } else if (AcceptSymbol(">")) {
+      op = CompareOp::kGt;
+    } else {
+      return left;  // bare additive expression
+    }
+    NODB_ASSIGN_OR_RETURN(auto right, ParseAdditive());
+    auto node = std::make_shared<ParsedExpr>();
+    node->kind = ParsedExpr::Kind::kCompare;
+    node->cmp = op;
+    node->left = std::move(left);
+    node->right = std::move(right);
+    return ParsedExprPtr(std::move(node));
+  }
+
+  Result<ParsedExprPtr> ParseAdditive() {
+    NODB_ASSIGN_OR_RETURN(auto left, ParseMultiplicative());
+    while (true) {
+      ArithOp op;
+      if (AcceptSymbol("+")) {
+        op = ArithOp::kAdd;
+      } else if (AcceptSymbol("-")) {
+        op = ArithOp::kSub;
+      } else {
+        return left;
+      }
+      NODB_ASSIGN_OR_RETURN(auto right, ParseMultiplicative());
+      auto node = std::make_shared<ParsedExpr>();
+      node->kind = ParsedExpr::Kind::kArith;
+      node->arith = op;
+      node->left = std::move(left);
+      node->right = std::move(right);
+      left = std::move(node);
+    }
+  }
+
+  Result<ParsedExprPtr> ParseMultiplicative() {
+    NODB_ASSIGN_OR_RETURN(auto left, ParsePrimary());
+    while (true) {
+      ArithOp op;
+      if (AcceptSymbol("*")) {
+        op = ArithOp::kMul;
+      } else if (AcceptSymbol("/")) {
+        op = ArithOp::kDiv;
+      } else {
+        return left;
+      }
+      NODB_ASSIGN_OR_RETURN(auto right, ParsePrimary());
+      auto node = std::make_shared<ParsedExpr>();
+      node->kind = ParsedExpr::Kind::kArith;
+      node->arith = op;
+      node->left = std::move(left);
+      node->right = std::move(right);
+      left = std::move(node);
+    }
+  }
+
+  Result<ParsedExprPtr> ParsePrimary() {
+    const Token& tok = Peek();
+
+    if (AcceptSymbol("(")) {
+      NODB_ASSIGN_OR_RETURN(auto inner, ParseExpr());
+      NODB_RETURN_NOT_OK(ExpectSymbol(")"));
+      return inner;
+    }
+
+    if (tok.type == TokenType::kInteger) {
+      Advance();
+      NODB_ASSIGN_OR_RETURN(int64_t v, ValueParser::ParseInt64(tok.text));
+      auto node = std::make_shared<ParsedExpr>();
+      node->kind = ParsedExpr::Kind::kLiteral;
+      node->value = Value::Int64(v);
+      node->literal_type = DataType::kInt64;
+      return ParsedExprPtr(std::move(node));
+    }
+    if (tok.type == TokenType::kFloat) {
+      Advance();
+      NODB_ASSIGN_OR_RETURN(double v, ValueParser::ParseDouble(tok.text));
+      auto node = std::make_shared<ParsedExpr>();
+      node->kind = ParsedExpr::Kind::kLiteral;
+      node->value = Value::Double(v);
+      node->literal_type = DataType::kDouble;
+      return ParsedExprPtr(std::move(node));
+    }
+    if (tok.type == TokenType::kString) {
+      Advance();
+      auto node = std::make_shared<ParsedExpr>();
+      node->kind = ParsedExpr::Kind::kLiteral;
+      node->value = Value::String(tok.literal);
+      node->literal_type = DataType::kString;
+      return ParsedExprPtr(std::move(node));
+    }
+
+    // Unary minus on a numeric literal.
+    if (AcceptSymbol("-")) {
+      NODB_ASSIGN_OR_RETURN(auto inner, ParsePrimary());
+      if (inner->kind != ParsedExpr::Kind::kLiteral) {
+        // Desugar to 0 - expr.
+        auto zero = std::make_shared<ParsedExpr>();
+        zero->kind = ParsedExpr::Kind::kLiteral;
+        zero->value = Value::Int64(0);
+        zero->literal_type = DataType::kInt64;
+        auto node = std::make_shared<ParsedExpr>();
+        node->kind = ParsedExpr::Kind::kArith;
+        node->arith = ArithOp::kSub;
+        node->left = std::move(zero);
+        node->right = std::move(inner);
+        return ParsedExprPtr(std::move(node));
+      }
+      if (inner->literal_type == DataType::kInt64) {
+        inner->value = Value::Int64(-inner->value.int64());
+      } else if (inner->literal_type == DataType::kDouble) {
+        inner->value = Value::Double(-inner->value.dbl());
+      } else {
+        return Status::ParseError("cannot negate a non-numeric literal");
+      }
+      return inner;
+    }
+
+    if (tok.type == TokenType::kIdentifier) {
+      // DATE 'yyyy-mm-dd' literal.
+      if (EqualsIgnoreCase(tok.text, "DATE") &&
+          Peek(1).type == TokenType::kString) {
+        Advance();
+        const Token& lit = Advance();
+        NODB_ASSIGN_OR_RETURN(int64_t days, ParseDate(lit.literal));
+        auto node = std::make_shared<ParsedExpr>();
+        node->kind = ParsedExpr::Kind::kLiteral;
+        node->value = Value::Date(days);
+        node->literal_type = DataType::kDate;
+        return ParsedExprPtr(std::move(node));
+      }
+      if (EqualsIgnoreCase(tok.text, "NULL")) {
+        Advance();
+        auto node = std::make_shared<ParsedExpr>();
+        node->kind = ParsedExpr::Kind::kLiteral;
+        node->value = Value::Null();
+        node->literal_type = DataType::kInt64;
+        return ParsedExprPtr(std::move(node));
+      }
+
+      // Aggregate function?
+      AggFunc agg;
+      bool is_agg = false;
+      if (EqualsIgnoreCase(tok.text, "COUNT")) {
+        agg = AggFunc::kCount;
+        is_agg = true;
+      } else if (EqualsIgnoreCase(tok.text, "SUM")) {
+        agg = AggFunc::kSum;
+        is_agg = true;
+      } else if (EqualsIgnoreCase(tok.text, "AVG")) {
+        agg = AggFunc::kAvg;
+        is_agg = true;
+      } else if (EqualsIgnoreCase(tok.text, "MIN")) {
+        agg = AggFunc::kMin;
+        is_agg = true;
+      } else if (EqualsIgnoreCase(tok.text, "MAX")) {
+        agg = AggFunc::kMax;
+        is_agg = true;
+      }
+      if (is_agg && Peek(1).type == TokenType::kSymbol &&
+          Peek(1).text == "(") {
+        Advance();  // function name
+        Advance();  // '('
+        auto node = std::make_shared<ParsedExpr>();
+        node->kind = ParsedExpr::Kind::kAggregate;
+        if (agg == AggFunc::kCount && AcceptSymbol("*")) {
+          node->agg = AggFunc::kCountStar;
+        } else {
+          node->agg = agg;
+          NODB_ASSIGN_OR_RETURN(node->left, ParseExpr());
+        }
+        NODB_RETURN_NOT_OK(ExpectSymbol(")"));
+        return ParsedExprPtr(std::move(node));
+      }
+
+      // Plain or qualified column reference.
+      Advance();
+      auto node = std::make_shared<ParsedExpr>();
+      node->kind = ParsedExpr::Kind::kColumn;
+      if (AcceptSymbol(".")) {
+        node->table = tok.text;
+        NODB_ASSIGN_OR_RETURN(node->column, ExpectIdentifier());
+      } else {
+        node->column = tok.text;
+      }
+      return ParsedExprPtr(std::move(node));
+    }
+
+    return Status::ParseError("unexpected token '" + tok.text +
+                              "' at offset " + std::to_string(tok.position));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStatement> ParseSelect(std::string_view sql) {
+  NODB_ASSIGN_OR_RETURN(auto tokens, LexSql(sql));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace nodb

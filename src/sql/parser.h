@@ -1,0 +1,26 @@
+#ifndef NODB_SQL_PARSER_H_
+#define NODB_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "sql/ast.h"
+#include "util/result.h"
+
+namespace nodb {
+
+/// Parses the supported SQL subset:
+///
+///   SELECT { * | expr [AS name], ... }
+///   FROM table [alias] [JOIN table [alias] ON expr]
+///   [WHERE expr] [GROUP BY expr, ...]
+///   [ORDER BY expr [ASC|DESC], ...] [LIMIT n [OFFSET m]]
+///
+/// Expressions support comparisons, AND/OR/NOT, arithmetic, BETWEEN
+/// (desugared), IN over literals (desugared to ORs), IS [NOT] NULL,
+/// [NOT] LIKE, DATE 'yyyy-mm-dd' literals and the aggregates
+/// COUNT/SUM/AVG/MIN/MAX. Keywords are case-insensitive.
+Result<SelectStatement> ParseSelect(std::string_view sql);
+
+}  // namespace nodb
+
+#endif  // NODB_SQL_PARSER_H_

@@ -1,0 +1,70 @@
+#ifndef NODB_SQL_PLANNER_H_
+#define NODB_SQL_PLANNER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+#include "sql/ast.h"
+#include "util/result.h"
+
+namespace nodb {
+
+/// Supplies leaf scans to the planner.
+///
+/// This is the seam the NoDB philosophy turns on: the identical plan
+/// (filter/project/aggregate/join/sort/limit) runs over an in-situ raw
+/// scan, the external-files re-scan, or a loaded binary table — only
+/// this factory differs between engines. `projection` lists the table
+/// columns the plan needs, ascending; an empty list requests
+/// zero-column row-count batches (COUNT(*)).
+class ScanFactory {
+ public:
+  virtual ~ScanFactory() = default;
+
+  virtual Result<std::shared_ptr<Schema>> TableSchema(
+      const std::string& table) = 0;
+
+  virtual Result<OperatorPtr> CreateScan(
+      const std::string& table, const std::vector<size_t>& projection) = 0;
+};
+
+/// Selectivity oracle for predicate ordering, implemented by the NoDB
+/// on-the-fly statistics store (paper §3.3). Estimates are fractions in
+/// [0,1]; nullopt = no information (planner keeps source order).
+class SelectivityEstimator {
+ public:
+  virtual ~SelectivityEstimator() = default;
+
+  virtual std::optional<double> EstimateSelectivity(
+      const std::string& table, const Expr& predicate) const = 0;
+};
+
+struct PlannerOptions {
+  /// When set, AND-conjuncts are reordered most-selective-first.
+  const SelectivityEstimator* stats = nullptr;
+
+  /// When set, receives a bottom-up textual description of the built
+  /// plan (EXPLAIN). Filter lines appear in execution order, so the
+  /// effect of statistics-driven predicate reordering is visible.
+  std::string* explain = nullptr;
+};
+
+/// Binds and plans `stmt` into an executable operator tree.
+///
+/// Column pruning is computed here and pushed into ScanFactory —
+/// for the NoDB engine this is exactly the "requested attributes" set
+/// that drives selective tokenizing/parsing.
+Result<OperatorPtr> PlanSelect(const SelectStatement& stmt,
+                               ScanFactory* factory,
+                               const PlannerOptions& options = {});
+
+/// Parses and plans in one step.
+Result<OperatorPtr> PlanSql(std::string_view sql, ScanFactory* factory,
+                            const PlannerOptions& options = {});
+
+}  // namespace nodb
+
+#endif  // NODB_SQL_PLANNER_H_

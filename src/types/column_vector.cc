@@ -1,0 +1,138 @@
+#include "types/column_vector.h"
+
+#include <cassert>
+
+namespace nodb {
+
+void ColumnVector::Reserve(size_t n) {
+  validity_.reserve(n);
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kDate:
+      ints_.reserve(n);
+      break;
+    case DataType::kDouble:
+      doubles_.reserve(n);
+      break;
+    case DataType::kString:
+      str_offsets_.reserve(n + 1);
+      break;
+  }
+}
+
+void ColumnVector::AppendNull() {
+  validity_.push_back(0);
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kDate:
+      ints_.push_back(0);
+      break;
+    case DataType::kDouble:
+      doubles_.push_back(0);
+      break;
+    case DataType::kString:
+      str_offsets_.push_back(static_cast<uint32_t>(str_data_.size()));
+      break;
+  }
+}
+
+void ColumnVector::AppendInt64(int64_t v) {
+  assert(type_ == DataType::kInt64);
+  validity_.push_back(1);
+  ints_.push_back(v);
+}
+
+void ColumnVector::AppendDouble(double v) {
+  assert(type_ == DataType::kDouble);
+  validity_.push_back(1);
+  doubles_.push_back(v);
+}
+
+void ColumnVector::AppendString(Slice v) {
+  assert(type_ == DataType::kString);
+  validity_.push_back(1);
+  str_data_.append(v.data(), v.size());
+  str_offsets_.push_back(static_cast<uint32_t>(str_data_.size()));
+}
+
+void ColumnVector::AppendDate(int64_t days) {
+  assert(type_ == DataType::kDate);
+  validity_.push_back(1);
+  ints_.push_back(days);
+}
+
+void ColumnVector::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
+  switch (type_) {
+    case DataType::kInt64:
+      AppendInt64(v.int64());
+      return;
+    case DataType::kDouble:
+      AppendDouble(v.is_double() ? v.dbl() : v.AsDouble());
+      return;
+    case DataType::kString:
+      AppendString(v.str());
+      return;
+    case DataType::kDate:
+      AppendDate(v.is_date() ? v.date_days() : v.int64());
+      return;
+  }
+}
+
+Value ColumnVector::GetValue(size_t i) const {
+  if (IsNull(i)) return Value::Null();
+  switch (type_) {
+    case DataType::kInt64:
+      return Value::Int64(ints_[i]);
+    case DataType::kDouble:
+      return Value::Double(doubles_[i]);
+    case DataType::kString:
+      return Value::String(std::string(GetString(i)));
+    case DataType::kDate:
+      return Value::Date(ints_[i]);
+  }
+  return Value::Null();
+}
+
+void ColumnVector::AppendFrom(const ColumnVector& src, size_t i) {
+  assert(src.type_ == type_);
+  if (src.IsNull(i)) {
+    AppendNull();
+    return;
+  }
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kDate:
+      validity_.push_back(1);
+      ints_.push_back(src.ints_[i]);
+      break;
+    case DataType::kDouble:
+      validity_.push_back(1);
+      doubles_.push_back(src.doubles_[i]);
+      break;
+    case DataType::kString:
+      AppendString(src.GetString(i));
+      break;
+  }
+}
+
+size_t ColumnVector::MemoryUsage() const {
+  return validity_.capacity() * sizeof(uint8_t) +
+         ints_.capacity() * sizeof(int64_t) +
+         doubles_.capacity() * sizeof(double) +
+         str_offsets_.capacity() * sizeof(uint32_t) +
+         str_data_.capacity();
+}
+
+void ColumnVector::Clear() {
+  validity_.clear();
+  ints_.clear();
+  doubles_.clear();
+  str_offsets_.assign(type_ == DataType::kString ? 1 : 0, 0);
+  str_data_.clear();
+}
+
+}  // namespace nodb

@@ -1,0 +1,79 @@
+#ifndef NODB_TYPES_COLUMN_VECTOR_H_
+#define NODB_TYPES_COLUMN_VECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "types/data_type.h"
+#include "types/value.h"
+#include "util/slice.h"
+
+namespace nodb {
+
+/// A typed column of values with per-row validity.
+///
+/// Layout follows Arrow's spirit: numeric types in a flat array, strings
+/// as a shared byte buffer plus offsets. This is both the executor's
+/// batch column and the unit stored by the NoDB raw-data cache (the
+/// paper's cache "holds binary data", i.e. exactly this representation).
+class ColumnVector {
+ public:
+  explicit ColumnVector(DataType type) : type_(type) {
+    if (type == DataType::kString) str_offsets_.push_back(0);
+  }
+
+  DataType type() const { return type_; }
+  size_t size() const { return validity_.size(); }
+
+  void Reserve(size_t n);
+
+  void AppendNull();
+  void AppendInt64(int64_t v);
+  void AppendDouble(double v);
+  void AppendString(Slice v);
+  /// Days since epoch (type must be kDate).
+  void AppendDate(int64_t days);
+  /// Appends a Value of matching type (or null).
+  void AppendValue(const Value& v);
+
+  bool IsNull(size_t i) const { return validity_[i] == 0; }
+
+  int64_t GetInt64(size_t i) const { return ints_[i]; }
+  double GetDouble(size_t i) const { return doubles_[i]; }
+  int64_t GetDate(size_t i) const { return ints_[i]; }
+  std::string_view GetString(size_t i) const {
+    return std::string_view(str_data_.data() + str_offsets_[i],
+                            str_offsets_[i + 1] - str_offsets_[i]);
+  }
+
+  /// Numeric view for comparisons: INT/DATE -> value, DOUBLE -> value.
+  double GetNumeric(size_t i) const {
+    return type_ == DataType::kDouble ? doubles_[i]
+                                      : static_cast<double>(ints_[i]);
+  }
+
+  /// Materializes row `i` as a Value (engine edges / tests only).
+  Value GetValue(size_t i) const;
+
+  /// Copies row `i` of `src` (same type) onto the end of this column.
+  void AppendFrom(const ColumnVector& src, size_t i);
+
+  /// Approximate heap footprint; used for cache accounting.
+  size_t MemoryUsage() const;
+
+  void Clear();
+
+ private:
+  DataType type_;
+  std::vector<uint8_t> validity_;
+  std::vector<int64_t> ints_;      // kInt64 and kDate payloads
+  std::vector<double> doubles_;    // kDouble payloads
+  std::vector<uint32_t> str_offsets_;  // kString: size()+1 entries
+  std::string str_data_;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_TYPES_COLUMN_VECTOR_H_

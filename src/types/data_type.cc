@@ -1,0 +1,46 @@
+#include "types/data_type.h"
+
+#include "util/string_util.h"
+
+namespace nodb {
+
+std::string_view DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "INT";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+    case DataType::kDate:
+      return "DATE";
+  }
+  return "?";
+}
+
+Result<DataType> DataTypeFromString(std::string_view name) {
+  std::string lower = ToLowerAscii(name);
+  if (lower == "int" || lower == "integer" || lower == "bigint" ||
+      lower == "int64" || lower == "long") {
+    return DataType::kInt64;
+  }
+  if (lower == "double" || lower == "float" || lower == "real" ||
+      lower == "decimal" || lower == "numeric") {
+    return DataType::kDouble;
+  }
+  if (lower == "string" || lower == "varchar" || lower == "text" ||
+      lower == "char") {
+    return DataType::kString;
+  }
+  if (lower == "date") {
+    return DataType::kDate;
+  }
+  return Status::InvalidArgument("unknown data type: " + std::string(name));
+}
+
+bool IsNumeric(DataType type) {
+  return type == DataType::kInt64 || type == DataType::kDouble ||
+         type == DataType::kDate;
+}
+
+}  // namespace nodb

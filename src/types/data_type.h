@@ -1,0 +1,36 @@
+#ifndef NODB_TYPES_DATA_TYPE_H_
+#define NODB_TYPES_DATA_TYPE_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace nodb {
+
+/// Column data types supported by the engine.
+///
+/// kDate is stored as int64 days since the Unix epoch; its raw-file
+/// text form is "YYYY-MM-DD" (the TPC-H convention).
+enum class DataType {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+  kDate = 3,
+};
+
+/// "INT", "DOUBLE", "STRING", "DATE".
+std::string_view DataTypeToString(DataType type);
+
+/// Parses a type name (case-insensitive); accepts common aliases
+/// (INT/INTEGER/BIGINT, DOUBLE/FLOAT/REAL/DECIMAL, STRING/VARCHAR/TEXT/
+/// CHAR, DATE).
+Result<DataType> DataTypeFromString(std::string_view name);
+
+/// True for types whose computations run on numbers (kInt64, kDouble,
+/// kDate).
+bool IsNumeric(DataType type);
+
+}  // namespace nodb
+
+#endif  // NODB_TYPES_DATA_TYPE_H_

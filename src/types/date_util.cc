@@ -1,0 +1,65 @@
+#include "types/date_util.h"
+
+#include <cstdio>
+
+namespace nodb {
+
+// Algorithms from Howard Hinnant's chrono date paper (public domain).
+int64_t CivilToDays(int year, int month, int day) {
+  year -= month <= 2;
+  const int64_t era = (year >= 0 ? year : year - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(year - era * 400);
+  const unsigned doy =
+      (153 * (month + (month > 2 ? -3 : 9)) + 2) / 5 + day - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void DaysToCivil(int64_t days, int* year, int* month, int* day) {
+  days += 719468;
+  const int64_t era = (days >= 0 ? days : days - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(days - era * 146097);
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *day = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  *month = static_cast<int>(mp + (mp < 10 ? 3 : -9));
+  *year = static_cast<int>(y + (*month <= 2));
+}
+
+Result<int64_t> ParseDate(std::string_view text) {
+  // Strict "YYYY-MM-DD" (4-2-2 digits).
+  if (text.size() != 10 || text[4] != '-' || text[7] != '-') {
+    return Status::ParseError("bad date: " + std::string(text));
+  }
+  auto digits = [&](size_t pos, size_t len, int* out) {
+    int v = 0;
+    for (size_t i = pos; i < pos + len; ++i) {
+      char c = text[i];
+      if (c < '0' || c > '9') return false;
+      v = v * 10 + (c - '0');
+    }
+    *out = v;
+    return true;
+  };
+  int y, m, d;
+  if (!digits(0, 4, &y) || !digits(5, 2, &m) || !digits(8, 2, &d)) {
+    return Status::ParseError("bad date: " + std::string(text));
+  }
+  if (m < 1 || m > 12 || d < 1 || d > 31) {
+    return Status::ParseError("date out of range: " + std::string(text));
+  }
+  return CivilToDays(y, m, d);
+}
+
+std::string FormatDate(int64_t days) {
+  int y, m, d;
+  DaysToCivil(days, &y, &m, &d);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  return buf;
+}
+
+}  // namespace nodb

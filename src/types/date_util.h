@@ -1,0 +1,26 @@
+#ifndef NODB_TYPES_DATE_UTIL_H_
+#define NODB_TYPES_DATE_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace nodb {
+
+/// Converts a proleptic-Gregorian civil date to days since 1970-01-01.
+int64_t CivilToDays(int year, int month, int day);
+
+/// Inverse of CivilToDays.
+void DaysToCivil(int64_t days, int* year, int* month, int* day);
+
+/// Parses "YYYY-MM-DD" into days since epoch.
+Result<int64_t> ParseDate(std::string_view text);
+
+/// Formats days since epoch as "YYYY-MM-DD".
+std::string FormatDate(int64_t days);
+
+}  // namespace nodb
+
+#endif  // NODB_TYPES_DATE_UTIL_H_

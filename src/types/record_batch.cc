@@ -1,0 +1,39 @@
+#include "types/record_batch.h"
+
+#include <cassert>
+
+namespace nodb {
+
+RecordBatch::RecordBatch(std::shared_ptr<Schema> schema)
+    : schema_(std::move(schema)) {
+  columns_.reserve(schema_->num_fields());
+  for (const Field& f : schema_->fields()) {
+    columns_.push_back(std::make_shared<ColumnVector>(f.type));
+  }
+}
+
+RecordBatch::RecordBatch(std::shared_ptr<Schema> schema,
+                         std::vector<std::shared_ptr<ColumnVector>> columns,
+                         size_t num_rows)
+    : schema_(std::move(schema)),
+      columns_(std::move(columns)),
+      num_rows_(num_rows) {
+  assert(columns_.size() == schema_->num_fields());
+}
+
+void RecordBatch::AppendRow(const std::vector<Value>& row) {
+  assert(row.size() == columns_.size());
+  for (size_t i = 0; i < row.size(); ++i) {
+    columns_[i]->AppendValue(row[i]);
+  }
+  ++num_rows_;
+}
+
+std::vector<Value> RecordBatch::Row(size_t i) const {
+  std::vector<Value> out;
+  out.reserve(columns_.size());
+  for (const auto& col : columns_) out.push_back(col->GetValue(i));
+  return out;
+}
+
+}  // namespace nodb

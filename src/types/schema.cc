@@ -1,0 +1,38 @@
+#include "types/schema.h"
+
+namespace nodb {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    index_.emplace(fields_[i].name, i);
+  }
+}
+
+Result<size_t> Schema::FieldIndex(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("no column named '" + name + "'");
+  }
+  return it->second;
+}
+
+std::shared_ptr<Schema> Schema::Project(
+    const std::vector<size_t>& indices) const {
+  std::vector<Field> projected;
+  projected.reserve(indices.size());
+  for (size_t i : indices) projected.push_back(fields_[i]);
+  return Schema::Make(std::move(projected));
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ":";
+    out += DataTypeToString(fields_[i].type);
+  }
+  return out;
+}
+
+}  // namespace nodb

@@ -1,0 +1,64 @@
+#ifndef NODB_TYPES_SCHEMA_H_
+#define NODB_TYPES_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "types/data_type.h"
+#include "util/result.h"
+
+namespace nodb {
+
+/// One column: name and type.
+struct Field {
+  std::string name;
+  DataType type;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// Ordered list of fields with O(1) name lookup.
+///
+/// Schemas are immutable after construction and shared via shared_ptr
+/// between the catalog, planner and operators.
+class Schema {
+ public:
+  explicit Schema(std::vector<Field> fields);
+
+  static std::shared_ptr<Schema> Make(std::vector<Field> fields) {
+    return std::make_shared<Schema>(std::move(fields));
+  }
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of `name`, or NotFound.
+  Result<size_t> FieldIndex(const std::string& name) const;
+
+  bool HasField(const std::string& name) const {
+    return index_.count(name) > 0;
+  }
+
+  /// Schema restricted to `indices`, in that order.
+  std::shared_ptr<Schema> Project(const std::vector<size_t>& indices) const;
+
+  /// "name:TYPE, name:TYPE, ...".
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
+
+ private:
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_TYPES_SCHEMA_H_

@@ -1,0 +1,41 @@
+#include "types/value.h"
+
+#include <cassert>
+#include <cstdio>
+
+#include "types/date_util.h"
+
+namespace nodb {
+
+double Value::AsDouble() const {
+  if (is_int64()) return static_cast<double>(int64());
+  if (is_double()) return dbl();
+  if (is_date()) return static_cast<double>(date_days());
+  assert(false && "AsDouble on non-numeric Value");
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (payload_.index()) {
+    case 0:
+      return "NULL";
+    case 1:
+      return std::to_string(std::get<1>(payload_));
+    case 2: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", std::get<2>(payload_));
+      return buf;
+    }
+    case 3:
+      return std::get<3>(payload_);
+    case 4:
+      return FormatDate(std::get<4>(payload_));
+  }
+  return "?";
+}
+
+bool Value::operator==(const Value& other) const {
+  return payload_ == other.payload_;
+}
+
+}  // namespace nodb

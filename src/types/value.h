@@ -1,0 +1,67 @@
+#ifndef NODB_TYPES_VALUE_H_
+#define NODB_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "types/data_type.h"
+
+namespace nodb {
+
+/// A scalar SQL value: NULL, INT, DOUBLE, STRING or DATE.
+///
+/// Values appear at the engine edges — literals in queries and cells of
+/// materialized result rows. The execution hot path works on columnar
+/// vectors instead (see ColumnVector).
+class Value {
+ public:
+  /// NULL value.
+  Value() = default;
+
+  static Value Null() { return Value(); }
+  static Value Int64(int64_t v) { return Value(Payload(std::in_place_index<1>, v)); }
+  static Value Double(double v) { return Value(Payload(std::in_place_index<2>, v)); }
+  static Value String(std::string v) {
+    return Value(Payload(std::in_place_index<3>, std::move(v)));
+  }
+  /// Days since the Unix epoch.
+  static Value Date(int64_t days) {
+    return Value(Payload(std::in_place_index<4>, days));
+  }
+
+  bool is_null() const { return payload_.index() == 0; }
+  bool is_int64() const { return payload_.index() == 1; }
+  bool is_double() const { return payload_.index() == 2; }
+  bool is_string() const { return payload_.index() == 3; }
+  bool is_date() const { return payload_.index() == 4; }
+
+  int64_t int64() const { return std::get<1>(payload_); }
+  double dbl() const { return std::get<2>(payload_); }
+  const std::string& str() const { return std::get<3>(payload_); }
+  int64_t date_days() const { return std::get<4>(payload_); }
+
+  /// Numeric view of INT/DOUBLE/DATE (asserts otherwise).
+  double AsDouble() const;
+
+  /// SQL-style rendering; NULL renders as "NULL", dates as YYYY-MM-DD.
+  std::string ToString() const;
+
+  /// Structural equality (NULL == NULL here, unlike SQL semantics —
+  /// this is the test/result-comparison notion of equality).
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+ private:
+  /// monostate=NULL, int64, double, string, date-days.
+  using Payload =
+      std::variant<std::monostate, int64_t, double, std::string, int64_t>;
+
+  explicit Value(Payload payload) : payload_(std::move(payload)) {}
+
+  Payload payload_;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_TYPES_VALUE_H_

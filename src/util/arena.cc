@@ -1,0 +1,54 @@
+#include "util/arena.h"
+
+#include <cstring>
+
+namespace nodb {
+
+char* Arena::Allocate(size_t size, size_t align) {
+  if (size == 0) size = 1;
+  uintptr_t cur = reinterpret_cast<uintptr_t>(cursor_);
+  size_t pad = (align - (cur & (align - 1))) & (align - 1);
+  if (pad + size > remaining_) {
+    // Oversized requests get a dedicated block so we do not strand the
+    // tail of the current block.
+    if (size > block_size_ / 2) {
+      char* ptr = AllocateNewBlock(size);
+      bytes_allocated_ += size;
+      return ptr;
+    }
+    cursor_ = AllocateNewBlock(block_size_);
+    remaining_ = block_size_;
+    pad = 0;
+  }
+  char* ptr = cursor_ + pad;
+  cursor_ = ptr + size;
+  remaining_ -= pad + size;
+  bytes_allocated_ += size;
+  return ptr;
+}
+
+char* Arena::CopyBytes(const char* data, size_t size) {
+  char* dst = Allocate(size, 1);
+  std::memcpy(dst, data, size);
+  return dst;
+}
+
+char* Arena::AllocateNewBlock(size_t size) {
+  Block block;
+  block.data = std::make_unique<char[]>(size);
+  block.size = size;
+  bytes_reserved_ += size;
+  char* ptr = block.data.get();
+  blocks_.push_back(std::move(block));
+  return ptr;
+}
+
+void Arena::Reset() {
+  blocks_.clear();
+  cursor_ = nullptr;
+  remaining_ = 0;
+  bytes_allocated_ = 0;
+  bytes_reserved_ = 0;
+}
+
+}  // namespace nodb

@@ -1,0 +1,60 @@
+#ifndef NODB_UTIL_ARENA_H_
+#define NODB_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace nodb {
+
+/// Bump-pointer allocator for short-lived, same-lifetime allocations.
+///
+/// Used by the CSV parser and cache to hold variable-length string
+/// payloads without per-value heap traffic. Memory is reclaimed all at
+/// once by destroying or Reset()ing the arena; individual frees are not
+/// supported. Not thread-safe.
+class Arena {
+ public:
+  static constexpr size_t kDefaultBlockSize = 64 * 1024;
+
+  explicit Arena(size_t block_size = kDefaultBlockSize)
+      : block_size_(block_size) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `size` bytes aligned to `align` (a power of two).
+  char* Allocate(size_t size, size_t align = alignof(std::max_align_t));
+
+  /// Copies [data, data+size) into the arena and returns the copy.
+  char* CopyBytes(const char* data, size_t size);
+
+  /// Total bytes handed out to callers since construction/Reset.
+  size_t bytes_allocated() const { return bytes_allocated_; }
+
+  /// Total bytes reserved from the heap (>= bytes_allocated()).
+  size_t bytes_reserved() const { return bytes_reserved_; }
+
+  /// Frees every block and returns the arena to its initial state.
+  void Reset();
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+  };
+
+  char* AllocateNewBlock(size_t size);
+
+  size_t block_size_;
+  std::vector<Block> blocks_;
+  char* cursor_ = nullptr;
+  size_t remaining_ = 0;
+  size_t bytes_allocated_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_UTIL_ARENA_H_

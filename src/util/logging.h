@@ -1,0 +1,68 @@
+#ifndef NODB_UTIL_LOGGING_H_
+#define NODB_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace nodb {
+
+/// Severity for the minimal logging facility.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message);
+
+/// Stream-collecting helper behind the NODB_LOG macro.
+class LogCapture {
+ public:
+  LogCapture(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogCapture() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogCapture& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+}  // namespace internal
+}  // namespace nodb
+
+#define NODB_LOG(level)                                              \
+  ::nodb::internal::LogCapture(::nodb::LogLevel::k##level, __FILE__, \
+                               __LINE__)
+
+/// Fatal invariant check, active in all build modes.
+#define NODB_CHECK(expr)                                            \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::nodb::internal::CheckFailed(__FILE__, __LINE__, #expr, ""); \
+    }                                                               \
+  } while (false)
+
+#define NODB_CHECK_MSG(expr, msg)                                      \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::nodb::internal::CheckFailed(__FILE__, __LINE__, #expr, (msg)); \
+    }                                                                  \
+  } while (false)
+
+#endif  // NODB_UTIL_LOGGING_H_

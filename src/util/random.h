@@ -1,0 +1,63 @@
+#ifndef NODB_UTIL_RANDOM_H_
+#define NODB_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nodb {
+
+/// Deterministic xorshift128+ PRNG.
+///
+/// Used everywhere randomness is needed (data generation, property test
+/// sweeps, sampling) so that runs are reproducible from a seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 42);
+
+  /// Uniform in [0, 2^64).
+  uint64_t NextUint64();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// Random ASCII lowercase string of exactly `len` characters.
+  std::string NextString(size_t len);
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+/// Zipf-distributed integer generator over [0, n).
+///
+/// Uses the standard rejection-free inverse-CDF-over-precomputed-weights
+/// approach; construction is O(n), sampling O(log n). Models the skewed
+/// attribute popularity used in the adaptation/cache experiments.
+class ZipfGenerator {
+ public:
+  /// theta=0 degenerates to uniform; typical skew is 0.5-1.2.
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed = 42);
+
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  Random rng_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_UTIL_RANDOM_H_

@@ -1,0 +1,85 @@
+#ifndef NODB_UTIL_RESULT_H_
+#define NODB_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace nodb {
+
+/// A value-or-Status, in the Arrow idiom.
+///
+/// Result<T> holds either a T (status is OK) or a non-OK Status. Access
+/// to the value when !ok() is a programming error checked by assert.
+template <typename T>
+class Result {
+ public:
+  /// Implicit so functions can `return value;`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  /// Implicit so functions can `return Status::...(...)`. Must be non-OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK Status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() {
+    assert(ok());
+    return &*value_;
+  }
+  const T* operator->() const {
+    assert(ok());
+    return &*value_;
+  }
+
+  /// Returns the value, or `fallback` when this Result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace nodb
+
+/// Assigns the value of a Result expression to `lhs`, propagating errors.
+#define NODB_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  NODB_ASSIGN_OR_RETURN_IMPL_(                                 \
+      NODB_CONCAT_(_nodb_result, __LINE__), lhs, rexpr)
+
+#define NODB_CONCAT_INNER_(a, b) a##b
+#define NODB_CONCAT_(a, b) NODB_CONCAT_INNER_(a, b)
+#define NODB_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#endif  // NODB_UTIL_RESULT_H_

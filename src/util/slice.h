@@ -1,0 +1,64 @@
+#ifndef NODB_UTIL_SLICE_H_
+#define NODB_UTIL_SLICE_H_
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace nodb {
+
+/// A non-owning view over a byte range, in the RocksDB idiom.
+///
+/// Slice is used where the viewed bytes may be raw (not guaranteed to be
+/// text) and where we want explicit pointer/size access for parser hot
+/// loops. It converts to/from std::string_view freely.
+class Slice {
+ public:
+  Slice() : data_(""), size_(0) {}
+  Slice(const char* data, size_t size) : data_(data), size_(size) {}
+  Slice(const std::string& s)  // NOLINT(google-explicit-constructor)
+      : data_(s.data()), size_(s.size()) {}
+  Slice(std::string_view s)  // NOLINT(google-explicit-constructor)
+      : data_(s.data()), size_(s.size()) {}
+  Slice(const char* s) : data_(s), size_(std::strlen(s)) {}
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t i) const { return data_[i]; }
+
+  /// Drops the first n bytes (n must be <= size()).
+  void RemovePrefix(size_t n) {
+    data_ += n;
+    size_ -= n;
+  }
+
+  /// Returns the sub-slice [offset, offset+len), clamped to the end.
+  Slice SubSlice(size_t offset, size_t len) const {
+    if (offset >= size_) return Slice(data_ + size_, 0);
+    if (len > size_ - offset) len = size_ - offset;
+    return Slice(data_ + offset, len);
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view view() const { return std::string_view(data_, size_); }
+  operator std::string_view() const {  // NOLINT
+    return view();
+  }
+
+  bool operator==(const Slice& other) const {
+    return size_ == other.size_ &&
+           (size_ == 0 || std::memcmp(data_, other.data_, size_) == 0);
+  }
+  bool operator!=(const Slice& other) const { return !(*this == other); }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_UTIL_SLICE_H_

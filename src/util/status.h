@@ -1,0 +1,105 @@
+#ifndef NODB_UTIL_STATUS_H_
+#define NODB_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace nodb {
+
+/// Error category for a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kIOError,
+  kParseError,
+  kOutOfRange,
+  kNotImplemented,
+  kInternal,
+};
+
+/// Returns the canonical lowercase name of a status code, e.g. "IOError".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Outcome of an operation that can fail, in the Arrow/RocksDB idiom.
+///
+/// A Status is either OK (the common, cheap case: a single enum compare)
+/// or carries a code plus a human-readable message. Functions on hot
+/// paths return Status instead of throwing; callers either handle the
+/// failure or propagate it with NODB_RETURN_NOT_OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsNotImplemented() const {
+    return code_ == StatusCode::kNotImplemented;
+  }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace nodb
+
+/// Propagates a non-OK Status to the caller.
+#define NODB_RETURN_NOT_OK(expr)                   \
+  do {                                             \
+    ::nodb::Status _nodb_status = (expr);          \
+    if (!_nodb_status.ok()) return _nodb_status;   \
+  } while (false)
+
+#endif  // NODB_UTIL_STATUS_H_

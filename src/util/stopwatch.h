@@ -1,0 +1,51 @@
+#ifndef NODB_UTIL_STOPWATCH_H_
+#define NODB_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace nodb {
+
+/// Monotonic wall-clock stopwatch with nanosecond resolution.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Nanoseconds elapsed since construction or the last Restart().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  double ElapsedMicros() const { return ElapsedNanos() / 1e3; }
+  double ElapsedMillis() const { return ElapsedNanos() / 1e6; }
+  double ElapsedSeconds() const { return ElapsedNanos() / 1e9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time into a caller-owned counter on destruction.
+///
+/// Usage on hot paths:
+///   { ScopedTimer t(&metrics.tokenize_ns);  ... tokenize ... }
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(int64_t* sink) : sink_(sink) {}
+  ~ScopedTimer() { *sink_ += watch_.ElapsedNanos(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  int64_t* sink_;
+  Stopwatch watch_;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_UTIL_STOPWATCH_H_

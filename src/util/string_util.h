@@ -1,0 +1,37 @@
+#ifndef NODB_UTIL_STRING_UTIL_H_
+#define NODB_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nodb {
+
+/// Splits `s` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimView(std::string_view s);
+
+/// ASCII lowercase copy.
+std::string ToLowerAscii(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// "1.2 KiB", "3.4 MiB", ... for human-readable sizes.
+std::string FormatBytes(uint64_t bytes);
+
+/// "12.3 ms", "1.20 s", ... for human-readable durations.
+std::string FormatNanos(int64_t nanos);
+
+/// True when `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace nodb
+
+#endif  // NODB_UTIL_STRING_UTIL_H_

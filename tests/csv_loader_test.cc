@@ -1,0 +1,117 @@
+// Tests for the bulk CSV loader (the conventional engine's COPY phase).
+
+#include <gtest/gtest.h>
+
+#include "engines/csv_loader.h"
+#include "io/file.h"
+#include "io/temp_dir.h"
+
+namespace nodb {
+namespace {
+
+class CsvLoaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = TempDir::Create("nodb-loader");
+    ASSERT_TRUE(dir.ok());
+    dir_ = std::make_unique<TempDir>(std::move(*dir));
+  }
+  std::unique_ptr<TempDir> dir_;
+};
+
+TEST_F(CsvLoaderTest, LoadsAllTypesAndNulls) {
+  std::string path = dir_->FilePath("t.csv");
+  ASSERT_TRUE(WriteStringToFile(path,
+                                "1,1.5,ada,1994-01-02\n"
+                                ",,,\n"
+                                "-3,2e2,bob,1999-12-31\n")
+                  .ok());
+  auto schema = Schema::Make({{"i", DataType::kInt64},
+                              {"d", DataType::kDouble},
+                              {"s", DataType::kString},
+                              {"t", DataType::kDate}});
+  LoadStats stats;
+  auto table = LoadCsv(path, schema, CsvDialect(), &stats);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  ASSERT_EQ((*table)->num_rows(), 3u);
+  EXPECT_EQ(stats.rows, 3u);
+  EXPECT_GT(stats.elapsed_ns, 0);
+  EXPECT_EQ((*table)->column(0).GetInt64(0), 1);
+  EXPECT_TRUE((*table)->column(0).IsNull(1));
+  EXPECT_TRUE((*table)->column(2).IsNull(1));
+  EXPECT_EQ((*table)->column(0).GetInt64(2), -3);
+  EXPECT_DOUBLE_EQ((*table)->column(1).GetDouble(2), 200.0);
+  EXPECT_EQ((*table)->column(2).GetString(2), "bob");
+  EXPECT_EQ((*table)->column(3).GetValue(2).ToString(), "1999-12-31");
+}
+
+TEST_F(CsvLoaderTest, HeaderSkippedAndPipeDialect) {
+  std::string path = dir_->FilePath("h.csv");
+  ASSERT_TRUE(WriteStringToFile(path, "a|b\n1|2\n3|4\n").ok());
+  auto schema = Schema::Make({{"a", DataType::kInt64},
+                              {"b", DataType::kInt64}});
+  CsvDialect dialect = CsvDialect::Pipe();
+  dialect.has_header = true;
+  auto table = LoadCsv(path, schema, dialect);
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ((*table)->num_rows(), 2u);
+  EXPECT_EQ((*table)->column(1).GetInt64(1), 4);
+}
+
+TEST_F(CsvLoaderTest, ErrorsCarryRowAndColumn) {
+  std::string path = dir_->FilePath("bad.csv");
+  ASSERT_TRUE(WriteStringToFile(path, "1,2\n3,oops\n").ok());
+  auto schema = Schema::Make({{"a", DataType::kInt64},
+                              {"b", DataType::kInt64}});
+  auto table = LoadCsv(path, schema, CsvDialect());
+  ASSERT_FALSE(table.ok());
+  EXPECT_TRUE(table.status().IsParseError());
+  EXPECT_NE(table.status().message().find("row 1"), std::string::npos);
+  EXPECT_NE(table.status().message().find("column b"), std::string::npos);
+}
+
+TEST_F(CsvLoaderTest, ShortRowRejected) {
+  std::string path = dir_->FilePath("short.csv");
+  ASSERT_TRUE(WriteStringToFile(path, "1,2,3\n4,5\n").ok());
+  auto schema = Schema::Make({{"a", DataType::kInt64},
+                              {"b", DataType::kInt64},
+                              {"c", DataType::kInt64}});
+  auto table = LoadCsv(path, schema, CsvDialect());
+  ASSERT_FALSE(table.ok());
+  EXPECT_TRUE(table.status().IsParseError());
+}
+
+TEST_F(CsvLoaderTest, EmptyFileLoadsZeroRows) {
+  std::string path = dir_->FilePath("empty.csv");
+  ASSERT_TRUE(WriteStringToFile(path, "").ok());
+  auto schema = Schema::Make({{"a", DataType::kInt64}});
+  auto table = LoadCsv(path, schema, CsvDialect());
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_rows(), 0u);
+}
+
+TEST_F(CsvLoaderTest, QuotedFieldsDecoded) {
+  std::string path = dir_->FilePath("q.csv");
+  ASSERT_TRUE(
+      WriteStringToFile(path, "1,\"a,b\"\n2,\"say \"\"hi\"\"\"\n").ok());
+  auto schema = Schema::Make({{"a", DataType::kInt64},
+                              {"s", DataType::kString}});
+  auto table = LoadCsv(path, schema, CsvDialect::QuotedCsv());
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ((*table)->column(1).GetString(0), "a,b");
+  EXPECT_EQ((*table)->column(1).GetString(1), "say \"hi\"");
+}
+
+TEST_F(CsvLoaderTest, NoTrailingNewline) {
+  std::string path = dir_->FilePath("nonl.csv");
+  ASSERT_TRUE(WriteStringToFile(path, "1,2\n3,4").ok());
+  auto schema = Schema::Make({{"a", DataType::kInt64},
+                              {"b", DataType::kInt64}});
+  auto table = LoadCsv(path, schema, CsvDialect());
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ((*table)->num_rows(), 2u);
+  EXPECT_EQ((*table)->column(1).GetInt64(1), 4);
+}
+
+}  // namespace
+}  // namespace nodb

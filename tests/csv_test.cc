@@ -1,0 +1,332 @@
+// Unit and property tests for the CSV machinery: tokenizer (including
+// the incremental ScanStarts contract the positional map relies on),
+// field decoding, value parsing and the writer.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "csv/csv_writer.h"
+#include "csv/dialect.h"
+#include "csv/tokenizer.h"
+#include "csv/value_parser.h"
+#include "io/file.h"
+#include "io/temp_dir.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace nodb {
+namespace {
+
+/// Reference splitter: straightforward, obviously-correct field
+/// extraction honoring quoting. Property tests compare the production
+/// tokenizer against this.
+std::vector<std::string> ReferenceSplit(const std::string& line,
+                                        const CsvDialect& d) {
+  std::vector<std::string> fields;
+  std::string cur;
+  size_t i = 0;
+  while (true) {
+    if (d.allow_quoting && i < line.size() && line[i] == d.quote) {
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == d.quote) {
+          if (i + 1 < line.size() && line[i + 1] == d.quote) {
+            cur.push_back(d.quote);
+            i += 2;
+          } else {
+            ++i;
+            break;
+          }
+        } else {
+          cur.push_back(line[i++]);
+        }
+      }
+      // Trailing garbage after the closing quote is kept verbatim.
+      while (i < line.size() && line[i] != d.delimiter) cur.push_back(line[i++]);
+    } else {
+      while (i < line.size() && line[i] != d.delimiter) cur.push_back(line[i++]);
+    }
+    fields.push_back(cur);
+    cur.clear();
+    if (i >= line.size()) break;
+    ++i;  // skip delimiter
+  }
+  return fields;
+}
+
+/// Extracts field `f` using the production tokenizer's span convention.
+std::string TokenizedField(const CsvTokenizer& tok, const std::string& line,
+                           const std::vector<uint32_t>& starts, size_t f,
+                           std::string* scratch) {
+  Slice raw = CsvTokenizer::RawField(line, starts[f], starts[f + 1]);
+  return tok.DecodeField(raw, scratch).ToString();
+}
+
+TEST(TokenizerTest, SimpleCommaLine) {
+  CsvTokenizer tok{CsvDialect()};
+  std::vector<uint32_t> starts;
+  uint32_t n = tok.TokenizeLine("a,bb,ccc", &starts);
+  ASSERT_EQ(n, 3u);
+  ASSERT_EQ(starts.size(), 4u);
+  EXPECT_EQ(starts[0], 0u);
+  EXPECT_EQ(starts[1], 2u);
+  EXPECT_EQ(starts[2], 5u);
+  EXPECT_EQ(starts[3], 9u);  // virtual: line size + 1
+  std::string scratch;
+  EXPECT_EQ(TokenizedField(tok, "a,bb,ccc", starts, 0, &scratch), "a");
+  EXPECT_EQ(TokenizedField(tok, "a,bb,ccc", starts, 1, &scratch), "bb");
+  EXPECT_EQ(TokenizedField(tok, "a,bb,ccc", starts, 2, &scratch), "ccc");
+}
+
+TEST(TokenizerTest, EmptyFieldsPreserved) {
+  CsvTokenizer tok{CsvDialect()};
+  std::vector<uint32_t> starts;
+  EXPECT_EQ(tok.TokenizeLine(",,", &starts), 3u);
+  EXPECT_EQ(tok.TokenizeLine("", &starts), 1u);
+  std::string scratch;
+  tok.TokenizeLine("a,,b", &starts);
+  EXPECT_EQ(TokenizedField(tok, "a,,b", starts, 1, &scratch), "");
+}
+
+TEST(TokenizerTest, SelectiveScanStopsAtRequestedField) {
+  CsvTokenizer tok{CsvDialect()};
+  std::string line = "0,1,2,3,4,5,6,7,8,9";
+  std::vector<uint32_t> starts(12);
+  // Ask for the start of field 4 only (enough to slice field 3).
+  uint32_t high = tok.ScanStarts(line, 0, 0, 4, starts.data());
+  EXPECT_EQ(high, 4u);
+  EXPECT_EQ(starts[3], 6u);
+  EXPECT_EQ(starts[4], 8u);
+}
+
+TEST(TokenizerTest, ScanResumesFromMidRowAnchor) {
+  CsvTokenizer tok{CsvDialect()};
+  std::string line = "aaa,bb,c,dddd,ee";
+  // Caller knows field 2 starts at offset 7 (a positional-map anchor).
+  std::vector<uint32_t> starts(8);
+  uint32_t high = tok.ScanStarts(line, 2, 7, 4, starts.data());
+  EXPECT_EQ(high, 4u);
+  EXPECT_EQ(starts[2], 7u);
+  EXPECT_EQ(starts[3], 9u);
+  EXPECT_EQ(starts[4], 14u);
+  std::string scratch;
+  EXPECT_EQ(TokenizedField(tok, line, starts, 3, &scratch), "dddd");
+}
+
+TEST(TokenizerTest, ExhaustedLineReportsFieldCount) {
+  CsvTokenizer tok{CsvDialect()};
+  std::string line = "x,y";
+  std::vector<uint32_t> starts(10);
+  uint32_t high = tok.ScanStarts(line, 0, 0, 7, starts.data());
+  EXPECT_EQ(high, 2u);  // only two fields exist
+  EXPECT_EQ(starts[2], line.size() + 1);
+}
+
+TEST(TokenizerTest, QuotedFieldWithEmbeddedDelimiter) {
+  CsvTokenizer tok{CsvDialect::QuotedCsv()};
+  std::string line = "a,\"x,y\",b";
+  std::vector<uint32_t> starts;
+  ASSERT_EQ(tok.TokenizeLine(line, &starts), 3u);
+  std::string scratch;
+  EXPECT_EQ(TokenizedField(tok, line, starts, 1, &scratch), "x,y");
+  EXPECT_EQ(TokenizedField(tok, line, starts, 2, &scratch), "b");
+}
+
+TEST(TokenizerTest, QuotedFieldWithEscapedQuotes) {
+  CsvTokenizer tok{CsvDialect::QuotedCsv()};
+  std::string line = "\"he said \"\"hi\"\"\",2";
+  std::vector<uint32_t> starts;
+  ASSERT_EQ(tok.TokenizeLine(line, &starts), 2u);
+  std::string scratch;
+  EXPECT_EQ(TokenizedField(tok, line, starts, 0, &scratch),
+            "he said \"hi\"");
+}
+
+TEST(TokenizerTest, QuotingDisabledTreatsQuoteAsData) {
+  CsvTokenizer tok{CsvDialect()};  // allow_quoting = false
+  std::string line = "\"a,b\"";
+  std::vector<uint32_t> starts;
+  ASSERT_EQ(tok.TokenizeLine(line, &starts), 2u);
+  std::string scratch;
+  EXPECT_EQ(TokenizedField(tok, line, starts, 0, &scratch), "\"a");
+}
+
+/// Property sweep: tokenizer vs. the reference splitter over random
+/// lines in several dialects.
+struct DialectCase {
+  char delimiter;
+  bool quoting;
+};
+
+class TokenizerProperty : public ::testing::TestWithParam<DialectCase> {};
+
+TEST_P(TokenizerProperty, MatchesReferenceOnRandomLines) {
+  DialectCase param = GetParam();
+  CsvDialect dialect;
+  dialect.delimiter = param.delimiter;
+  dialect.allow_quoting = param.quoting;
+  CsvTokenizer tok(dialect);
+  Random rng(static_cast<uint64_t>(param.delimiter) * 31 + param.quoting);
+
+  for (int iter = 0; iter < 300; ++iter) {
+    // Build a line from random fields; write them with proper quoting.
+    size_t nfields = 1 + rng.Uniform(8);
+    std::vector<std::string> fields;
+    std::string line;
+    for (size_t f = 0; f < nfields; ++f) {
+      std::string field;
+      size_t len = rng.Uniform(12);
+      for (size_t i = 0; i < len; ++i) {
+        // Bias towards tricky characters.
+        switch (rng.Uniform(6)) {
+          case 0:
+            field.push_back(param.quoting ? param.delimiter : 'd');
+            break;
+          case 1:
+            field.push_back(param.quoting ? '"' : 'q');
+            break;
+          default:
+            field.push_back(static_cast<char>('a' + rng.Uniform(26)));
+        }
+      }
+      fields.push_back(field);
+      if (f > 0) line.push_back(param.delimiter);
+      bool needs_quote =
+          param.quoting &&
+          (field.find(param.delimiter) != std::string::npos ||
+           field.find('"') != std::string::npos);
+      if (needs_quote) {
+        line.push_back('"');
+        for (char c : field) {
+          line.push_back(c);
+          if (c == '"') line.push_back('"');
+        }
+        line.push_back('"');
+      } else {
+        line += field;
+      }
+    }
+
+    auto expected = ReferenceSplit(line, dialect);
+    std::vector<uint32_t> starts;
+    uint32_t n = tok.TokenizeLine(line, &starts);
+    ASSERT_EQ(n, expected.size()) << "line: " << line;
+    std::string scratch;
+    for (size_t f = 0; f < n; ++f) {
+      EXPECT_EQ(TokenizedField(tok, line, starts, f, &scratch),
+                expected[f])
+          << "line: " << line << " field " << f;
+    }
+    // Incremental scans agree with the full tokenize at every anchor.
+    for (size_t f = 0; f + 1 < n; ++f) {
+      std::vector<uint32_t> partial(starts.size() + 2);
+      uint32_t high = tok.ScanStarts(line, static_cast<uint32_t>(f),
+                                     starts[f],
+                                     static_cast<uint32_t>(n),
+                                     partial.data());
+      ASSERT_EQ(high, n);
+      for (size_t g = f; g <= n; ++g) {
+        EXPECT_EQ(partial[g], starts[g]) << "anchor " << f << " field " << g;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dialects, TokenizerProperty,
+    ::testing::Values(DialectCase{',', false}, DialectCase{'|', false},
+                      DialectCase{'\t', false}, DialectCase{',', true},
+                      DialectCase{';', true}));
+
+// ------------------------------------------------------------- ValueParser
+
+TEST(ValueParserTest, Integers) {
+  EXPECT_EQ(*ValueParser::ParseInt64("42"), 42);
+  EXPECT_EQ(*ValueParser::ParseInt64("-7"), -7);
+  EXPECT_EQ(*ValueParser::ParseInt64("0001"), 1);
+  EXPECT_FALSE(ValueParser::ParseInt64("").ok());
+  EXPECT_FALSE(ValueParser::ParseInt64("4x").ok());
+  EXPECT_FALSE(ValueParser::ParseInt64("4.5").ok());
+  EXPECT_FALSE(ValueParser::ParseInt64(" 4").ok());
+  EXPECT_FALSE(
+      ValueParser::ParseInt64("99999999999999999999").ok());  // overflow
+}
+
+TEST(ValueParserTest, Doubles) {
+  EXPECT_DOUBLE_EQ(*ValueParser::ParseDouble("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(*ValueParser::ParseDouble("-2e3"), -2000.0);
+  EXPECT_DOUBLE_EQ(*ValueParser::ParseDouble("7"), 7.0);
+  EXPECT_FALSE(ValueParser::ParseDouble("abc").ok());
+  EXPECT_FALSE(ValueParser::ParseDouble("1.5x").ok());
+}
+
+TEST(ValueParserTest, ParseIntoHandlesNullsAndTypes) {
+  ColumnVector ints(DataType::kInt64);
+  ASSERT_TRUE(ValueParser::ParseInto("5", DataType::kInt64, &ints).ok());
+  ASSERT_TRUE(ValueParser::ParseInto("", DataType::kInt64, &ints).ok());
+  EXPECT_EQ(ints.GetInt64(0), 5);
+  EXPECT_TRUE(ints.IsNull(1));
+
+  ColumnVector dates(DataType::kDate);
+  ASSERT_TRUE(
+      ValueParser::ParseInto("1994-02-01", DataType::kDate, &dates).ok());
+  EXPECT_EQ(dates.GetValue(0).ToString(), "1994-02-01");
+  EXPECT_FALSE(
+      ValueParser::ParseInto("not-a-date", DataType::kDate, &dates).ok());
+
+  ColumnVector strs(DataType::kString);
+  ASSERT_TRUE(ValueParser::ParseInto("text", DataType::kString, &strs).ok());
+  EXPECT_EQ(strs.GetString(0), "text");
+}
+
+// --------------------------------------------------------------- CsvWriter
+
+TEST(CsvWriterTest, WriteThenTokenizeRoundTrips) {
+  auto dir = TempDir::Create("nodb-csv");
+  ASSERT_TRUE(dir.ok());
+  std::string path = dir->FilePath("out.csv");
+  CsvDialect dialect = CsvDialect::QuotedCsv();
+  {
+    auto file = OpenWritableFile(path);
+    ASSERT_TRUE(file.ok());
+    CsvWriter writer(std::move(*file), dialect);
+    ASSERT_TRUE(writer.WriteRecord({"plain", "with,comma", "with\"quote"})
+                    .ok());
+    ASSERT_TRUE(writer.WriteRecord({"", "last"}).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  auto lines = SplitString(*content, '\n');
+  ASSERT_GE(lines.size(), 2u);
+  CsvTokenizer tok(dialect);
+  std::vector<uint32_t> starts;
+  std::string scratch;
+  ASSERT_EQ(tok.TokenizeLine(lines[0], &starts), 3u);
+  EXPECT_EQ(TokenizedField(tok, lines[0], starts, 0, &scratch), "plain");
+  EXPECT_EQ(TokenizedField(tok, lines[0], starts, 1, &scratch),
+            "with,comma");
+  EXPECT_EQ(TokenizedField(tok, lines[0], starts, 2, &scratch),
+            "with\"quote");
+  ASSERT_EQ(tok.TokenizeLine(lines[1], &starts), 2u);
+  EXPECT_EQ(TokenizedField(tok, lines[1], starts, 0, &scratch), "");
+}
+
+TEST(CsvWriterTest, BuffersAndCountsBytes) {
+  auto dir = TempDir::Create("nodb-csv");
+  ASSERT_TRUE(dir.ok());
+  std::string path = dir->FilePath("buf.csv");
+  auto file = OpenWritableFile(path);
+  ASSERT_TRUE(file.ok());
+  CsvWriter writer(std::move(*file), CsvDialect(), /*buffer_bytes=*/64);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(writer.WriteRecord({"aaaa", "bbbb"}).ok());
+  }
+  ASSERT_TRUE(writer.Close().ok());
+  EXPECT_EQ(*GetFileSize(path), 100u * 10u);
+}
+
+}  // namespace
+}  // namespace nodb

@@ -1,0 +1,204 @@
+// Tests for the workload generators: the synthetic CSV generator (the
+// demo GUI's knobs) and the TPC-H-shaped generators.
+
+#include <gtest/gtest.h>
+
+#include "csv/tokenizer.h"
+#include "datagen/synthetic.h"
+#include "datagen/tpch.h"
+#include "io/file.h"
+#include "io/temp_dir.h"
+#include "types/date_util.h"
+#include "util/string_util.h"
+
+namespace nodb {
+namespace {
+
+class DatagenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = TempDir::Create("nodb-datagen");
+    ASSERT_TRUE(dir.ok());
+    dir_ = std::make_unique<TempDir>(std::move(*dir));
+  }
+  std::unique_ptr<TempDir> dir_;
+};
+
+TEST_F(DatagenTest, SchemaCyclesThroughEnabledTypes) {
+  SyntheticSpec spec;
+  spec.num_attributes = 8;
+  spec.ints_per_cycle = 1;
+  spec.doubles_per_cycle = 1;
+  spec.strings_per_cycle = 1;
+  spec.dates_per_cycle = 1;
+  auto schema = spec.MakeSchema();
+  ASSERT_EQ(schema->num_fields(), 8u);
+  EXPECT_EQ(schema->field(0).type, DataType::kInt64);
+  EXPECT_EQ(schema->field(1).type, DataType::kDouble);
+  EXPECT_EQ(schema->field(2).type, DataType::kString);
+  EXPECT_EQ(schema->field(3).type, DataType::kDate);
+  EXPECT_EQ(schema->field(4).type, DataType::kInt64);
+  EXPECT_EQ(schema->field(0).name, "attr0");
+}
+
+TEST_F(DatagenTest, FileShapeMatchesSpec) {
+  SyntheticSpec spec;
+  spec.num_tuples = 100;
+  spec.num_attributes = 5;
+  spec.attribute_width = 6;
+  std::string path = dir_->FilePath("s.csv");
+  auto bytes = GenerateSyntheticCsv(path, spec, CsvDialect());
+  ASSERT_TRUE(bytes.ok());
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  auto lines = SplitString(*content, '\n');
+  // Trailing newline yields one empty final entry.
+  ASSERT_EQ(lines.size(), 101u);
+  EXPECT_TRUE(lines.back().empty());
+  CsvTokenizer tok{CsvDialect()};
+  std::vector<uint32_t> starts;
+  for (size_t i = 0; i < 100; ++i) {
+    ASSERT_EQ(tok.TokenizeLine(lines[i], &starts), 5u) << "line " << i;
+    // All-int default: each field is exactly `attribute_width` chars.
+    for (size_t f = 0; f < 5; ++f) {
+      EXPECT_EQ(starts[f + 1] - 1 - starts[f], 6u);
+    }
+  }
+}
+
+TEST_F(DatagenTest, DeterministicBySeed) {
+  SyntheticSpec spec;
+  spec.num_tuples = 50;
+  spec.num_attributes = 3;
+  std::string p1 = dir_->FilePath("a.csv");
+  std::string p2 = dir_->FilePath("b.csv");
+  ASSERT_TRUE(GenerateSyntheticCsv(p1, spec, CsvDialect()).ok());
+  ASSERT_TRUE(GenerateSyntheticCsv(p2, spec, CsvDialect()).ok());
+  EXPECT_EQ(*ReadFileToString(p1), *ReadFileToString(p2));
+  spec.seed = 43;
+  std::string p3 = dir_->FilePath("c.csv");
+  ASSERT_TRUE(GenerateSyntheticCsv(p3, spec, CsvDialect()).ok());
+  EXPECT_NE(*ReadFileToString(p1), *ReadFileToString(p3));
+}
+
+TEST_F(DatagenTest, HeaderRowWhenDialectAsks) {
+  SyntheticSpec spec;
+  spec.num_tuples = 2;
+  spec.num_attributes = 3;
+  CsvDialect dialect;
+  dialect.has_header = true;
+  std::string path = dir_->FilePath("h.csv");
+  ASSERT_TRUE(GenerateSyntheticCsv(path, spec, dialect).ok());
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_TRUE(StartsWith(*content, "attr0,attr1,attr2\n"));
+}
+
+TEST_F(DatagenTest, NullFractionProducesEmptyFields) {
+  SyntheticSpec spec;
+  spec.num_tuples = 500;
+  spec.num_attributes = 4;
+  spec.null_fraction = 0.3;
+  std::string path = dir_->FilePath("n.csv");
+  ASSERT_TRUE(GenerateSyntheticCsv(path, spec, CsvDialect()).ok());
+  auto content = ReadFileToString(path);
+  size_t empties = 0;
+  size_t fields = 0;
+  for (const auto& line : SplitString(*content, '\n')) {
+    if (line.empty()) continue;
+    for (const auto& f : SplitString(line, ',')) {
+      ++fields;
+      if (f.empty()) ++empties;
+    }
+  }
+  double ratio = static_cast<double>(empties) / fields;
+  EXPECT_NEAR(ratio, 0.3, 0.05);
+}
+
+TEST_F(DatagenTest, MixedTypeFieldsParse) {
+  SyntheticSpec spec;
+  spec.num_tuples = 20;
+  spec.num_attributes = 4;
+  spec.ints_per_cycle = 1;
+  spec.doubles_per_cycle = 1;
+  spec.strings_per_cycle = 1;
+  spec.dates_per_cycle = 1;
+  std::string path = dir_->FilePath("m.csv");
+  ASSERT_TRUE(GenerateSyntheticCsv(path, spec, CsvDialect()).ok());
+  auto content = ReadFileToString(path);
+  auto lines = SplitString(*content, '\n');
+  auto fields = SplitString(lines[0], ',');
+  ASSERT_EQ(fields.size(), 4u);
+  // attr3 is a DATE in TPC-H's range.
+  auto days = ParseDate(fields[3]);
+  ASSERT_TRUE(days.ok()) << fields[3];
+  EXPECT_GE(*days, CivilToDays(1992, 1, 1));
+  EXPECT_LT(*days, CivilToDays(1999, 1, 1));
+}
+
+// -------------------------------------------------------------------- TPCH
+
+TEST_F(DatagenTest, LineitemShape) {
+  TpchSpec spec;
+  spec.scale_factor = 0.001;  // ~1500 orders, ~6000 lineitems
+  std::string path = dir_->FilePath("lineitem.tbl");
+  auto rows = GenerateTpchLineitem(path, spec);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_GT(*rows, 2000u);
+  EXPECT_LT(*rows, 12000u);
+
+  auto schema = TpchLineitemSchema();
+  EXPECT_EQ(schema->num_fields(), 16u);
+  EXPECT_EQ(*schema->FieldIndex("l_shipdate"), 10u);
+
+  auto content = ReadFileToString(path);
+  auto lines = SplitString(*content, '\n');
+  CsvTokenizer tok{CsvDialect::Pipe()};
+  std::vector<uint32_t> starts;
+  ASSERT_EQ(tok.TokenizeLine(lines[0], &starts), 16u);
+  // l_orderkey of the first line is 1.
+  EXPECT_EQ(lines[0].substr(starts[0], starts[1] - 1 - starts[0]), "1");
+  // Return flag is one of N/R/A.
+  std::string flag =
+      lines[0].substr(starts[8], starts[9] - 1 - starts[8]);
+  EXPECT_TRUE(flag == "N" || flag == "R" || flag == "A") << flag;
+}
+
+TEST_F(DatagenTest, OrdersShapeAndKeyAlignment) {
+  TpchSpec spec;
+  spec.scale_factor = 0.001;
+  std::string path = dir_->FilePath("orders.tbl");
+  auto rows = GenerateTpchOrders(path, spec);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, spec.num_orders());
+  EXPECT_EQ(TpchOrdersSchema()->num_fields(), 9u);
+
+  // Order keys run 1..num_orders, aligning with lineitem's l_orderkey
+  // domain so joins produce matches.
+  auto content = ReadFileToString(path);
+  auto lines = SplitString(*content, '\n');
+  EXPECT_TRUE(StartsWith(lines[0], "1|"));
+  EXPECT_TRUE(StartsWith(lines[*rows - 1],
+                         std::to_string(*rows) + "|"));
+}
+
+TEST_F(DatagenTest, LineitemDatesAreOrderedPerRow) {
+  TpchSpec spec;
+  spec.scale_factor = 0.0005;
+  std::string path = dir_->FilePath("li.tbl");
+  ASSERT_TRUE(GenerateTpchLineitem(path, spec).ok());
+  auto content = ReadFileToString(path);
+  for (const auto& line : SplitString(*content, '\n')) {
+    if (line.empty()) continue;
+    auto fields = SplitString(line, '|');
+    ASSERT_EQ(fields.size(), 16u);
+    int64_t ship = *ParseDate(fields[10]);
+    int64_t commit = *ParseDate(fields[11]);
+    int64_t receipt = *ParseDate(fields[12]);
+    EXPECT_LT(ship, commit);
+    EXPECT_LT(ship, receipt);
+  }
+}
+
+}  // namespace
+}  // namespace nodb

@@ -1,0 +1,110 @@
+// Tests for the monitoring library: metrics arithmetic, bar rendering,
+// panel content and CSV emitters.
+
+#include <gtest/gtest.h>
+
+#include "io/file.h"
+#include "io/temp_dir.h"
+#include "monitor/panel.h"
+#include "monitor/query_metrics.h"
+#include "raw/table_state.h"
+#include "util/string_util.h"
+
+namespace nodb {
+namespace {
+
+TEST(QueryMetricsTest, ProcessingIsResidual) {
+  QueryMetrics metrics;
+  metrics.total_ns = 100;
+  metrics.scan.io_ns = 20;
+  metrics.scan.tokenize_ns = 30;
+  metrics.scan.parsing_ns = 10;
+  metrics.scan.convert_ns = 15;
+  metrics.scan.nodb_ns = 5;
+  EXPECT_EQ(metrics.scan.TotalScanNs(), 80);
+  EXPECT_EQ(metrics.processing_ns(), 20);
+  // Never negative even when timers overlap slightly.
+  metrics.total_ns = 50;
+  EXPECT_EQ(metrics.processing_ns(), 0);
+}
+
+TEST(QueryMetricsTest, ScanMetricsAddIsComponentWise) {
+  ScanMetrics a;
+  a.io_ns = 1;
+  a.rows_scanned = 10;
+  a.cache_block_hits = 2;
+  ScanMetrics b;
+  b.io_ns = 2;
+  b.rows_scanned = 20;
+  b.map_exact_probes = 7;
+  a.Add(b);
+  EXPECT_EQ(a.io_ns, 3);
+  EXPECT_EQ(a.rows_scanned, 30u);
+  EXPECT_EQ(a.cache_block_hits, 2u);
+  EXPECT_EQ(a.map_exact_probes, 7u);
+}
+
+TEST(EngineTotalsTest, DataToQueryTime) {
+  EngineTotals totals;
+  totals.init_ns = 100;
+  QueryMetrics q;
+  q.total_ns = 40;
+  totals.AddQuery(q);
+  totals.AddQuery(q);
+  EXPECT_EQ(totals.queries, 2u);
+  EXPECT_EQ(totals.query_ns, 80);
+  EXPECT_EQ(totals.data_to_query_ns(), 180);
+}
+
+TEST(PanelTest, BarRendering) {
+  EXPECT_EQ(MonitorPanel::Bar(0.0, 10), "[..........]   0.0%");
+  EXPECT_EQ(MonitorPanel::Bar(0.5, 10), "[#####.....]  50.0%");
+  EXPECT_EQ(MonitorPanel::Bar(1.0, 10), "[##########] 100.0%");
+  // Over-budget fractions clamp the bar but report the true percent.
+  EXPECT_EQ(MonitorPanel::Bar(1.5, 10), "[##########] 150.0%");
+  EXPECT_EQ(MonitorPanel::Bar(-0.1, 10), "[..........]   0.0%");
+}
+
+TEST(PanelTest, BreakdownLineContainsAllCategories) {
+  QueryMetrics metrics;
+  metrics.total_ns = 5000000;
+  metrics.scan.io_ns = 1000000;
+  metrics.scan.tokenize_ns = 500000;
+  std::string line = MonitorPanel::RenderBreakdown("label", metrics);
+  for (const char* token : {"label", "total", "proc", "io", "convert",
+                            "parse", "tokenize", "nodb"}) {
+    EXPECT_NE(line.find(token), std::string::npos) << token;
+  }
+}
+
+TEST(PanelTest, CsvRowAlignsWithHeader) {
+  QueryMetrics metrics;
+  metrics.scan.rows_scanned = 42;
+  std::string header = MonitorPanel::BreakdownCsvHeader();
+  std::string row = MonitorPanel::BreakdownCsvRow("x", metrics);
+  EXPECT_EQ(SplitString(header, ',').size(), SplitString(row, ',').size());
+  EXPECT_EQ(SplitString(row, ',')[0], "x");
+}
+
+TEST(PanelTest, TableStatePanelShowsStructures) {
+  auto dir = TempDir::Create("nodb-monitor");
+  ASSERT_TRUE(dir.ok());
+  std::string path = dir->FilePath("t.csv");
+  ASSERT_TRUE(WriteStringToFile(path, "1,2\n3,4\n").ok());
+  RawTableInfo info{"watched", path,
+                    Schema::Make({{"a", DataType::kInt64},
+                                  {"b", DataType::kInt64}}),
+                    CsvDialect()};
+  RawTableState state(info, NoDbConfig());
+  ASSERT_TRUE(state.Open().ok());
+  state.RecordAttributeAccess({0});
+  std::string panel = MonitorPanel::RenderTableState(state);
+  EXPECT_NE(panel.find("watched"), std::string::npos);
+  EXPECT_NE(panel.find("positional map"), std::string::npos);
+  EXPECT_NE(panel.find("cache"), std::string::npos);
+  EXPECT_NE(panel.find("tuple index"), std::string::npos);
+  EXPECT_NE(panel.find("a "), std::string::npos);  // accessed attribute
+}
+
+}  // namespace
+}  // namespace nodb

@@ -1,0 +1,134 @@
+// Tests for the binary raw-data cache: hit/miss accounting, LRU
+// eviction under a byte budget, segment replacement and invariants
+// under randomized workloads.
+
+#include <gtest/gtest.h>
+
+#include "raw/raw_cache.h"
+#include "util/random.h"
+
+namespace nodb {
+namespace {
+
+std::shared_ptr<ColumnVector> MakeSegment(size_t rows, int64_t base = 0) {
+  auto col = std::make_shared<ColumnVector>(DataType::kInt64);
+  for (size_t i = 0; i < rows; ++i) {
+    col->AppendInt64(base + static_cast<int64_t>(i));
+  }
+  return col;
+}
+
+TEST(RawCacheTest, MissThenHit) {
+  RawCache cache(1 << 20);
+  EXPECT_EQ(cache.Get(0, 0), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+  cache.Put(0, 0, MakeSegment(100));
+  auto seg = cache.Get(0, 0);
+  ASSERT_NE(seg, nullptr);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(seg->GetInt64(5), 5);
+  EXPECT_TRUE(cache.Contains(0, 0));
+  EXPECT_FALSE(cache.Contains(0, 1));
+  EXPECT_FALSE(cache.Contains(1, 0));
+}
+
+TEST(RawCacheTest, KeysAreAttrBlockPairs) {
+  RawCache cache(1 << 20);
+  cache.Put(1, 2, MakeSegment(10, 100));
+  cache.Put(2, 1, MakeSegment(10, 200));
+  EXPECT_EQ(cache.Get(1, 2)->GetInt64(0), 100);
+  EXPECT_EQ(cache.Get(2, 1)->GetInt64(0), 200);
+}
+
+TEST(RawCacheTest, ReplaceUpdatesBytes) {
+  RawCache cache(1 << 20);
+  cache.Put(0, 0, MakeSegment(10));
+  size_t small = cache.bytes_used();
+  cache.Put(0, 0, MakeSegment(1000));
+  EXPECT_GT(cache.bytes_used(), small);
+  EXPECT_EQ(cache.num_segments(), 1u);
+  EXPECT_EQ(cache.Get(0, 0)->size(), 1000u);
+}
+
+TEST(RawCacheTest, LruEvictionUnderBudget) {
+  // Each 100-row int segment is ~900 bytes with overhead; budget for ~4.
+  RawCache cache(4000);
+  for (uint32_t a = 0; a < 10; ++a) {
+    cache.Put(a, 0, MakeSegment(100));
+    EXPECT_LE(cache.bytes_used(), 4000u);
+  }
+  EXPECT_GT(cache.evictions(), 0u);
+  EXPECT_EQ(cache.Get(0, 0), nullptr);   // oldest evicted
+  EXPECT_NE(cache.Get(9, 0), nullptr);   // newest resident
+}
+
+TEST(RawCacheTest, GetRefreshesRecency) {
+  RawCache cache(4000);
+  cache.Put(0, 0, MakeSegment(100));
+  for (uint32_t a = 1; a < 10; ++a) {
+    ASSERT_NE(cache.Get(0, 0), nullptr) << "a=" << a;  // keep attr 0 hot
+    cache.Put(a, 0, MakeSegment(100));
+  }
+  EXPECT_NE(cache.Get(0, 0), nullptr);
+}
+
+TEST(RawCacheTest, OversizedSegmentRejected) {
+  RawCache cache(100);
+  cache.Put(0, 0, MakeSegment(1000));
+  EXPECT_FALSE(cache.Contains(0, 0));
+  EXPECT_EQ(cache.bytes_used(), 0u);
+}
+
+TEST(RawCacheTest, ClearResetsContentKeepsCounters) {
+  RawCache cache(1 << 20);
+  cache.Put(0, 0, MakeSegment(10));
+  ASSERT_NE(cache.Get(0, 0), nullptr);
+  cache.Clear();
+  EXPECT_EQ(cache.num_segments(), 0u);
+  EXPECT_EQ(cache.bytes_used(), 0u);
+  EXPECT_EQ(cache.Get(0, 0), nullptr);
+}
+
+TEST(RawCacheTest, UtilizationTracksBudget) {
+  RawCache cache(10000);
+  EXPECT_DOUBLE_EQ(cache.utilization(), 0.0);
+  cache.Put(0, 0, MakeSegment(100));
+  EXPECT_GT(cache.utilization(), 0.0);
+  EXPECT_LE(cache.utilization(), 1.0);
+}
+
+/// Property sweep across budgets: the cache never exceeds its budget,
+/// hits always return the exact segment last Put, and hit+miss counts
+/// equal the number of Gets.
+class CacheBudgetSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CacheBudgetSweep, InvariantsUnderRandomAccess) {
+  size_t budget = GetParam();
+  RawCache cache(budget);
+  Random rng(budget);
+  uint64_t gets = 0;
+  for (int iter = 0; iter < 2000; ++iter) {
+    uint32_t attr = static_cast<uint32_t>(rng.Uniform(8));
+    uint64_t block = rng.Uniform(8);
+    if (rng.Bernoulli(0.5)) {
+      cache.Put(attr, block,
+                MakeSegment(1 + rng.Uniform(200),
+                            static_cast<int64_t>(attr * 1000 + block)));
+    } else {
+      ++gets;
+      auto seg = cache.Get(attr, block);
+      if (seg != nullptr) {
+        EXPECT_EQ(seg->GetInt64(0),
+                  static_cast<int64_t>(attr * 1000 + block));
+      }
+    }
+    ASSERT_LE(cache.bytes_used(), budget);
+  }
+  EXPECT_EQ(cache.hits() + cache.misses(), gets);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, CacheBudgetSweep,
+                         ::testing::Values(2000, 8000, 64000, 1 << 20));
+
+}  // namespace
+}  // namespace nodb

@@ -1,0 +1,465 @@
+// Tests for the in-situ raw scan operator: correctness of selective
+// tokenizing/parsing against a ground-truth load, positional-map and
+// cache warm paths, partial blocks, headers, malformed input and
+// update interplay.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "csv/csv_writer.h"
+#include "engines/csv_loader.h"
+#include "exec/query_result.h"
+#include "io/file.h"
+#include "io/temp_dir.h"
+#include "raw/raw_scan.h"
+#include "util/random.h"
+
+namespace nodb {
+namespace {
+
+class RawScanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = TempDir::Create("nodb-rawscan");
+    ASSERT_TRUE(dir.ok());
+    dir_ = std::make_unique<TempDir>(std::move(*dir));
+  }
+
+  /// Writes a deterministic CSV: value(row, col) = row * 100 + col,
+  /// with variable-width fields to make positions non-trivial.
+  RawTableInfo WriteFixture(const std::string& name, size_t rows,
+                            size_t cols, bool header = false) {
+    std::string content;
+    std::vector<Field> fields;
+    for (size_t c = 0; c < cols; ++c) {
+      fields.push_back(Field{"c" + std::to_string(c), DataType::kInt64});
+    }
+    if (header) {
+      for (size_t c = 0; c < cols; ++c) {
+        if (c > 0) content += ',';
+        content += "c" + std::to_string(c);
+      }
+      content += '\n';
+    }
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < cols; ++c) {
+        if (c > 0) content += ',';
+        content += std::to_string(r * 100 + c);
+      }
+      content += '\n';
+    }
+    std::string path = dir_->FilePath(name + ".csv");
+    EXPECT_TRUE(WriteStringToFile(path, content).ok());
+    CsvDialect dialect;
+    dialect.has_header = header;
+    return RawTableInfo{name, path, Schema::Make(fields), dialect};
+  }
+
+  /// Drains a scan over `projection` and checks every value.
+  void VerifyScan(RawTableState* state, std::vector<uint32_t> projection,
+                  size_t expected_rows, ScanMetrics* metrics = nullptr) {
+    RawScanOperator scan(state, projection, metrics);
+    auto result = QueryResult::Drain(&scan);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_EQ(result->num_rows(), expected_rows);
+    for (size_t r = 0; r < expected_rows; ++r) {
+      auto row = result->Row(r);
+      for (size_t i = 0; i < projection.size(); ++i) {
+        ASSERT_EQ(row[i], Value::Int64(static_cast<int64_t>(
+                              r * 100 + projection[i])))
+            << "row " << r << " attr " << projection[i];
+      }
+    }
+  }
+
+  NoDbConfig SmallBlocks(bool map, bool cache, bool stats) {
+    NoDbConfig config;
+    config.enable_positional_map = map;
+    config.enable_cache = cache;
+    config.enable_statistics = stats;
+    config.rows_per_block = 64;  // force multi-block handling
+    return config;
+  }
+
+  std::unique_ptr<TempDir> dir_;
+};
+
+TEST_F(RawScanTest, ColdScanMatchesGroundTruth) {
+  auto info = WriteFixture("t", 500, 8);
+  RawTableState state(info, SmallBlocks(true, true, true));
+  VerifyScan(&state, {1, 4, 6}, 500);
+}
+
+/// All 8 knob combinations produce identical results.
+class KnobSweep : public RawScanTest,
+                  public ::testing::WithParamInterface<int> {};
+
+TEST_P(KnobSweep, ResultsIdenticalAcrossConfigs) {
+  int mask = GetParam();
+  auto info = WriteFixture("t", 300, 6);
+  RawTableState state(info, SmallBlocks(mask & 1, mask & 2, mask & 4));
+  VerifyScan(&state, {0, 3, 5}, 300);
+  VerifyScan(&state, {2}, 300);       // different combination, warm state
+  VerifyScan(&state, {0, 3, 5}, 300); // repeat the first
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKnobCombos, KnobSweep,
+                         ::testing::Range(0, 8));
+
+TEST_F(RawScanTest, EmptyProjectionCountsRows) {
+  auto info = WriteFixture("t", 123, 4);
+  RawTableState state(info, SmallBlocks(true, true, true));
+  ScanMetrics metrics;
+  RawScanOperator scan(&state, {}, &metrics);
+  auto result = QueryResult::Drain(&scan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 123u);
+  EXPECT_EQ(metrics.rows_scanned, 123u);
+  EXPECT_EQ(metrics.fields_tokenized, 0u);   // selective tokenizing:
+  EXPECT_EQ(metrics.fields_converted, 0u);   // nothing parsed at all
+}
+
+TEST_F(RawScanTest, WarmMapServesExactSpans) {
+  auto info = WriteFixture("t", 400, 10);
+  NoDbConfig config = SmallBlocks(true, false, false);  // map only
+  RawTableState state(info, config);
+
+  ScanMetrics cold;
+  VerifyScan(&state, {3, 7}, 400, &cold);
+  EXPECT_GT(cold.fields_tokenized, 0u);
+  EXPECT_EQ(cold.map_exact_probes, 0u);
+
+  ScanMetrics warm;
+  VerifyScan(&state, {3, 7}, 400, &warm);
+  // Every probe is exact now: no tokenizing at all.
+  EXPECT_EQ(warm.fields_tokenized, 0u);
+  EXPECT_EQ(warm.map_exact_probes, 2u * 400u);
+  EXPECT_EQ(warm.map_blind_rows, 0u);
+  // And row ends come from the tuple index: no newline scans either.
+  EXPECT_EQ(warm.parsing_ns, 0);
+}
+
+TEST_F(RawScanTest, AnchorsReduceTokenizingForNearbyAttributes) {
+  auto info = WriteFixture("t", 200, 12);
+  RawTableState state(info, SmallBlocks(true, false, false));
+
+  ScanMetrics first;
+  VerifyScan(&state, {8}, 200, &first);
+  // Cold: tokenize from field 0 through field 9 per row.
+  EXPECT_EQ(first.fields_tokenized, 200u * 9u);
+
+  ScanMetrics second;
+  VerifyScan(&state, {9}, 200, &second);
+  // Attr 9 probes anchor at attr 9 via the {8} chunk (end(8)+1), so
+  // only the span of 9 itself is scanned: 1 field per row.
+  EXPECT_EQ(second.fields_tokenized, 200u * 1u);
+  EXPECT_EQ(second.map_anchor_probes, 200u);
+}
+
+TEST_F(RawScanTest, WarmCacheSkipsFileEntirely) {
+  auto info = WriteFixture("t", 300, 6);
+  RawTableState state(info, SmallBlocks(true, true, false));
+
+  ScanMetrics cold;
+  VerifyScan(&state, {1, 2}, 300, &cold);
+  EXPECT_GT(cold.bytes_read, 0u);
+  EXPECT_EQ(cold.cache_block_hits, 0u);
+
+  ScanMetrics warm;
+  VerifyScan(&state, {1, 2}, 300, &warm);
+  EXPECT_EQ(warm.cache_block_misses, 0u);
+  EXPECT_GT(warm.cache_block_hits, 0u);
+  EXPECT_EQ(warm.bytes_read, 0u);  // zero raw-file I/O
+  EXPECT_EQ(warm.fields_converted, 0u);
+}
+
+TEST_F(RawScanTest, PartialCacheServesSubsetOfAttributes) {
+  auto info = WriteFixture("t", 200, 8);
+  RawTableState state(info, SmallBlocks(true, true, false));
+  VerifyScan(&state, {2}, 200);  // cache attr 2
+
+  ScanMetrics mixed;
+  VerifyScan(&state, {2, 5}, 200, &mixed);
+  EXPECT_GT(mixed.cache_block_hits, 0u);    // attr 2 from cache
+  EXPECT_GT(mixed.fields_converted, 0u);    // attr 5 parsed
+  // Only attr 5 converted: one field per row.
+  EXPECT_EQ(mixed.fields_converted, 200u);
+}
+
+TEST_F(RawScanTest, HeaderLineSkipped) {
+  auto info = WriteFixture("t", 50, 3, /*header=*/true);
+  RawTableState state(info, SmallBlocks(true, true, true));
+  VerifyScan(&state, {0, 1, 2}, 50);
+  // Re-scan (map-known path) also skips the header.
+  VerifyScan(&state, {0, 1, 2}, 50);
+}
+
+TEST_F(RawScanTest, FileWithoutTrailingNewline) {
+  std::string path = dir_->FilePath("nonl.csv");
+  ASSERT_TRUE(WriteStringToFile(path, "1,2\n3,4\n5,6").ok());
+  RawTableInfo info{"nonl", path,
+                    Schema::Make({{"a", DataType::kInt64},
+                                  {"b", DataType::kInt64}}),
+                    CsvDialect()};
+  RawTableState state(info, SmallBlocks(true, true, true));
+  RawScanOperator scan(&state, {0, 1}, nullptr);
+  auto result = QueryResult::Drain(&scan);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 3u);
+  EXPECT_EQ(result->Row(2)[0], Value::Int64(5));
+  EXPECT_EQ(result->Row(2)[1], Value::Int64(6));
+  // Warm re-scan over the tuple index agrees.
+  RawScanOperator again(&state, {0, 1}, nullptr);
+  auto warm = QueryResult::Drain(&again);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->num_rows(), 3u);
+  EXPECT_EQ(warm->Row(2)[1], Value::Int64(6));
+}
+
+TEST_F(RawScanTest, CrlfLineEndingsTolerated) {
+  std::string path = dir_->FilePath("crlf.csv");
+  ASSERT_TRUE(WriteStringToFile(path, "1,2\r\n3,4\r\n5,6\r\n").ok());
+  RawTableInfo info{"crlf", path,
+                    Schema::Make({{"a", DataType::kInt64},
+                                  {"b", DataType::kInt64}}),
+                    CsvDialect()};
+  RawTableState state(info, SmallBlocks(true, true, true));
+  RawScanOperator scan(&state, {0, 1}, nullptr);
+  auto result = QueryResult::Drain(&scan);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 3u);
+  EXPECT_EQ(result->Row(1)[1], Value::Int64(4));  // no trailing \r
+  EXPECT_EQ(result->Row(2)[1], Value::Int64(6));
+  // The bulk loader agrees.
+  auto loaded = LoadCsv(path, info.schema, info.dialect);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->column(1).GetInt64(2), 6);
+}
+
+TEST_F(RawScanTest, EmptyFileYieldsNoRows) {
+  std::string path = dir_->FilePath("empty.csv");
+  ASSERT_TRUE(WriteStringToFile(path, "").ok());
+  RawTableInfo info{"empty", path,
+                    Schema::Make({{"a", DataType::kInt64}}), CsvDialect()};
+  RawTableState state(info, SmallBlocks(true, true, true));
+  RawScanOperator scan(&state, {0}, nullptr);
+  auto result = QueryResult::Drain(&scan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 0u);
+}
+
+TEST_F(RawScanTest, MissingFieldIsParseError) {
+  std::string path = dir_->FilePath("short.csv");
+  ASSERT_TRUE(WriteStringToFile(path, "1,2,3\n4,5\n6,7,8\n").ok());
+  RawTableInfo info{"short", path,
+                    Schema::Make({{"a", DataType::kInt64},
+                                  {"b", DataType::kInt64},
+                                  {"c", DataType::kInt64}}),
+                    CsvDialect()};
+  RawTableState state(info, SmallBlocks(true, true, true));
+  RawScanOperator scan(&state, {2}, nullptr);
+  auto result = QueryResult::Drain(&scan);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsParseError());
+  EXPECT_NE(result.status().message().find("row 1"), std::string::npos);
+}
+
+TEST_F(RawScanTest, MalformedValueIsParseError) {
+  std::string path = dir_->FilePath("bad.csv");
+  ASSERT_TRUE(WriteStringToFile(path, "1,2\n3,oops\n").ok());
+  RawTableInfo info{"bad", path,
+                    Schema::Make({{"a", DataType::kInt64},
+                                  {"b", DataType::kInt64}}),
+                    CsvDialect()};
+  RawTableState state(info, SmallBlocks(true, true, true));
+  RawScanOperator scan(&state, {1}, nullptr);
+  auto result = QueryResult::Drain(&scan);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsParseError());
+  // But attr 0 alone scans fine (selective parsing never touches 'oops').
+  RawScanOperator ok_scan(&state, {0}, nullptr);
+  auto ok = QueryResult::Drain(&ok_scan);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->num_rows(), 2u);
+}
+
+TEST_F(RawScanTest, EmptyFieldsParseAsNull) {
+  std::string path = dir_->FilePath("nulls.csv");
+  ASSERT_TRUE(WriteStringToFile(path, "1,,x\n,5,\n").ok());
+  RawTableInfo info{"nulls", path,
+                    Schema::Make({{"a", DataType::kInt64},
+                                  {"b", DataType::kInt64},
+                                  {"c", DataType::kString}}),
+                    CsvDialect()};
+  RawTableState state(info, SmallBlocks(true, true, true));
+  RawScanOperator scan(&state, {0, 1, 2}, nullptr);
+  auto result = QueryResult::Drain(&scan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->Row(0)[1].is_null());
+  EXPECT_EQ(result->Row(0)[2], Value::String("x"));
+  EXPECT_TRUE(result->Row(1)[0].is_null());
+  EXPECT_TRUE(result->Row(1)[2].is_null());  // empty string field -> NULL
+}
+
+TEST_F(RawScanTest, AbandonedScanLeavesStateConsistent) {
+  auto info = WriteFixture("t", 500, 5);
+  RawTableState state(info, SmallBlocks(true, true, true));
+  {
+    // Pull one batch and drop the scan (LIMIT-style early stop).
+    RawScanOperator scan(&state, {1}, nullptr);
+    ASSERT_TRUE(scan.Open().ok());
+    auto batch = scan.Next();
+    ASSERT_TRUE(batch.ok());
+    ASSERT_NE(*batch, nullptr);
+  }
+  // A full scan afterwards sees every row with correct values.
+  VerifyScan(&state, {1, 3}, 500);
+  VerifyScan(&state, {1, 3}, 500);
+}
+
+TEST_F(RawScanTest, MixedTypesParseCorrectly) {
+  std::string path = dir_->FilePath("mixed.csv");
+  ASSERT_TRUE(WriteStringToFile(
+                  path, "1,2.5,hello,1994-01-02\n2,3.5,world,1995-06-07\n")
+                  .ok());
+  RawTableInfo info{"mixed", path,
+                    Schema::Make({{"i", DataType::kInt64},
+                                  {"d", DataType::kDouble},
+                                  {"s", DataType::kString},
+                                  {"t", DataType::kDate}}),
+                    CsvDialect()};
+  RawTableState state(info, SmallBlocks(true, true, true));
+  RawScanOperator scan(&state, {0, 1, 2, 3}, nullptr);
+  auto result = QueryResult::Drain(&scan);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto row = result->Row(1);
+  EXPECT_EQ(row[0], Value::Int64(2));
+  EXPECT_DOUBLE_EQ(row[1].dbl(), 3.5);
+  EXPECT_EQ(row[2], Value::String("world"));
+  EXPECT_EQ(row[3].ToString(), "1995-06-07");
+}
+
+TEST_F(RawScanTest, QuotedDialectEndToEnd) {
+  std::string path = dir_->FilePath("quoted.csv");
+  ASSERT_TRUE(WriteStringToFile(
+                  path, "1,\"a,b\",2\n3,\"say \"\"hi\"\"\",4\n")
+                  .ok());
+  RawTableInfo info{"quoted", path,
+                    Schema::Make({{"x", DataType::kInt64},
+                                  {"s", DataType::kString},
+                                  {"y", DataType::kInt64}}),
+                    CsvDialect::QuotedCsv()};
+  RawTableState state(info, SmallBlocks(true, true, true));
+  RawScanOperator scan(&state, {0, 1, 2}, nullptr);
+  auto result = QueryResult::Drain(&scan);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->Row(0)[1], Value::String("a,b"));
+  EXPECT_EQ(result->Row(1)[1], Value::String("say \"hi\""));
+  EXPECT_EQ(result->Row(1)[2], Value::Int64(4));
+}
+
+TEST_F(RawScanTest, QuotedRandomFieldsAgainstBulkLoader) {
+  // Property: quote-heavy string data (embedded delimiters, escaped
+  // quotes, empty fields) survives the in-situ path exactly as the
+  // bulk loader reads it, in every knob configuration.
+  Random rng(4242);
+  CsvDialect dialect = CsvDialect::QuotedCsv();
+  for (int iter = 0; iter < 6; ++iter) {
+    std::string path =
+        dir_->FilePath("quoted" + std::to_string(iter) + ".csv");
+    size_t rows = 30 + rng.Uniform(100);
+    {
+      auto file = OpenWritableFile(path);
+      ASSERT_TRUE(file.ok());
+      CsvWriter writer(std::move(*file), dialect);
+      for (size_t r = 0; r < rows; ++r) {
+        writer.BeginRecord();
+        writer.AddField(std::to_string(r));
+        for (int c = 0; c < 3; ++c) {
+          std::string field;
+          size_t len = rng.Uniform(10);
+          for (size_t i = 0; i < len; ++i) {
+            switch (rng.Uniform(5)) {
+              case 0:
+                field.push_back(',');
+                break;
+              case 1:
+                field.push_back('"');
+                break;
+              default:
+                field.push_back(static_cast<char>('a' + rng.Uniform(26)));
+            }
+          }
+          writer.AddField(field);
+        }
+        ASSERT_TRUE(writer.FinishRecord().ok());
+      }
+      ASSERT_TRUE(writer.Close().ok());
+    }
+    auto schema = Schema::Make({{"id", DataType::kInt64},
+                                {"s1", DataType::kString},
+                                {"s2", DataType::kString},
+                                {"s3", DataType::kString}});
+    auto loaded = LoadCsv(path, schema, dialect);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+    RawTableInfo info{"q", path, schema, dialect};
+    RawTableState state(info, SmallBlocks(iter % 2 == 0, iter % 3 == 0,
+                                          false));
+    for (auto projection : std::vector<std::vector<uint32_t>>{
+             {0, 1, 2, 3}, {2}, {1, 3}}) {
+      RawScanOperator scan(&state, projection, nullptr);
+      auto result = QueryResult::Drain(&scan);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      ASSERT_EQ(result->num_rows(), rows);
+      for (size_t r = 0; r < rows; ++r) {
+        for (size_t i = 0; i < projection.size(); ++i) {
+          ASSERT_EQ(result->Row(r)[i],
+                    (*loaded)->column(projection[i]).GetValue(r))
+              << "iter " << iter << " row " << r << " attr "
+              << projection[i];
+        }
+      }
+    }
+  }
+}
+
+TEST_F(RawScanTest, RandomizedAgainstBulkLoader) {
+  // Property: for random shapes, the selective in-situ scan agrees
+  // with the full bulk loader on every projected cell.
+  Random rng(77);
+  for (int iter = 0; iter < 10; ++iter) {
+    size_t rows = 50 + rng.Uniform(400);
+    size_t cols = 2 + rng.Uniform(10);
+    auto info = WriteFixture("r" + std::to_string(iter), rows, cols);
+    auto loaded = LoadCsv(info.path, info.schema, info.dialect);
+    ASSERT_TRUE(loaded.ok());
+
+    NoDbConfig config = SmallBlocks(rng.Bernoulli(0.5),
+                                    rng.Bernoulli(0.5),
+                                    rng.Bernoulli(0.5));
+    RawTableState state(info, config);
+    for (int q = 0; q < 3; ++q) {
+      std::vector<uint32_t> projection;
+      for (uint32_t c = 0; c < cols; ++c) {
+        if (rng.Bernoulli(0.4)) projection.push_back(c);
+      }
+      if (projection.empty()) projection.push_back(0);
+      RawScanOperator scan(&state, projection, nullptr);
+      auto result = QueryResult::Drain(&scan);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      ASSERT_EQ(result->num_rows(), rows);
+      for (size_t r = 0; r < rows; ++r) {
+        for (size_t i = 0; i < projection.size(); ++i) {
+          ASSERT_EQ(result->Row(r)[i],
+                    (*loaded)->column(projection[i]).GetValue(r))
+              << "iter " << iter << " q " << q << " row " << r;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nodb

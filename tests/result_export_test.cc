@@ -1,0 +1,99 @@
+// Unit tests for WriteResultToCsv: header emission, NULL rendering,
+// quoting, and date/double text forms.
+
+#include <gtest/gtest.h>
+
+#include "engines/result_export.h"
+#include "exec/column_store.h"
+#include "io/file.h"
+#include "io/temp_dir.h"
+#include "types/date_util.h"
+#include "util/string_util.h"
+
+namespace nodb {
+namespace {
+
+class ResultExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = TempDir::Create("nodb-export");
+    ASSERT_TRUE(dir.ok());
+    dir_ = std::make_unique<TempDir>(std::move(*dir));
+  }
+
+  /// Builds a QueryResult by draining a scan over a hand-built table.
+  Result<QueryResult> MakeResult() {
+    auto schema = Schema::Make({{"id", DataType::kInt64},
+                                {"note", DataType::kString},
+                                {"price", DataType::kDouble},
+                                {"day", DataType::kDate}});
+    auto table = std::make_shared<ColumnStoreTable>(schema);
+    table->column(0).AppendInt64(1);
+    table->column(1).AppendString("plain");
+    table->column(2).AppendDouble(10.5);
+    table->column(3).AppendDate(*ParseDate("1994-01-02"));
+
+    table->column(0).AppendNull();
+    table->column(1).AppendString("with,comma");
+    table->column(2).AppendNull();
+    table->column(3).AppendNull();
+
+    table->column(0).AppendInt64(3);
+    table->column(1).AppendString("say \"hi\"");
+    table->column(2).AppendDouble(-0.25);
+    table->column(3).AppendDate(0);
+    table->SetNumRows(3);
+
+    ColumnStoreScan scan(table, ColumnStoreScan::AllColumns(*table));
+    return QueryResult::Drain(&scan);
+  }
+
+  std::unique_ptr<TempDir> dir_;
+};
+
+TEST_F(ResultExportTest, HeaderNullsQuotingAndDates) {
+  auto result = MakeResult();
+  ASSERT_TRUE(result.ok());
+  std::string path = dir_->FilePath("out.csv");
+  CsvDialect dialect;
+  dialect.has_header = true;
+  dialect.allow_quoting = true;
+  ASSERT_TRUE(WriteResultToCsv(*result, path, dialect).ok());
+
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  auto lines = SplitString(*content, '\n');
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(lines[0], "id,note,price,day");
+  EXPECT_EQ(lines[1], "1,plain,10.5,1994-01-02");
+  EXPECT_EQ(lines[2], ",\"with,comma\",,");  // NULLs become empty fields
+  EXPECT_EQ(lines[3], "3,\"say \"\"hi\"\"\",-0.25,1970-01-01");
+}
+
+TEST_F(ResultExportTest, NoHeaderAndCustomDelimiter) {
+  auto result = MakeResult();
+  ASSERT_TRUE(result.ok());
+  std::string path = dir_->FilePath("out.tbl");
+  CsvDialect dialect = CsvDialect::Pipe();
+  ASSERT_TRUE(WriteResultToCsv(*result, path, dialect).ok());
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  auto lines = SplitString(*content, '\n');
+  EXPECT_EQ(lines[0], "1|plain|10.5|1994-01-02");
+}
+
+TEST_F(ResultExportTest, EmptyResultWritesHeaderOnly) {
+  auto schema = Schema::Make({{"a", DataType::kInt64}});
+  auto table = std::make_shared<ColumnStoreTable>(schema);
+  ColumnStoreScan scan(table, std::vector<size_t>{0});
+  auto result = QueryResult::Drain(&scan);
+  ASSERT_TRUE(result.ok());
+  std::string path = dir_->FilePath("empty.csv");
+  CsvDialect dialect;
+  dialect.has_header = true;
+  ASSERT_TRUE(WriteResultToCsv(*result, path, dialect).ok());
+  EXPECT_EQ(*ReadFileToString(path), "a\n");
+}
+
+}  // namespace
+}  // namespace nodb

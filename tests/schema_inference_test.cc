@@ -1,0 +1,159 @@
+// Tests for CSV schema inference — the zero-friction entry point:
+// query a file you never described.
+
+#include <gtest/gtest.h>
+
+#include "csv/schema_inference.h"
+#include "engines/nodb_engine.h"
+#include "io/file.h"
+#include "io/temp_dir.h"
+
+namespace nodb {
+namespace {
+
+class SchemaInferenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = TempDir::Create("nodb-infer");
+    ASSERT_TRUE(dir.ok());
+    dir_ = std::make_unique<TempDir>(std::move(*dir));
+  }
+
+  Result<InferredTable> Infer(const std::string& content,
+                              CsvDialect dialect = CsvDialect(),
+                              InferenceOptions options = {}) {
+    std::string path = dir_->FilePath("f.csv");
+    EXPECT_TRUE(WriteStringToFile(path, content).ok());
+    return InferSchema(path, dialect, options);
+  }
+
+  std::unique_ptr<TempDir> dir_;
+};
+
+TEST_F(SchemaInferenceTest, BasicTypes) {
+  auto t = Infer("1,2.5,hello,1994-01-02\n-3,7,world,1999-12-31\n");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->schema->num_fields(), 4u);
+  EXPECT_EQ(t->schema->field(0).type, DataType::kInt64);
+  EXPECT_EQ(t->schema->field(1).type, DataType::kDouble);  // 2.5 widens 7
+  EXPECT_EQ(t->schema->field(2).type, DataType::kString);
+  EXPECT_EQ(t->schema->field(3).type, DataType::kDate);
+  EXPECT_EQ(t->schema->field(0).name, "attr0");
+  EXPECT_FALSE(t->dialect.has_header);
+  EXPECT_EQ(t->sampled_rows, 2u);
+}
+
+TEST_F(SchemaInferenceTest, IntWidensToDouble) {
+  auto t = Infer("1\n2\n3.5\n4\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema->field(0).type, DataType::kDouble);
+}
+
+TEST_F(SchemaInferenceTest, ConflictWidensToString) {
+  auto t = Infer("1,1994-01-01\nx,17\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema->field(0).type, DataType::kString);
+  EXPECT_EQ(t->schema->field(1).type, DataType::kString);
+}
+
+TEST_F(SchemaInferenceTest, EmptyFieldsCarryNoEvidence) {
+  auto t = Infer("1,\n,2\n3,\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema->field(0).type, DataType::kInt64);
+  EXPECT_EQ(t->schema->field(1).type, DataType::kInt64);
+}
+
+TEST_F(SchemaInferenceTest, AllEmptyColumnFallsBackToString) {
+  auto t = Infer("1,\n2,\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema->field(1).type, DataType::kString);
+}
+
+TEST_F(SchemaInferenceTest, HeaderDetected) {
+  auto t = Infer("id,price,city\n1,2.5,berlin\n2,3.5,geneva\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->dialect.has_header);
+  EXPECT_EQ(t->schema->field(0).name, "id");
+  EXPECT_EQ(t->schema->field(1).name, "price");
+  EXPECT_EQ(t->schema->field(0).type, DataType::kInt64);
+  EXPECT_EQ(t->schema->field(2).type, DataType::kString);
+  EXPECT_EQ(t->sampled_rows, 2u);
+}
+
+TEST_F(SchemaInferenceTest, AllStringFileHasNoHeaderEvidence) {
+  // Every row is text, so the first row is NOT treated as a header
+  // (it would not widen anything).
+  auto t = Infer("alpha,beta\ngamma,delta\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_FALSE(t->dialect.has_header);
+  EXPECT_EQ(t->schema->field(0).name, "attr0");
+}
+
+TEST_F(SchemaInferenceTest, HeaderDetectionCanBeDisabled) {
+  InferenceOptions options;
+  options.detect_header = false;
+  auto t = Infer("id,price\n1,2.5\n", CsvDialect(), options);
+  ASSERT_TRUE(t.ok());
+  EXPECT_FALSE(t->dialect.has_header);
+  // The header text forces both columns to STRING.
+  EXPECT_EQ(t->schema->field(0).type, DataType::kString);
+}
+
+TEST_F(SchemaInferenceTest, PipeDialect) {
+  auto t = Infer("1|2.5|x\n3|4.5|y\n", CsvDialect::Pipe());
+  ASSERT_TRUE(t.ok());
+  ASSERT_EQ(t->schema->num_fields(), 3u);
+  EXPECT_EQ(t->schema->field(1).type, DataType::kDouble);
+}
+
+TEST_F(SchemaInferenceTest, ModalWidthWinsOverStrayRows) {
+  auto t = Infer("1,2\n3,4\n5,6,7\n8,9\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema->num_fields(), 2u);
+}
+
+TEST_F(SchemaInferenceTest, SampleLimitRespected) {
+  std::string content;
+  for (int i = 0; i < 50; ++i) content += std::to_string(i) + "\n";
+  content += "not-a-number\n";  // beyond the sample
+  InferenceOptions options;
+  options.sample_rows = 10;
+  auto t = Infer(content, CsvDialect(), options);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema->field(0).type, DataType::kInt64);
+  EXPECT_LE(t->sampled_rows, 11u);
+}
+
+TEST_F(SchemaInferenceTest, EmptyFileIsAnError) {
+  auto t = Infer("");
+  EXPECT_FALSE(t.ok());
+  EXPECT_TRUE(t.status().IsInvalidArgument());
+}
+
+TEST_F(SchemaInferenceTest, EndToEndQueryOverInferredTable) {
+  std::string path = dir_->FilePath("sales.csv");
+  ASSERT_TRUE(WriteStringToFile(path,
+                                "id,region,amount,day\n"
+                                "1,north,10.5,1994-01-01\n"
+                                "2,south,20.5,1994-02-01\n"
+                                "3,north,30.0,1995-01-01\n")
+                  .ok());
+  auto inferred = InferSchema(path, CsvDialect());
+  ASSERT_TRUE(inferred.ok());
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .RegisterTable({"sales", path, inferred->schema,
+                                  inferred->dialect})
+                  .ok());
+  NoDbEngine engine(catalog, NoDbConfig());
+  auto result = engine.Execute(
+      "SELECT region, SUM(amount) AS s FROM sales "
+      "WHERE day < DATE '1995-01-01' GROUP BY region ORDER BY region");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->result.num_rows(), 2u);
+  EXPECT_EQ(result->result.Row(0)[0], Value::String("north"));
+  EXPECT_DOUBLE_EQ(result->result.Row(0)[1].dbl(), 10.5);
+}
+
+}  // namespace
+}  // namespace nodb

@@ -1,0 +1,176 @@
+// Tests for the on-the-fly statistics: min/max/null tracking, KMV
+// distinct estimation, sample-based selectivity and the planner bridge.
+
+#include <gtest/gtest.h>
+
+#include "raw/stats_collector.h"
+#include "util/random.h"
+
+namespace nodb {
+namespace {
+
+ColumnVector IntColumn(const std::vector<int64_t>& values,
+                       const std::vector<bool>& nulls = {}) {
+  ColumnVector col(DataType::kInt64);
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!nulls.empty() && nulls[i]) {
+      col.AppendNull();
+    } else {
+      col.AppendInt64(values[i]);
+    }
+  }
+  return col;
+}
+
+TEST(AttributeStatsTest, MinMaxNullCounts) {
+  AttributeStats stats(DataType::kInt64);
+  stats.Observe(IntColumn({5, -3, 10, 0}, {false, false, false, true}));
+  EXPECT_EQ(stats.row_count(), 4u);
+  EXPECT_EQ(stats.null_count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.null_fraction(), 0.25);
+  EXPECT_DOUBLE_EQ(*stats.numeric_min(), -3.0);
+  EXPECT_DOUBLE_EQ(*stats.numeric_max(), 10.0);
+}
+
+TEST(AttributeStatsTest, DistinctEstimateExactWhenSmall) {
+  AttributeStats stats(DataType::kInt64);
+  stats.Observe(IntColumn({1, 2, 3, 1, 2, 3, 1, 2, 3}));
+  EXPECT_DOUBLE_EQ(stats.EstimateDistinct(), 3.0);
+}
+
+TEST(AttributeStatsTest, DistinctEstimateWithinBandWhenLarge) {
+  AttributeStats stats(DataType::kInt64);
+  Random rng(1);
+  ColumnVector col(DataType::kInt64);
+  const int64_t kTrueNdv = 20000;
+  for (int i = 0; i < 100000; ++i) {
+    col.AppendInt64(static_cast<int64_t>(rng.Uniform(kTrueNdv)));
+  }
+  stats.Observe(col);
+  double est = stats.EstimateDistinct();
+  // KMV with k=256 has ~1/sqrt(k) ≈ 6% relative error; allow 25%.
+  EXPECT_GT(est, kTrueNdv * 0.75);
+  EXPECT_LT(est, kTrueNdv * 1.25);
+}
+
+TEST(AttributeStatsTest, CompareSelectivityFromSample) {
+  AttributeStats stats(DataType::kInt64);
+  ColumnVector col(DataType::kInt64);
+  for (int i = 0; i < 10000; ++i) col.AppendInt64(i % 100);
+  stats.Observe(col);
+  auto sel = stats.EstimateCompareSelectivity(CompareOp::kLt,
+                                              Value::Int64(10));
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_NEAR(*sel, 0.10, 0.06);
+  auto eq = stats.EstimateCompareSelectivity(CompareOp::kEq,
+                                             Value::Int64(5));
+  ASSERT_TRUE(eq.has_value());
+  EXPECT_LT(*eq, 0.1);
+  auto none = stats.EstimateCompareSelectivity(CompareOp::kEq,
+                                               Value::String("x"));
+  EXPECT_FALSE(none.has_value());
+}
+
+TEST(AttributeStatsTest, EqualityMissFallsBackToNdv) {
+  AttributeStats stats(DataType::kInt64);
+  ColumnVector col(DataType::kInt64);
+  for (int i = 0; i < 1000; ++i) col.AppendInt64(i);
+  stats.Observe(col);
+  // A value outside the sample: estimate ~1/NDV, not zero.
+  auto sel = stats.EstimateCompareSelectivity(CompareOp::kEq,
+                                              Value::Int64(-12345));
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_GT(*sel, 0.0);
+  EXPECT_LT(*sel, 0.01);
+}
+
+TEST(AttributeStatsTest, StringSelectivityAndLike) {
+  AttributeStats stats(DataType::kString);
+  ColumnVector col(DataType::kString);
+  const char* words[] = {"apple", "banana", "cherry", "apricot"};
+  for (int i = 0; i < 400; ++i) col.AppendString(words[i % 4]);
+  stats.Observe(col);
+  auto eq = stats.EstimateCompareSelectivity(CompareOp::kEq,
+                                             Value::String("apple"));
+  ASSERT_TRUE(eq.has_value());
+  EXPECT_NEAR(*eq, 0.25, 0.1);
+  auto like = stats.EstimateLikeSelectivity("ap%", false);
+  ASSERT_TRUE(like.has_value());
+  EXPECT_NEAR(*like, 0.5, 0.12);  // apple + apricot
+}
+
+TEST(AttributeStatsTest, SampleHistogramShapesUniform) {
+  AttributeStats stats(DataType::kInt64);
+  ColumnVector col(DataType::kInt64);
+  Random rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    col.AppendInt64(static_cast<int64_t>(rng.Uniform(1000)));
+  }
+  stats.Observe(col);
+  auto hist = stats.SampleHistogram(10);
+  ASSERT_EQ(hist.size(), 10u);
+  uint64_t total = 0;
+  for (uint64_t b : hist) total += b;
+  EXPECT_EQ(total, AttributeStats::kReservoirSize);
+  for (uint64_t b : hist) EXPECT_GT(b, 10u);  // roughly uniform
+}
+
+TEST(StatsCollectorTest, ObserveBlockDeduplicates) {
+  auto schema = Schema::Make({{"a", DataType::kInt64},
+                              {"b", DataType::kInt64}});
+  StatsCollector collector(schema);
+  auto col = IntColumn({1, 2, 3});
+  collector.ObserveBlock(0, 0, col);
+  collector.ObserveBlock(0, 0, col);  // second fold-in is ignored
+  EXPECT_EQ(collector.GetStats(0)->row_count(), 3u);
+  collector.ObserveBlock(0, 1, col);
+  EXPECT_EQ(collector.GetStats(0)->row_count(), 6u);
+  EXPECT_FALSE(collector.HasStats(1));
+  EXPECT_EQ(collector.CoveredAttributes(), (std::vector<uint32_t>{0}));
+  collector.Clear();
+  EXPECT_FALSE(collector.HasStats(0));
+}
+
+TEST(StatsSelectivityEstimatorTest, BridgesBoundPredicates) {
+  auto schema = Schema::Make({{"a", DataType::kInt64},
+                              {"b", DataType::kInt64}});
+  StatsCollector collector(schema);
+  ColumnVector skewed(DataType::kInt64);
+  for (int i = 0; i < 1000; ++i) skewed.AppendInt64(i < 990 ? 1 : 2);
+  collector.ObserveBlock(0, 0, skewed);
+
+  StatsSelectivityEstimator estimator;
+  estimator.Register("t", &collector, schema);
+
+  auto col_a = std::make_shared<ColumnRefExpr>(0, "a", DataType::kInt64);
+  auto lit2 = std::make_shared<LiteralExpr>(Value::Int64(2),
+                                            DataType::kInt64);
+  CompareExpr rare(CompareOp::kEq, col_a, lit2);
+  auto sel = estimator.EstimateSelectivity("t", rare);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_LT(*sel, 0.1);
+
+  // Literal-on-the-left mirrors the operator.
+  CompareExpr mirrored(CompareOp::kGt, lit2, col_a);  // 2 > a  ==  a < 2
+  auto msel = estimator.EstimateSelectivity("t", mirrored);
+  ASSERT_TRUE(msel.has_value());
+  EXPECT_GT(*msel, 0.8);
+
+  // Unknown table / unknown column -> no estimate.
+  EXPECT_FALSE(estimator.EstimateSelectivity("nope", rare).has_value());
+  auto col_b = std::make_shared<ColumnRefExpr>(1, "b", DataType::kInt64);
+  CompareExpr unstat(CompareOp::kEq, col_b, lit2);
+  EXPECT_FALSE(estimator.EstimateSelectivity("t", unstat).has_value());
+
+  // AND combines multiplicatively.
+  auto both = LogicalExpr(
+      LogicalOp::kAnd,
+      std::make_shared<CompareExpr>(CompareOp::kEq, col_a, lit2),
+      std::make_shared<CompareExpr>(CompareOp::kEq, col_a, lit2));
+  auto combined = estimator.EstimateSelectivity("t", both);
+  ASSERT_TRUE(combined.has_value());
+  EXPECT_NEAR(*combined, *sel * *sel, 1e-9);
+}
+
+}  // namespace
+}  // namespace nodb
