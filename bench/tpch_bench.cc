@@ -15,6 +15,7 @@
 #include "engines/load_first_engine.h"
 #include "engines/nodb_engine.h"
 #include "io/temp_dir.h"
+#include "util/thread_pool.h"
 
 using namespace nodb;
 using namespace nodb::bench;
@@ -65,21 +66,38 @@ int main() {
   };
 
   NoDbEngine raw(catalog, NoDbConfig(), "PostgresRaw");
+  // Before/after for the parallel chunked first-touch scan: same
+  // engine, same queries, but a cold table's first query pre-builds
+  // the NoDB structures with one worker per hardware core.
+  NoDbConfig par_config;
+  par_config.num_threads = 0;  // 0 = one thread per core
+  NoDbEngine raw_par(catalog, par_config, "PostgresRaw.par");
   LoadFirstEngine pg(catalog, LoadProfile::kPostgres);
   int64_t load_ns = CheckOk(pg.Initialize(), "load");
-  std::printf("PostgreSQL load time: %s (PostgresRaw: none)\n\n",
+  std::printf("PostgreSQL load time: %s (PostgresRaw: none)\n",
               FormatNanos(load_ns).c_str());
+  std::printf("parallel scan threads: %u\n\n",
+              static_cast<unsigned>(ThreadPool::DefaultThreadCount()));
 
-  std::printf("%-24s %14s %14s %14s  match\n", "query", "PostgresRaw.cold",
-              "PostgresRaw.warm", "PostgreSQL");
+  std::printf("%-24s %13s %13s %13s %13s %13s  match\n", "query",
+              "Raw.cold", "Raw.par.cold", "Raw.warm", "Raw.par.warm",
+              "PostgreSQL");
   for (const auto& q : queries) {
     auto cold = CheckOk(raw.Execute(q.sql), q.name);
+    auto par_cold = CheckOk(raw_par.Execute(q.sql), q.name);
     auto warm = CheckOk(raw.Execute(q.sql), q.name);
+    auto par_warm = CheckOk(raw_par.Execute(q.sql), q.name);
     auto conv = CheckOk(pg.Execute(q.sql), q.name);
-    bool match = cold.result.CanonicalRows() == conv.result.CanonicalRows();
-    std::printf("%-24s %14s %14s %14s  %s\n", q.name,
+    bool match =
+        cold.result.CanonicalRows() == conv.result.CanonicalRows() &&
+        warm.result.CanonicalRows() == conv.result.CanonicalRows() &&
+        par_cold.result.CanonicalRows() == conv.result.CanonicalRows() &&
+        par_warm.result.CanonicalRows() == conv.result.CanonicalRows();
+    std::printf("%-24s %13s %13s %13s %13s %13s  %s\n", q.name,
                 FormatNanos(cold.metrics.total_ns).c_str(),
+                FormatNanos(par_cold.metrics.total_ns).c_str(),
                 FormatNanos(warm.metrics.total_ns).c_str(),
+                FormatNanos(par_warm.metrics.total_ns).c_str(),
                 FormatNanos(conv.metrics.total_ns).c_str(),
                 match ? "yes" : "NO!");
   }

@@ -72,9 +72,7 @@ Result<InferredTable> InferSchema(const std::string& path,
     Slice line;
     NODB_RETURN_NOT_OK(reader.ReadAt(
         offset, static_cast<size_t>(line_end - offset), &line));
-    if (!line.empty() && line[line.size() - 1] == '\r') {
-      line = line.SubSlice(0, line.size() - 1);  // CRLF tolerance
-    }
+    // CRLF tolerance lives in the tokenizer; one layer trims.
     uint32_t nfields = tokenizer.TokenizeLine(line, &starts);
     std::vector<std::string> fields;
     fields.reserve(nfields);

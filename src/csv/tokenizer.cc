@@ -7,6 +7,11 @@ namespace nodb {
 uint32_t CsvTokenizer::ScanStarts(Slice line, uint32_t from_field,
                                   uint32_t from_offset, uint32_t until_field,
                                   uint32_t* starts) const {
+  // CRLF tolerance at the record level: a trailing '\r' is a line-ending
+  // artifact, not data, and must not leak into the last field.
+  if (!line.empty() && line[line.size() - 1] == '\r') {
+    line = line.SubSlice(0, line.size() - 1);
+  }
   uint32_t field = from_field;
   uint32_t pos = from_offset;
   starts[field] = pos;

@@ -24,6 +24,9 @@ namespace nodb {
 /// tokenizing* (paper §3) stops at the last attribute a query needs,
 /// and positional-map hits let the caller resume scanning from the
 /// middle of a record rather than from byte 0.
+///
+/// A trailing '\r' on the record (CRLF line endings) is treated as part
+/// of the line terminator, never as field content.
 class CsvTokenizer {
  public:
   explicit CsvTokenizer(const CsvDialect& dialect) : dialect_(dialect) {}

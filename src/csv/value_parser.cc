@@ -6,21 +6,39 @@
 
 namespace nodb {
 
+namespace {
+
+/// std::from_chars rejects a leading '+', but real-world numeric CSV
+/// columns ("+3.5") use it. Returns `text` without an explicit plus
+/// sign; the next character must begin the number proper ("+-3", "+"
+/// and "++1" stay invalid because from_chars then sees a sign).
+Slice StripLeadingPlus(Slice text) {
+  if (text.size() >= 2 && text[0] == '+' && text[1] != '+' &&
+      text[1] != '-') {
+    text.RemovePrefix(1);
+  }
+  return text;
+}
+
+}  // namespace
+
 Result<int64_t> ValueParser::ParseInt64(Slice text) {
+  Slice digits = StripLeadingPlus(text);
   int64_t value = 0;
   auto [ptr, ec] =
-      std::from_chars(text.data(), text.data() + text.size(), value);
-  if (ec != std::errc() || ptr != text.data() + text.size()) {
+      std::from_chars(digits.data(), digits.data() + digits.size(), value);
+  if (ec != std::errc() || ptr != digits.data() + digits.size()) {
     return Status::ParseError("not an integer: '" + text.ToString() + "'");
   }
   return value;
 }
 
 Result<double> ValueParser::ParseDouble(Slice text) {
+  Slice digits = StripLeadingPlus(text);
   double value = 0;
   auto [ptr, ec] =
-      std::from_chars(text.data(), text.data() + text.size(), value);
-  if (ec != std::errc() || ptr != text.data() + text.size()) {
+      std::from_chars(digits.data(), digits.data() + digits.size(), value);
+  if (ec != std::errc() || ptr != digits.data() + digits.size()) {
     return Status::ParseError("not a number: '" + text.ToString() + "'");
   }
   return value;

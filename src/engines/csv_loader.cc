@@ -38,9 +38,8 @@ Result<std::shared_ptr<ColumnStoreTable>> LoadCsv(
     Slice line;
     NODB_RETURN_NOT_OK(reader.ReadAt(
         offset, static_cast<size_t>(line_end - offset), &line));
-    if (!line.empty() && line[line.size() - 1] == '\r') {
-      line = line.SubSlice(0, line.size() - 1);  // CRLF tolerance
-    }
+    // CRLF tolerance lives in the tokenizer (trailing '\r' is part of
+    // the terminator); exactly one layer trims.
 
     uint32_t high = tokenizer.ScanStarts(
         line, 0, 0, static_cast<uint32_t>(num_fields), starts.data());

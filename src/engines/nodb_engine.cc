@@ -1,9 +1,11 @@
 #include "engines/nodb_engine.h"
 
+#include "raw/parallel_scan.h"
 #include "raw/raw_scan.h"
 #include "raw/stats_collector.h"
 #include "sql/planner.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace nodb {
 
@@ -27,6 +29,7 @@ class NoDbEngine::Factory final : public ScanFactory {
     NODB_ASSIGN_OR_RETURN(RawTableState * state,
                           engine_->GetOrCreateState(table));
     std::vector<uint32_t> attrs(projection.begin(), projection.end());
+    NODB_RETURN_NOT_OK(engine_->MaybeParallelPrewarm(state, attrs));
     return OperatorPtr(
         std::make_unique<RawScanOperator>(state, std::move(attrs),
                                           metrics_));
@@ -62,6 +65,30 @@ Result<RawTableState*> NoDbEngine::GetOrCreateState(
   RawTableState* ptr = state.get();
   states_.emplace(table, std::move(state));
   return ptr;
+}
+
+Status NoDbEngine::MaybeParallelPrewarm(RawTableState* state,
+                                        const std::vector<uint32_t>& attrs) {
+  uint32_t threads =
+      config_.num_threads == 0
+          ? static_cast<uint32_t>(ThreadPool::DefaultThreadCount())
+          : config_.num_threads;
+  if (threads <= 1 || state->parallel_prewarmed()) return Status::OK();
+  const NoDbConfig& config = state->config();
+  if (!config.enable_positional_map && !config.enable_cache &&
+      !config.enable_statistics) {
+    return Status::OK();  // Baseline mode: nothing would be retained.
+  }
+  // Only a genuinely cold table qualifies; once the serial scan has
+  // started discovering rows, the adaptive path owns the state.
+  if (state->map().known_rows() > 0 || state->map().rows_complete()) {
+    return Status::OK();
+  }
+  state->set_parallel_prewarmed(true);  // one attempt per file generation
+  // A failure (e.g. malformed row) carries the exact message the serial
+  // scan would have produced for that row, so surfacing it here keeps
+  // the engine's observable behaviour identical.
+  return ParallelChunkedScan(state, attrs, threads).status();
 }
 
 Result<QueryOutcome> NoDbEngine::Execute(std::string_view sql) {

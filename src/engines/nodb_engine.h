@@ -62,6 +62,13 @@ class NoDbEngine final : public Engine {
 
   Result<RawTableState*> GetOrCreateState(const std::string& table);
 
+  /// Runs the parallel chunked first-touch scan (raw/parallel_scan.h)
+  /// over `attrs` when the config asks for threads, the table is still
+  /// cold and at least one NoDB structure is enabled. At most one
+  /// attempt per file generation; a no-op at num_threads <= 1.
+  Status MaybeParallelPrewarm(RawTableState* state,
+                              const std::vector<uint32_t>& attrs);
+
   std::string name_;
   Catalog catalog_;
   NoDbConfig config_;

@@ -34,6 +34,14 @@ struct NoDbConfig {
   /// I/O buffer for the raw-file reader.
   size_t read_buffer_bytes = 1u << 20;
 
+  /// Worker threads for the parallel chunked first-touch scan
+  /// (raw/parallel_scan.h): a cold table's first query pre-builds the
+  /// enabled NoDB structures with this many threads, attacking the
+  /// first-query penalty. 1 = the paper's fully serial adaptive
+  /// behaviour (default); 0 = one thread per hardware core. Results
+  /// are byte-identical to the serial path at any setting.
+  uint32_t num_threads = 1;
+
   /// Returns the paper's "Baseline" configuration: plain external-files
   /// behaviour with every NoDB structure disabled.
   static NoDbConfig Baseline() {

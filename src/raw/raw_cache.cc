@@ -24,15 +24,17 @@ void RawCache::Put(uint32_t attr, uint64_t block,
                    std::shared_ptr<const ColumnVector> segment) {
   Key key{attr, block};
   size_t bytes = segment->MemoryUsage() + sizeof(Entry) + sizeof(Key);
-  if (bytes > budget_bytes_) return;
 
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     // Replace (e.g. a partial tail block re-parsed after an append).
+    // The old entry goes away even when the new segment is rejected
+    // below: serving it again would be serving stale data.
     bytes_used_ -= it->second.bytes;
     lru_.erase(it->second.lru_pos);
     entries_.erase(it);
   }
+  if (bytes > budget_bytes_) return;
   lru_.push_front(key);
   Entry entry;
   entry.segment = std::move(segment);

@@ -257,10 +257,8 @@ Result<BatchPtr> RawScanOperator::Next() {
     if (!probe_attrs_.empty() && end > start) {
       NODB_RETURN_NOT_OK(
           reader_->ReadAt(start, static_cast<size_t>(end - start), &line));
-      // Tolerate CRLF line endings: the carriage return is not data.
-      if (!line.empty() && line[line.size() - 1] == '\r') {
-        line = line.SubSlice(0, line.size() - 1);
-      }
+      // CRLF line endings: the tokenizer treats a trailing '\r' as part
+      // of the terminator, so the raw record passes through untrimmed.
     } else {
       line = Slice();
     }

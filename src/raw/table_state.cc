@@ -72,6 +72,7 @@ void RawTableState::InvalidateAll() {
   map_.Clear();
   cache_.Clear();
   stats_.Clear();
+  parallel_prewarmed_ = false;
 }
 
 }  // namespace nodb

@@ -68,6 +68,12 @@ class RawTableState {
   uint64_t queries_executed() const { return queries_executed_; }
   void IncrementQueryCount() { ++queries_executed_; }
 
+  /// Whether the parallel first-touch scan already ran for the current
+  /// file generation (cleared when the file is rewritten/replaced), so
+  /// the engine attempts it at most once per generation.
+  bool parallel_prewarmed() const { return parallel_prewarmed_; }
+  void set_parallel_prewarmed(bool value) { parallel_prewarmed_ = value; }
+
  private:
   void InvalidateAll();
 
@@ -80,6 +86,7 @@ class RawTableState {
   StatsCollector stats_;
   std::vector<uint64_t> access_counts_;
   uint64_t queries_executed_ = 0;
+  bool parallel_prewarmed_ = false;
 };
 
 }  // namespace nodb

@@ -57,7 +57,9 @@ Result<int64_t> ParseDate(std::string_view text) {
 std::string FormatDate(int64_t days) {
   int y, m, d;
   DaysToCivil(days, &y, &m, &d);
-  char buf[16];
+  // Sized for the widest int expansions so -Wformat-truncation can
+  // prove the output always fits.
+  char buf[40];
   std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
   return buf;
 }

@@ -1,0 +1,62 @@
+#ifndef NODB_UTIL_THREAD_POOL_H_
+#define NODB_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nodb {
+
+/// A fixed-size pool of worker threads draining a FIFO task queue.
+///
+/// Small by design: the parallel raw scan needs fork/join over file
+/// chunks, nothing more. Submit() never blocks; Wait() blocks the
+/// caller until every task submitted so far has finished, after which
+/// the pool is reusable for the next batch.
+class ThreadPool {
+ public:
+  /// `num_threads` is clamped to at least 1.
+  explicit ThreadPool(size_t num_threads);
+
+  /// Joins all workers; pending tasks are still executed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// std::thread::hardware_concurrency() with a fallback of 1.
+  static size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // signals workers: task or stop
+  std::condition_variable idle_cv_;  // signals Wait(): all drained
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Runs fn(0) .. fn(n-1) on `pool` and blocks until all complete. The
+/// caller must not submit unrelated work to `pool` concurrently (Wait
+/// synchronizes on the whole pool).
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace nodb
+
+#endif  // NODB_UTIL_THREAD_POOL_H_

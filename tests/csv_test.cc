@@ -144,6 +144,67 @@ TEST(TokenizerTest, QuotedFieldWithEscapedQuotes) {
             "he said \"hi\"");
 }
 
+TEST(TokenizerTest, TrailingCarriageReturnIsNotData) {
+  // Regression: CRLF files used to leak '\r' into the last field of
+  // every record, corrupting strings and failing numeric parses.
+  CsvTokenizer tok{CsvDialect()};
+  std::vector<uint32_t> starts;
+  std::string line = "12,34\r";
+  ASSERT_EQ(tok.TokenizeLine(line, &starts), 2u);
+  std::string scratch;
+  EXPECT_EQ(TokenizedField(tok, line, starts, 0, &scratch), "12");
+  EXPECT_EQ(TokenizedField(tok, line, starts, 1, &scratch), "34");
+  EXPECT_TRUE(ValueParser::ParseInt64(
+                  CsvTokenizer::RawField(line, starts[1], starts[2]))
+                  .ok());
+}
+
+TEST(TokenizerTest, CarriageReturnOnlyRecordIsOneEmptyField) {
+  CsvTokenizer tok{CsvDialect()};
+  std::vector<uint32_t> starts;
+  ASSERT_EQ(tok.TokenizeLine("\r", &starts), 1u);
+  std::string scratch;
+  EXPECT_EQ(TokenizedField(tok, "\r", starts, 0, &scratch), "");
+}
+
+TEST(TokenizerTest, OnlyOneCarriageReturnIsTerminator) {
+  // "a\r\r\n" on disk is the record "a\r\r": exactly one '\r' belongs
+  // to the line ending; the one before it is field data. Guards
+  // against double-trimming across layers.
+  CsvTokenizer tok{CsvDialect()};
+  std::vector<uint32_t> starts;
+  std::string line = "a\r\r";
+  ASSERT_EQ(tok.TokenizeLine(line, &starts), 1u);
+  std::string scratch;
+  EXPECT_EQ(TokenizedField(tok, line, starts, 0, &scratch), "a\r");
+}
+
+TEST(TokenizerTest, CrlfWithSelectiveScan) {
+  CsvTokenizer tok{CsvDialect()};
+  std::string line = "a,b,c\r";
+  std::vector<uint32_t> starts(8);
+  // Incremental request for the final field still excludes the '\r'.
+  uint32_t high = tok.ScanStarts(line, 0, 0, 3, starts.data());
+  EXPECT_EQ(high, 3u);
+  EXPECT_EQ(starts[2], 4u);
+  EXPECT_EQ(starts[3], 6u);  // virtual: CR-trimmed size + 1
+  std::string scratch;
+  EXPECT_EQ(TokenizedField(tok, line, starts, 2, &scratch), "c");
+  // Interior carriage returns are data, not line endings.
+  std::vector<uint32_t> all;
+  ASSERT_EQ(tok.TokenizeLine("x\ry,z", &all), 2u);
+  EXPECT_EQ(TokenizedField(tok, "x\ry,z", all, 0, &scratch), "x\ry");
+}
+
+TEST(TokenizerTest, CrlfQuotedDialect) {
+  CsvTokenizer tok{CsvDialect::QuotedCsv()};
+  std::vector<uint32_t> starts;
+  std::string line = "1,\"a,b\"\r";
+  ASSERT_EQ(tok.TokenizeLine(line, &starts), 2u);
+  std::string scratch;
+  EXPECT_EQ(TokenizedField(tok, line, starts, 1, &scratch), "a,b");
+}
+
 TEST(TokenizerTest, QuotingDisabledTreatsQuoteAsData) {
   CsvTokenizer tok{CsvDialect()};  // allow_quoting = false
   std::string line = "\"a,b\"";
@@ -260,6 +321,24 @@ TEST(ValueParserTest, Doubles) {
   EXPECT_DOUBLE_EQ(*ValueParser::ParseDouble("7"), 7.0);
   EXPECT_FALSE(ValueParser::ParseDouble("abc").ok());
   EXPECT_FALSE(ValueParser::ParseDouble("1.5x").ok());
+}
+
+TEST(ValueParserTest, LeadingPlusSignAccepted) {
+  // Regression: std::from_chars rejects an explicit '+', so "+3.5" in
+  // a numeric column used to hard-fail the load.
+  EXPECT_EQ(*ValueParser::ParseInt64("+42"), 42);
+  EXPECT_EQ(*ValueParser::ParseInt64("+0"), 0);
+  EXPECT_DOUBLE_EQ(*ValueParser::ParseDouble("+3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(*ValueParser::ParseDouble("+.5"), 0.5);
+  EXPECT_DOUBLE_EQ(*ValueParser::ParseDouble("+2e3"), 2000.0);
+  // The plus must introduce a number, not another sign or nothing.
+  EXPECT_FALSE(ValueParser::ParseInt64("+").ok());
+  EXPECT_FALSE(ValueParser::ParseInt64("+-3").ok());
+  EXPECT_FALSE(ValueParser::ParseInt64("++1").ok());
+  EXPECT_FALSE(ValueParser::ParseInt64(" +4").ok());
+  EXPECT_FALSE(ValueParser::ParseDouble("+").ok());
+  EXPECT_FALSE(ValueParser::ParseDouble("+-3.5").ok());
+  EXPECT_FALSE(ValueParser::ParseDouble("+x").ok());
 }
 
 TEST(ValueParserTest, ParseIntoHandlesNullsAndTypes) {

@@ -201,6 +201,111 @@ INSTANTIATE_TEST_SUITE_P(
                       EquivalenceCase{6, 32}, EquivalenceCase{7, 128},
                       EquivalenceCase{7, 16}, EquivalenceCase{7, 1024}));
 
+/// The parallel chunked first-touch scan (NoDbConfig::num_threads) must
+/// be invisible in query results: for any thread count, cold and warm
+/// answers equal both the serial NoDB engine's and the load-first
+/// reference's.
+class ParallelEquivalence : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ParallelEquivalence, ThreadedEngineMatchesSerialAndReference) {
+  const uint32_t threads = GetParam();
+  auto dir = TempDir::Create("nodb-equiv-par");
+  ASSERT_TRUE(dir.ok());
+
+  SyntheticSpec spec;
+  spec.num_tuples = 600;
+  spec.num_attributes = 8;
+  spec.ints_per_cycle = 1;
+  spec.doubles_per_cycle = 1;
+  spec.strings_per_cycle = 1;
+  spec.dates_per_cycle = 1;
+  spec.attribute_width = 7;
+  spec.null_fraction = 0.05;
+  spec.seed = 4321;
+  std::string path = dir->FilePath("t.csv");
+  ASSERT_TRUE(GenerateSyntheticCsv(path, spec, CsvDialect()).ok());
+
+  Catalog catalog;
+  auto schema = spec.MakeSchema();
+  ASSERT_TRUE(
+      catalog.RegisterTable({"t", path, schema, CsvDialect()}).ok());
+
+  NoDbConfig config;
+  config.rows_per_block = 64;
+  NoDbEngine serial(catalog, config);
+  config.num_threads = threads;
+  NoDbEngine parallel(catalog, config);
+  LoadFirstEngine reference(catalog, LoadProfile::kPostgres);
+  ASSERT_TRUE(reference.Initialize().ok());
+
+  QueryGenerator generator(*schema, 2024);
+  for (int q = 0; q < 20; ++q) {
+    std::string sql = generator.Next();
+    SCOPED_TRACE("threads " + std::to_string(threads) + " query " +
+                 std::to_string(q) + ": " + sql);
+    auto expected = reference.Execute(sql);
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+    auto serial_out = serial.Execute(sql);
+    ASSERT_TRUE(serial_out.ok()) << serial_out.status().ToString();
+    auto parallel_out = parallel.Execute(sql);
+    ASSERT_TRUE(parallel_out.ok()) << parallel_out.status().ToString();
+    EXPECT_EQ(parallel_out->result.CanonicalRows(),
+              expected->result.CanonicalRows());
+    EXPECT_EQ(parallel_out->result.CanonicalRows(),
+              serial_out->result.CanonicalRows());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelEquivalence,
+                         ::testing::Values(1u, 2u, 8u));
+
+TEST(ParallelEquivalenceCrlf, CrlfFileMatchesReferenceAtEveryThreadCount) {
+  auto dir = TempDir::Create("nodb-equiv-crlf");
+  ASSERT_TRUE(dir.ok());
+  std::string content;
+  for (int i = 0; i < 250; ++i) {
+    content += std::to_string(i) + ",v" + std::to_string(i % 7) + "," +
+               std::to_string(i) + ".5\r\n";
+  }
+  std::string path = dir->FilePath("crlf.csv");
+  ASSERT_TRUE(WriteStringToFile(path, content).ok());
+
+  Catalog catalog;
+  auto schema = Schema::Make({{"id", DataType::kInt64},
+                              {"grp", DataType::kString},
+                              {"x", DataType::kDouble}});
+  ASSERT_TRUE(
+      catalog.RegisterTable({"t", path, schema, CsvDialect()}).ok());
+  LoadFirstEngine reference(catalog, LoadProfile::kPostgres);
+  ASSERT_TRUE(reference.Initialize().ok());
+
+  const char* queries[] = {
+      "SELECT grp, COUNT(*) AS n, SUM(x) AS s FROM t GROUP BY grp "
+      "ORDER BY grp",
+      "SELECT id, grp FROM t WHERE x > 100 ORDER BY id LIMIT 20",
+      "SELECT COUNT(*) AS n FROM t",
+  };
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    NoDbConfig config;
+    config.rows_per_block = 64;
+    config.num_threads = threads;
+    NoDbEngine nodb(catalog, config);
+    for (const char* sql : queries) {
+      SCOPED_TRACE(std::to_string(threads) + " threads: " + sql);
+      auto expected = reference.Execute(sql);
+      ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+      auto cold = nodb.Execute(sql);
+      ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+      EXPECT_EQ(cold->result.CanonicalRows(),
+                expected->result.CanonicalRows());
+      auto warm = nodb.Execute(sql);
+      ASSERT_TRUE(warm.ok());
+      EXPECT_EQ(warm->result.CanonicalRows(),
+                expected->result.CanonicalRows());
+    }
+  }
+}
+
 TEST(EquivalenceJoinTest, JoinsMatchAcrossEngines) {
   auto dir = TempDir::Create("nodb-equiv-join");
   ASSERT_TRUE(dir.ok());

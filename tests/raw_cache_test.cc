@@ -79,6 +79,24 @@ TEST(RawCacheTest, OversizedSegmentRejected) {
   EXPECT_EQ(cache.bytes_used(), 0u);
 }
 
+TEST(RawCacheTest, OversizedReplacementInvalidatesStaleEntry) {
+  // Regression: Put() used to return early on an over-budget segment
+  // *without* dropping the existing entry under the same key, so a
+  // re-parsed block (e.g. the tail after an append) could keep serving
+  // its stale predecessor.
+  RawCache cache(2000);
+  cache.Put(3, 7, MakeSegment(10, 100));
+  ASSERT_NE(cache.Get(3, 7), nullptr);
+  size_t occupied = cache.bytes_used();
+  ASSERT_GT(occupied, 0u);
+
+  cache.Put(3, 7, MakeSegment(100000, 999));  // far over the whole budget
+  EXPECT_FALSE(cache.Contains(3, 7));
+  EXPECT_EQ(cache.Get(3, 7), nullptr);  // stale data must be gone
+  EXPECT_EQ(cache.bytes_used(), 0u);
+  EXPECT_EQ(cache.num_segments(), 0u);
+}
+
 TEST(RawCacheTest, ClearResetsContentKeepsCounters) {
   RawCache cache(1 << 20);
   cache.Put(0, 0, MakeSegment(10));

@@ -12,6 +12,7 @@
 #include "exec/query_result.h"
 #include "io/file.h"
 #include "io/temp_dir.h"
+#include "raw/parallel_scan.h"
 #include "raw/raw_scan.h"
 #include "util/random.h"
 
@@ -458,6 +459,223 @@ TEST_F(RawScanTest, RandomizedAgainstBulkLoader) {
         }
       }
     }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Parallel chunked scan: the multi-threaded first-touch path must leave
+// the table state — and therefore every later query — byte-identical to
+// what the serial scan produces, at any thread count.
+
+TEST_F(RawScanTest, ParallelPrewarmServesWarmScans) {
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    auto info =
+        WriteFixture("p" + std::to_string(threads), 500, 8);
+    RawTableState state(info, SmallBlocks(true, true, true));
+    auto stats = ParallelChunkedScan(&state, {1, 4, 6}, threads);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->rows, 500u);
+
+    // The scan behaves fully warm: no tokenizing, no raw-file I/O.
+    ScanMetrics warm;
+    VerifyScan(&state, {1, 4, 6}, 500, &warm);
+    EXPECT_EQ(warm.fields_tokenized, 0u) << threads << " threads";
+    EXPECT_EQ(warm.bytes_read, 0u) << threads << " threads";
+    EXPECT_GT(warm.cache_block_hits, 0u);
+  }
+}
+
+TEST_F(RawScanTest, ParallelStateIdenticalToSerialAtAnyThreadCount) {
+  // 777 rows with 64-row blocks: a partial tail block included.
+  auto info = WriteFixture("serial", 777, 6);
+  RawTableState serial(info, SmallBlocks(true, true, true));
+  VerifyScan(&serial, {0, 2, 5}, 777);  // cold serial scan adapts
+
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    RawTableState state(info, SmallBlocks(true, true, true));
+    auto stats = ParallelChunkedScan(&state, {0, 2, 5}, threads);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    SCOPED_TRACE(std::to_string(threads) + " threads");
+    EXPECT_EQ(state.map().known_rows(), serial.map().known_rows());
+    EXPECT_TRUE(state.map().rows_complete());
+    EXPECT_EQ(state.map().num_chunks(), serial.map().num_chunks());
+    EXPECT_EQ(state.map().bytes_used(), serial.map().bytes_used());
+    EXPECT_EQ(state.cache().num_segments(),
+              serial.cache().num_segments());
+    EXPECT_EQ(state.cache().bytes_used(), serial.cache().bytes_used());
+    VerifyScan(&state, {0, 2, 5}, 777);
+  }
+}
+
+TEST_F(RawScanTest, ParallelPrewarmCrlfFixture) {
+  std::string content;
+  for (int r = 0; r < 200; ++r) {
+    content += std::to_string(r) + "," + std::to_string(r * 2) + ",s" +
+               std::to_string(r) + "\r\n";
+  }
+  std::string path = dir_->FilePath("crlf_par.csv");
+  ASSERT_TRUE(WriteStringToFile(path, content).ok());
+  RawTableInfo info{"crlfp", path,
+                    Schema::Make({{"a", DataType::kInt64},
+                                  {"b", DataType::kInt64},
+                                  {"s", DataType::kString}}),
+                    CsvDialect()};
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    RawTableState state(info, SmallBlocks(true, true, true));
+    auto stats = ParallelChunkedScan(&state, {0, 1, 2}, threads);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->rows, 200u);
+    RawScanOperator scan(&state, {0, 1, 2}, nullptr);
+    auto result = QueryResult::Drain(&scan);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_EQ(result->num_rows(), 200u);
+    // No '\r' leaked into the cached last column.
+    EXPECT_EQ(result->Row(7)[2], Value::String("s7"));
+    EXPECT_EQ(result->Row(199)[1], Value::Int64(398));
+  }
+}
+
+TEST_F(RawScanTest, ParallelPrewarmHeaderAndMissingFinalNewline) {
+  auto with_header = WriteFixture("hdr", 150, 4, /*header=*/true);
+  RawTableState hstate(with_header, SmallBlocks(true, true, true));
+  ASSERT_TRUE(ParallelChunkedScan(&hstate, {0, 3}, 8).ok());
+  VerifyScan(&hstate, {0, 3}, 150);
+
+  std::string path = dir_->FilePath("nonl_par.csv");
+  ASSERT_TRUE(WriteStringToFile(path, "1,2\n3,4\n5,6").ok());
+  RawTableInfo info{"nonlp", path,
+                    Schema::Make({{"a", DataType::kInt64},
+                                  {"b", DataType::kInt64}}),
+                    CsvDialect()};
+  RawTableState state(info, SmallBlocks(true, true, true));
+  auto stats = ParallelChunkedScan(&state, {0, 1}, 8);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->rows, 3u);
+  RawScanOperator scan(&state, {0, 1}, nullptr);
+  auto result = QueryResult::Drain(&scan);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_rows(), 3u);
+  EXPECT_EQ(result->Row(2)[1], Value::Int64(6));
+}
+
+TEST_F(RawScanTest, ParallelMapOnlyNoFinalNewlineLastRowIntact) {
+  // Regression: empty tail chunks (boundary targets landing inside a
+  // row) used to clobber the discovery cursor, truncating the final
+  // unterminated row. Map-only config so nothing is served from cache.
+  std::string path = dir_->FilePath("nonl_maponly.csv");
+  ASSERT_TRUE(WriteStringToFile(path, "1,2\n3,4\n5,6").ok());
+  RawTableInfo info{"nonlm", path,
+                    Schema::Make({{"a", DataType::kInt64},
+                                  {"b", DataType::kInt64}}),
+                    CsvDialect()};
+  for (uint32_t threads : {2u, 8u, 16u}) {
+    RawTableState state(info, SmallBlocks(true, false, false));
+    auto stats = ParallelChunkedScan(&state, {0, 1}, threads);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->rows, 3u);
+    RawScanOperator scan(&state, {0, 1}, nullptr);
+    auto result = QueryResult::Drain(&scan);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_EQ(result->num_rows(), 3u);
+    EXPECT_EQ(result->Row(2)[0], Value::Int64(5)) << threads;
+    EXPECT_EQ(result->Row(2)[1], Value::Int64(6)) << threads;
+  }
+}
+
+TEST_F(RawScanTest, ParallelBoundaryTargetsInsideOneRowStillSplit) {
+  // Regression: when one boundary target fell inside the previous
+  // boundary's row, every later boundary collapsed to end-of-file and
+  // the scan degraded to a single chunk. A long first row followed by
+  // many short rows must still produce multiple non-empty chunks.
+  std::string content = "9";
+  content.append(2000, '0');  // one very long first field
+  content += ",1\n";
+  for (int r = 0; r < 50; ++r) {
+    content += std::to_string(r) + "," + std::to_string(r * 2) + "\n";
+  }
+  std::string path = dir_->FilePath("longrow.csv");
+  ASSERT_TRUE(WriteStringToFile(path, content).ok());
+  RawTableInfo info{"longrow", path,
+                    Schema::Make({{"a", DataType::kString},
+                                  {"b", DataType::kInt64}}),
+                    CsvDialect()};
+  RawTableState state(info, SmallBlocks(true, true, true));
+  auto stats = ParallelChunkedScan(&state, {0, 1}, 8);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->rows, 51u);
+  RawScanOperator scan(&state, {0, 1}, nullptr);
+  auto result = QueryResult::Drain(&scan);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 51u);
+  EXPECT_EQ(result->Row(50)[1], Value::Int64(98));
+}
+
+TEST_F(RawScanTest, ParallelPrewarmEmptyProjectionBuildsRowIndex) {
+  auto info = WriteFixture("count", 321, 4);
+  RawTableState state(info, SmallBlocks(true, true, true));
+  auto stats = ParallelChunkedScan(&state, {}, 4);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->rows, 321u);
+  EXPECT_EQ(state.map().known_rows(), 321u);
+  EXPECT_TRUE(state.map().rows_complete());
+  // A COUNT(*)-style scan now locates rows without newline hunting.
+  ScanMetrics metrics;
+  RawScanOperator scan(&state, {}, &metrics);
+  auto result = QueryResult::Drain(&scan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 321u);
+  EXPECT_EQ(metrics.parsing_ns, 0);
+}
+
+TEST_F(RawScanTest, ParallelPrewarmSurfacesSerialErrorUntouched) {
+  std::string path = dir_->FilePath("bad_par.csv");
+  ASSERT_TRUE(WriteStringToFile(path, "1,2\n3,oops\n5,6\n").ok());
+  RawTableInfo info{"badp", path,
+                    Schema::Make({{"a", DataType::kInt64},
+                                  {"b", DataType::kInt64}}),
+                    CsvDialect()};
+  RawTableState state(info, SmallBlocks(true, true, true));
+  auto stats = ParallelChunkedScan(&state, {1}, 8);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_TRUE(stats.status().IsParseError());
+  // Same "row N" the serial scan reports, and no half-built state.
+  EXPECT_NE(stats.status().message().find("row 1"), std::string::npos);
+  EXPECT_EQ(state.map().known_rows(), 0u);
+  EXPECT_EQ(state.cache().num_segments(), 0u);
+
+  // Short rows likewise mirror the serial field-count error.
+  std::string short_path = dir_->FilePath("short_par.csv");
+  ASSERT_TRUE(WriteStringToFile(short_path, "1,2,3\n4,5\n6,7,8\n").ok());
+  RawTableInfo short_info{"shortp", short_path,
+                          Schema::Make({{"a", DataType::kInt64},
+                                        {"b", DataType::kInt64},
+                                        {"c", DataType::kInt64}}),
+                          CsvDialect()};
+  RawTableState short_state(short_info, SmallBlocks(true, true, true));
+  auto short_stats = ParallelChunkedScan(&short_state, {2}, 8);
+  ASSERT_FALSE(short_stats.ok());
+  EXPECT_TRUE(short_stats.status().IsParseError());
+  EXPECT_NE(short_stats.status().message().find("row 1"),
+            std::string::npos);
+}
+
+TEST_F(RawScanTest, ParallelPrewarmKnobSubsets) {
+  // Each knob subset only populates its enabled structures.
+  auto info = WriteFixture("knobs", 300, 5);
+  for (int mask = 0; mask < 8; ++mask) {
+    RawTableState state(info, SmallBlocks(mask & 1, mask & 2, mask & 4));
+    ASSERT_TRUE(ParallelChunkedScan(&state, {1, 3}, 4).ok());
+    if (mask & 1) {
+      EXPECT_EQ(state.map().known_rows(), 300u);
+    } else {
+      EXPECT_EQ(state.map().known_rows(), 0u);
+    }
+    if (mask & 2) {
+      EXPECT_GT(state.cache().num_segments(), 0u);
+    } else {
+      EXPECT_EQ(state.cache().num_segments(), 0u);
+    }
+    VerifyScan(&state, {1, 3}, 300);
   }
 }
 
