@@ -4,11 +4,29 @@
 
 namespace nodb {
 
+Catalog::Catalog(const Catalog& other) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  tables_ = other.tables_;
+}
+
+Catalog& Catalog::operator=(const Catalog& other) {
+  if (this == &other) return *this;
+  std::unordered_map<std::string, RawTableInfo> copy;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    copy = other.tables_;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  tables_ = std::move(copy);
+  return *this;
+}
+
 Status Catalog::RegisterTable(RawTableInfo info) {
   if (info.schema == nullptr) {
     return Status::InvalidArgument("table '" + info.name +
                                    "' registered without a schema");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = tables_.emplace(info.name, info);
   (void)it;
   if (!inserted) {
@@ -23,11 +41,13 @@ Status Catalog::ReplaceTable(RawTableInfo info) {
     return Status::InvalidArgument("table '" + info.name +
                                    "' registered without a schema");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   tables_[info.name] = std::move(info);
   return Status::OK();
 }
 
 Result<RawTableInfo> Catalog::GetTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("no table named '" + name + "'");
@@ -36,6 +56,7 @@ Result<RawTableInfo> Catalog::GetTable(const std::string& name) const {
 }
 
 std::vector<std::string> Catalog::TableNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, info] : tables_) names.push_back(name);

@@ -2,6 +2,7 @@
 #define NODB_CATALOG_CATALOG_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -24,10 +25,16 @@ struct RawTableInfo {
   CsvDialect dialect;
 };
 
-/// Name → raw-file registry shared by all engines.
+/// Name → raw-file registry shared by all engines. Internally
+/// synchronized: concurrent queries resolve tables while a
+/// ReplaceTable (the demo's "new data file" scenario) swaps a
+/// registration. Copying a catalog snapshots its registrations.
 class Catalog {
  public:
   Catalog() = default;
+
+  Catalog(const Catalog& other);
+  Catalog& operator=(const Catalog& other);
 
   /// Registers a raw CSV file as queryable table `name`.
   Status RegisterTable(RawTableInfo info);
@@ -39,12 +46,14 @@ class Catalog {
   Result<RawTableInfo> GetTable(const std::string& name) const;
 
   bool HasTable(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
     return tables_.count(name) > 0;
   }
 
   std::vector<std::string> TableNames() const;
 
  private:
+  mutable std::mutex mu_;
   std::unordered_map<std::string, RawTableInfo> tables_;
 };
 

@@ -1,11 +1,13 @@
 #include "engines/nodb_engine.h"
 
+#include <algorithm>
+#include <atomic>
+
 #include "raw/parallel_scan.h"
 #include "raw/raw_scan.h"
 #include "raw/stats_collector.h"
 #include "sql/planner.h"
 #include "util/stopwatch.h"
-#include "util/thread_pool.h"
 
 namespace nodb {
 
@@ -53,18 +55,38 @@ Result<int64_t> NoDbEngine::Initialize() {
 
 Result<RawTableState*> NoDbEngine::GetOrCreateState(
     const std::string& table) {
-  auto it = states_.find(table);
-  if (it != states_.end()) {
-    // The raw file may have changed under us since the last query.
-    NODB_RETURN_NOT_OK(it->second->CheckForUpdates().status());
-    return it->second.get();
+  RawTableState* state = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(states_mu_);
+    auto it = states_.find(table);
+    if (it != states_.end()) state = it->second.get();
+  }
+  if (state != nullptr) {
+    // The raw file may have changed under us since the last query
+    // (serialized per table by the state's own lock).
+    NODB_RETURN_NOT_OK(state->CheckForUpdates().status());
+    return state;
   }
   NODB_ASSIGN_OR_RETURN(RawTableInfo info, catalog_.GetTable(table));
-  auto state = std::make_unique<RawTableState>(std::move(info), config_);
-  NODB_RETURN_NOT_OK(state->Open());
-  RawTableState* ptr = state.get();
-  states_.emplace(table, std::move(state));
-  return ptr;
+  NoDbConfig config_snapshot;
+  {
+    std::lock_guard<std::mutex> lock(states_mu_);
+    config_snapshot = config_;  // component flags mutate under states_mu_
+  }
+  auto fresh = std::make_unique<RawTableState>(std::move(info),
+                                               config_snapshot);
+  NODB_RETURN_NOT_OK(fresh->Open());
+  std::lock_guard<std::mutex> lock(states_mu_);
+  auto [it, inserted] = states_.emplace(table, std::move(fresh));
+  // A concurrent first query may have inserted meanwhile (its state
+  // wins, ours is discarded), and the component toggles may have moved
+  // since the snapshot — re-apply them while we hold their lock.
+  if (inserted) {
+    it->second->SetComponentFlags(config_.enable_positional_map,
+                                  config_.enable_cache,
+                                  config_.enable_statistics);
+  }
+  return it->second.get();
 }
 
 Status NoDbEngine::MaybeParallelPrewarm(RawTableState* state,
@@ -73,10 +95,8 @@ Status NoDbEngine::MaybeParallelPrewarm(RawTableState* state,
       config_.num_threads == 0
           ? static_cast<uint32_t>(ThreadPool::DefaultThreadCount())
           : config_.num_threads;
-  if (threads <= 1 || state->parallel_prewarmed()) return Status::OK();
-  const NoDbConfig& config = state->config();
-  if (!config.enable_positional_map && !config.enable_cache &&
-      !config.enable_statistics) {
+  if (threads <= 1) return Status::OK();
+  if (!state->component_flags().any()) {
     return Status::OK();  // Baseline mode: nothing would be retained.
   }
   // Only a genuinely cold table qualifies; once the serial scan has
@@ -84,7 +104,9 @@ Status NoDbEngine::MaybeParallelPrewarm(RawTableState* state,
   if (state->map().known_rows() > 0 || state->map().rows_complete()) {
     return Status::OK();
   }
-  state->set_parallel_prewarmed(true);  // one attempt per file generation
+  if (!state->TryClaimParallelPrewarm()) {
+    return Status::OK();  // one attempt per file generation
+  }
   // A failure (e.g. malformed row) carries the exact message the serial
   // scan would have produced for that row, so surfacing it here keeps
   // the engine's observable behaviour identical.
@@ -96,36 +118,111 @@ Result<QueryOutcome> NoDbEngine::Execute(std::string_view sql) {
   QueryOutcome outcome;
   outcome.metrics.sql = std::string(sql);
 
-  // On-the-fly statistics feed the planner's predicate ordering.
+  // On-the-fly statistics feed the planner's predicate ordering. The
+  // estimator holds collector pointers, which stay valid for the
+  // engine's lifetime (states are never erased, stats reset in place).
   StatsSelectivityEstimator estimator;
-  if (config_.enable_statistics) {
-    for (const auto& [table, state] : states_) {
-      estimator.Register(table, &state->stats(), state->info().schema);
+  bool use_stats;
+  {
+    std::lock_guard<std::mutex> lock(states_mu_);
+    use_stats = config_.enable_statistics;
+    if (use_stats) {
+      for (const auto& [table, state] : states_) {
+        estimator.Register(table, &state->stats(), state->info().schema);
+      }
     }
   }
   PlannerOptions options;
-  options.stats = config_.enable_statistics ? &estimator : nullptr;
+  options.stats = use_stats ? &estimator : nullptr;
 
   Factory factory(this, &outcome.metrics.scan);
   NODB_ASSIGN_OR_RETURN(OperatorPtr plan, PlanSql(sql, &factory, options));
   NODB_ASSIGN_OR_RETURN(outcome.result, QueryResult::Drain(plan.get()));
 
   outcome.metrics.total_ns = watch.ElapsedNanos();
-  totals_.AddQuery(outcome.metrics);
-  for (auto& [table, state] : states_) state->IncrementQueryCount();
+  {
+    std::lock_guard<std::mutex> lock(totals_mu_);
+    totals_.AddQuery(outcome.metrics);
+  }
+  {
+    std::lock_guard<std::mutex> lock(states_mu_);
+    for (auto& [table, state] : states_) state->IncrementQueryCount();
+  }
   return outcome;
+}
+
+std::shared_ptr<ThreadPool> NoDbEngine::ClientPool(uint32_t threads) {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (client_pool_ == nullptr || client_pool_->num_threads() < threads) {
+    // Replace rather than grow: a batch still running on the old pool
+    // keeps it alive through its own shared_ptr.
+    client_pool_ = std::make_shared<ThreadPool>(threads);
+  }
+  return client_pool_;
+}
+
+ConcurrentBatchOutcome NoDbEngine::ExecuteConcurrent(
+    const std::vector<std::string>& sqls, uint32_t clients) {
+  ConcurrentBatchOutcome out;
+  if (sqls.empty()) return out;
+  uint32_t want =
+      clients == 0 ? static_cast<uint32_t>(ThreadPool::DefaultThreadCount())
+                   : clients;
+  out.clients = static_cast<uint32_t>(
+      std::min<size_t>(std::max<uint32_t>(1, want), sqls.size()));
+  out.reports.resize(sqls.size());
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    out.reports[i].index = i;
+    out.reports[i].sql = sqls[i];
+  }
+
+  std::shared_ptr<ThreadPool> pool = ClientPool(out.clients);
+  std::atomic<size_t> next{0};
+  Stopwatch shot;
+  {
+    TaskGroup group(pool.get());
+    for (uint32_t c = 0; c < out.clients; ++c) {
+      group.Submit([this, c, &sqls, &next, &shot, &out] {
+        // Each worker is one client session pulling queries from the
+        // batch — the shape of N users sharing one engine.
+        QuerySession session(this, "client-" + std::to_string(c));
+        size_t i;
+        while ((i = next.fetch_add(1)) < sqls.size()) {
+          ConcurrentQueryReport& report = out.reports[i];
+          report.client = session.client_id();
+          report.start_ns = shot.ElapsedNanos();
+          Result<QueryOutcome> result = session.Execute(sqls[i]);
+          report.finish_ns = shot.ElapsedNanos();
+          if (result.ok()) {
+            report.result = std::move(result->result);
+            report.metrics = std::move(result->metrics);
+          } else {
+            report.status = result.status();
+          }
+        }
+      });
+    }
+    group.Wait();
+  }
+  out.wall_ns = shot.ElapsedNanos();
+  return out;
 }
 
 Result<std::string> NoDbEngine::Explain(std::string_view sql) {
   StatsSelectivityEstimator estimator;
-  if (config_.enable_statistics) {
-    for (const auto& [table, state] : states_) {
-      estimator.Register(table, &state->stats(), state->info().schema);
+  bool use_stats;
+  {
+    std::lock_guard<std::mutex> lock(states_mu_);
+    use_stats = config_.enable_statistics;
+    if (use_stats) {
+      for (const auto& [table, state] : states_) {
+        estimator.Register(table, &state->stats(), state->info().schema);
+      }
     }
   }
   std::string text;
   PlannerOptions options;
-  options.stats = config_.enable_statistics ? &estimator : nullptr;
+  options.stats = use_stats ? &estimator : nullptr;
   options.explain = &text;
   ScanMetrics scratch;
   Factory factory(this, &scratch);
@@ -134,6 +231,7 @@ Result<std::string> NoDbEngine::Explain(std::string_view sql) {
 }
 
 void NoDbEngine::SetPositionalMapEnabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(states_mu_);
   config_.enable_positional_map = enabled;
   for (auto& [name, state] : states_) {
     state->SetComponentFlags(config_.enable_positional_map,
@@ -143,6 +241,7 @@ void NoDbEngine::SetPositionalMapEnabled(bool enabled) {
 }
 
 void NoDbEngine::SetCacheEnabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(states_mu_);
   config_.enable_cache = enabled;
   for (auto& [name, state] : states_) {
     state->SetComponentFlags(config_.enable_positional_map,
@@ -152,6 +251,7 @@ void NoDbEngine::SetCacheEnabled(bool enabled) {
 }
 
 void NoDbEngine::SetStatisticsEnabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(states_mu_);
   config_.enable_statistics = enabled;
   for (auto& [name, state] : states_) {
     state->SetComponentFlags(config_.enable_positional_map,
@@ -162,25 +262,36 @@ void NoDbEngine::SetStatisticsEnabled(bool enabled) {
 
 const RawTableState* NoDbEngine::table_state(
     const std::string& table) const {
+  std::lock_guard<std::mutex> lock(states_mu_);
   auto it = states_.find(table);
   return it == states_.end() ? nullptr : it->second.get();
 }
 
 Result<FileChange> NoDbEngine::RefreshTable(const std::string& table) {
-  auto it = states_.find(table);
-  if (it == states_.end()) {
+  RawTableState* state = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(states_mu_);
+    auto it = states_.find(table);
+    if (it != states_.end()) state = it->second.get();
+  }
+  if (state == nullptr) {
     // First touch: fresh state reflects the file as it is now.
     NODB_RETURN_NOT_OK(GetOrCreateState(table).status());
     return FileChange::kUnchanged;
   }
-  return it->second->CheckForUpdates();
+  return state->CheckForUpdates();
 }
 
 Status NoDbEngine::ReplaceTable(const RawTableInfo& info) {
   NODB_RETURN_NOT_OK(catalog_.ReplaceTable(info));
-  auto it = states_.find(info.name);
-  if (it != states_.end()) {
-    NODB_RETURN_NOT_OK(it->second->ReplaceFile(info));
+  RawTableState* state = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(states_mu_);
+    auto it = states_.find(info.name);
+    if (it != states_.end()) state = it->second.get();
+  }
+  if (state != nullptr) {
+    NODB_RETURN_NOT_OK(state->ReplaceFile(info));
   }
   return Status::OK();
 }

@@ -2,13 +2,17 @@
 #define NODB_ENGINES_NODB_ENGINE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "catalog/catalog.h"
 #include "engines/engine.h"
+#include "engines/query_session.h"
 #include "raw/nodb_config.h"
 #include "raw/table_state.h"
+#include "util/thread_pool.h"
 
 namespace nodb {
 
@@ -20,6 +24,15 @@ namespace nodb {
 /// Baseline contestant (naive external-files access): identical query
 /// plans, no auxiliary structures — which is exactly the comparison
 /// Figure 3 makes.
+///
+/// Execute() is safe to call from many threads at once: concurrent
+/// queries share each table's adaptive state (map, cache, statistics),
+/// all internally synchronized, so every query both profits from and
+/// contributes to what earlier queries learned. ExecuteConcurrent()
+/// packages that as a multi-client batch on a shared worker pool.
+/// External file updates are detected at query start; replacing or
+/// rewriting a table while queries are in flight is memory-safe but
+/// those in-flight queries may observe either file generation.
 class NoDbEngine final : public Engine {
  public:
   NoDbEngine(Catalog catalog, NoDbConfig config,
@@ -32,8 +45,20 @@ class NoDbEngine final : public Engine {
 
   Result<QueryOutcome> Execute(std::string_view sql) override;
 
+  /// Runs every query of `sqls` against the shared adaptive state from
+  /// a pool of `clients` concurrent sessions (0 = one per hardware
+  /// core). Clients pull queries from the batch in order, so the batch
+  /// behaves like `clients` users hammering the same tables. Reports
+  /// come back in input order with per-query status, result, metrics
+  /// and start/finish stamps; one query failing does not abort the
+  /// rest.
+  ConcurrentBatchOutcome ExecuteConcurrent(
+      const std::vector<std::string>& sqls, uint32_t clients = 0);
+
   Result<std::string> Explain(std::string_view sql) override;
 
+  /// Cumulative race accounting. The reference is unsynchronized —
+  /// read it between batches, not while queries are in flight.
   const EngineTotals& totals() const override { return totals_; }
 
   /// Runtime component toggles (the demo GUI's switches). Applies to
@@ -52,6 +77,7 @@ class NoDbEngine final : public Engine {
   Result<FileChange> RefreshTable(const std::string& table);
 
   /// Points `table` at a different raw file, dropping adaptive state.
+  /// Requires no queries in flight on that table.
   Status ReplaceTable(const RawTableInfo& info);
 
   const NoDbConfig& config() const { return config_; }
@@ -69,11 +95,25 @@ class NoDbEngine final : public Engine {
   Status MaybeParallelPrewarm(RawTableState* state,
                               const std::vector<uint32_t>& attrs);
 
+  /// The shared client pool, created on first concurrent batch and
+  /// grown (replaced) when a batch asks for more workers; batches hold
+  /// a shared_ptr so an in-flight batch keeps its pool alive.
+  std::shared_ptr<ThreadPool> ClientPool(uint32_t threads);
+
   std::string name_;
   Catalog catalog_;
   NoDbConfig config_;
+
+  /// Guards states_ (lookup/insert; values have stable addresses and
+  /// are never erased) and the engine-level component flags.
+  mutable std::mutex states_mu_;
   std::unordered_map<std::string, std::unique_ptr<RawTableState>> states_;
+
+  std::mutex totals_mu_;
   EngineTotals totals_;
+
+  std::mutex pool_mu_;
+  std::shared_ptr<ThreadPool> client_pool_;
 };
 
 }  // namespace nodb

@@ -1,0 +1,54 @@
+#include "engines/query_session.h"
+
+#include <algorithm>
+
+namespace nodb {
+
+Result<QueryOutcome> QuerySession::Execute(std::string_view sql) {
+  Result<QueryOutcome> outcome = engine_->Execute(sql);
+  if (outcome.ok()) {
+    totals_.AddQuery(outcome->metrics);
+    history_.push_back(outcome->metrics);
+  }
+  return outcome;
+}
+
+uint64_t ConcurrentBatchOutcome::failures() const {
+  uint64_t n = 0;
+  for (const ConcurrentQueryReport& r : reports) {
+    if (!r.status.ok()) ++n;
+  }
+  return n;
+}
+
+double ConcurrentBatchOutcome::queries_per_second() const {
+  if (wall_ns <= 0) return 0.0;
+  return static_cast<double>(reports.size()) * 1e9 /
+         static_cast<double>(wall_ns);
+}
+
+uint32_t ConcurrentBatchOutcome::peak_in_flight() const {
+  // Sweep start/finish events in time order; ties resolve finishes
+  // first so back-to-back queries on one client do not count as
+  // overlapping.
+  std::vector<std::pair<int64_t, int>> events;
+  events.reserve(reports.size() * 2);
+  for (const ConcurrentQueryReport& r : reports) {
+    events.emplace_back(r.start_ns, +1);
+    events.emplace_back(r.finish_ns, -1);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first < b.first
+                                        : a.second < b.second;
+            });
+  int in_flight = 0;
+  int peak = 0;
+  for (const auto& [at, delta] : events) {
+    in_flight += delta;
+    peak = std::max(peak, in_flight);
+  }
+  return static_cast<uint32_t>(peak);
+}
+
+}  // namespace nodb

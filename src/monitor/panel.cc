@@ -82,6 +82,34 @@ std::string MonitorPanel::RenderBreakdown(const std::string& label,
   return line;
 }
 
+std::string MonitorPanel::RenderConcurrentBatch(
+    const ConcurrentBatchOutcome& batch) {
+  std::string out;
+  out += "=== concurrent batch: " + std::to_string(batch.reports.size()) +
+         " queries on " + std::to_string(batch.clients) + " client(s) ===\n";
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "wall %s | %.1f queries/s | peak in flight %u | "
+                "failures %llu\n",
+                FormatNanos(batch.wall_ns).c_str(),
+                batch.queries_per_second(), batch.peak_in_flight(),
+                static_cast<unsigned long long>(batch.failures()));
+  out += line;
+  for (const ConcurrentQueryReport& report : batch.reports) {
+    std::snprintf(line, sizeof(line), "q%-3zu %-10s [%s .. %s]  ",
+                  report.index, report.client.c_str(),
+                  FormatNanos(report.start_ns).c_str(),
+                  FormatNanos(report.finish_ns).c_str());
+    out += line;
+    if (!report.status.ok()) {
+      out += "FAILED: " + report.status.ToString() + "\n";
+      continue;
+    }
+    out += RenderBreakdown(report.sql.substr(0, 24), report.metrics);
+  }
+  return out;
+}
+
 std::string MonitorPanel::BreakdownCsvHeader() {
   return "label,total_ns,processing_ns,io_ns,convert_ns,parsing_ns,"
          "tokenize_ns,nodb_ns,rows,bytes_read,cache_hits,cache_misses,"

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "engines/query_session.h"
 #include "monitor/query_metrics.h"
 #include "raw/table_state.h"
 
@@ -26,6 +27,12 @@ class MonitorPanel {
   /// of Processing / IO / Convert / Parsing / Tokenizing / NoDB.
   static std::string RenderBreakdown(const std::string& label,
                                      const QueryMetrics& metrics);
+
+  /// The concurrent-serving panel: per-query rows (client, timing,
+  /// Figure-3 breakdown) for a multi-client batch plus the aggregate
+  /// line — wall time, queries/sec, peak queries in flight, failures.
+  static std::string RenderConcurrentBatch(
+      const ConcurrentBatchOutcome& batch);
 
   /// CSV header + row emitters for machine-readable series (the
   /// benches print these so experiments can be re-plotted).

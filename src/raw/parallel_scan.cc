@@ -145,9 +145,10 @@ Result<ParallelScanStats> ParallelChunkedScan(RawTableState* state,
     NODB_RETURN_NOT_OK(state->Open());
   }
   const NoDbConfig& config = state->config();
-  const bool use_map = config.enable_positional_map;
-  const bool use_cache = config.enable_cache;
-  const bool use_stats = config.enable_statistics;
+  const ComponentFlags flags = state->component_flags();
+  const bool use_map = flags.map;
+  const bool use_cache = flags.cache;
+  const bool use_stats = flags.stats;
   const bool parse_values = (use_cache || use_stats) && !attrs.empty();
 
   BufferedReader reader(state->file(), config.read_buffer_bytes);
@@ -168,8 +169,7 @@ Result<ParallelScanStats> ParallelChunkedScan(RawTableState* state,
 
   if (data_begin >= file_size) {
     if (use_map && state->map().known_rows() == 0) {
-      state->map().set_next_discovery_offset(data_begin);
-      state->map().MarkRowsComplete(file_size);
+      state->map().PublishRowIndex({}, data_begin, file_size);
     }
     return out;
   }
@@ -228,18 +228,26 @@ Result<ParallelScanStats> ParallelChunkedScan(RawTableState* state,
   // row-block at a time — the same order and granularity the serial
   // scan uses, so map chunks, cache segments, statistics and their LRU
   // recency come out identical.
+  //
+  // The merge holds the map's discovery baton so a concurrent serial
+  // query cannot extend the row index underneath it: such queries wait
+  // at their first undiscovered row and then find the whole file
+  // published at once. Readers of already-published state never block.
   PositionalMap& map = state->map();
+  PositionalMap::Discovery merge_baton(&map);
   if (use_map && map.known_rows() == 0 && !map.rows_complete()) {
     // The discovery cursor must be one past the last row's end — taken
     // from the last fragment that actually owns rows (trailing chunks
     // can be empty when boundary targets land inside one row).
     uint64_t cursor = data_begin;
+    std::vector<uint64_t> row_starts;
+    row_starts.reserve(total_rows);
     for (const Fragment& frag : frags) {
-      for (uint64_t rs : frag.row_starts) map.AddRowStart(rs);
+      row_starts.insert(row_starts.end(), frag.row_starts.begin(),
+                        frag.row_starts.end());
       if (!frag.row_starts.empty()) cursor = frag.end_cursor;
     }
-    map.set_next_discovery_offset(cursor);
-    map.MarkRowsComplete(file_size);
+    map.PublishRowIndex(std::move(row_starts), cursor, file_size);
   }
 
   const uint32_t rows_per_block = config.rows_per_block;

@@ -4,11 +4,146 @@
 
 namespace nodb {
 
+namespace {
+using ReadLock = std::shared_lock<std::shared_mutex>;
+using WriteLock = std::lock_guard<std::shared_mutex>;
+}  // namespace
+
 PositionalMap::PositionalMap(size_t budget_bytes, uint32_t rows_per_block,
                              uint32_t max_covering_chunks)
     : budget_bytes_(budget_bytes),
       rows_per_block_(rows_per_block == 0 ? 1 : rows_per_block),
       max_covering_chunks_(max_covering_chunks) {}
+
+// -------------------------------------------------------- tuple index
+
+uint64_t PositionalMap::known_rows() const {
+  ReadLock lock(mu_);
+  return row_starts_.size();
+}
+
+uint64_t PositionalMap::row_start(uint64_t row) const {
+  ReadLock lock(mu_);
+  return row_starts_[row];
+}
+
+void PositionalMap::AddRowStart(uint64_t offset) {
+  WriteLock lock(mu_);
+  row_starts_.push_back(offset);
+}
+
+void PositionalMap::MarkRowsComplete(uint64_t file_size) {
+  WriteLock lock(mu_);
+  rows_complete_ = true;
+  indexed_file_size_ = file_size;
+}
+
+bool PositionalMap::rows_complete() const {
+  ReadLock lock(mu_);
+  return rows_complete_;
+}
+
+uint64_t PositionalMap::indexed_file_size() const {
+  ReadLock lock(mu_);
+  return indexed_file_size_;
+}
+
+uint64_t PositionalMap::next_discovery_offset() const {
+  ReadLock lock(mu_);
+  return next_discovery_offset_;
+}
+
+void PositionalMap::EnsureDiscoveryStartsAt(uint64_t offset) {
+  WriteLock lock(mu_);
+  if (row_starts_.empty() && !rows_complete_ &&
+      next_discovery_offset_ < offset) {
+    next_discovery_offset_ = offset;
+  }
+}
+
+void PositionalMap::PublishRowIndex(std::vector<uint64_t> starts,
+                                    uint64_t cursor, uint64_t file_size) {
+  WriteLock lock(mu_);
+  if (!row_starts_.empty() || rows_complete_) return;  // no longer cold
+  row_starts_ = std::move(starts);
+  next_discovery_offset_ = std::max(next_discovery_offset_, cursor);
+  rows_complete_ = true;
+  indexed_file_size_ = file_size;
+}
+
+void PositionalMap::ReopenForAppend() {
+  WriteLock lock(mu_);
+  rows_complete_ = false;
+}
+
+PositionalMap::RowSnapshot PositionalMap::SnapshotRows(
+    uint64_t first_row, uint32_t count,
+    std::vector<uint64_t>* bounds) const {
+  ReadLock lock(mu_);
+  RowSnapshot snap;
+  snap.known_rows = row_starts_.size();
+  snap.complete = rows_complete_;
+  bounds->clear();
+  if (first_row >= snap.known_rows || count == 0) return snap;
+
+  uint64_t avail =
+      std::min<uint64_t>(count, snap.known_rows - first_row);
+  // The last published row's end is derivable only once the discovery
+  // cursor moved past its start (it always has, unless the index was
+  // hand-built row-starts-only).
+  if (first_row + avail == snap.known_rows &&
+      next_discovery_offset_ <= row_starts_.back()) {
+    if (--avail == 0) return snap;
+  }
+  bounds->reserve(avail + 1);
+  for (uint64_t i = 0; i < avail; ++i) {
+    bounds->push_back(row_starts_[first_row + i]);
+  }
+  bounds->push_back(first_row + avail < snap.known_rows
+                        ? row_starts_[first_row + avail]
+                        : next_discovery_offset_);
+  snap.rows = static_cast<uint32_t>(avail);
+  return snap;
+}
+
+// ---------------------------------------------------------- discovery
+
+PositionalMap::Discovery::Discovery(PositionalMap* map)
+    : map_(map), baton_(map->discovery_mu_) {}
+
+bool PositionalMap::Discovery::NeedsRow(uint64_t row, uint64_t* resume,
+                                        uint64_t* frontier_row) const {
+  ReadLock lock(map_->mu_);
+  const uint64_t known = map_->row_starts_.size();
+  if (row < known) {
+    if (row + 1 < known) return false;
+    if (map_->next_discovery_offset_ > map_->row_starts_[row]) return false;
+    *resume = map_->row_starts_[row];  // start known, end still missing
+    *frontier_row = row;
+    return true;
+  }
+  if (map_->rows_complete_) return false;
+  *resume = map_->next_discovery_offset_;
+  *frontier_row = known;
+  return true;
+}
+
+void PositionalMap::Discovery::PublishRow(uint64_t start, uint64_t end) {
+  WriteLock lock(map_->mu_);
+  if (map_->row_starts_.empty() || start > map_->row_starts_.back()) {
+    map_->row_starts_.push_back(start);
+  }
+  map_->next_discovery_offset_ =
+      std::max(map_->next_discovery_offset_, end + 1);
+}
+
+void PositionalMap::Discovery::MarkComplete(uint64_t file_size) {
+  WriteLock lock(map_->mu_);
+  map_->rows_complete_ = true;
+  map_->indexed_file_size_ = file_size;
+}
+
+// -------------------------------------------------------------- probe
 
 PositionalMap::Probe PositionalMap::BlockPlan::Lookup(uint64_t row,
                                                       size_t i) const {
@@ -36,6 +171,7 @@ PositionalMap::Probe PositionalMap::BlockPlan::Lookup(uint64_t row,
 
 PositionalMap::BlockPlan PositionalMap::PrepareBlock(
     uint64_t first_row, const std::vector<uint32_t>& attrs) {
+  WriteLock lock(mu_);
   BlockPlan plan;
   plan.block_first_row_ = BlockIndex(first_row) * rows_per_block_;
   plan.sources_.resize(attrs.size());
@@ -61,7 +197,7 @@ PositionalMap::BlockPlan PositionalMap::PrepareBlock(
         auto pos = std::lower_bound(chunk->attrs.begin(),
                                     chunk->attrs.end(), attrs[i]);
         BlockPlan::Source& src = plan.sources_[i];
-        src.chunk = chunk;
+        src.chunk = chunk_ptr;
         src.column = static_cast<uint32_t>(pos - chunk->attrs.begin());
         src.exact = true;
         src.anchor_attr = attrs[i];
@@ -92,7 +228,7 @@ PositionalMap::BlockPlan PositionalMap::PrepareBlock(
           better = (have == want) || have > src.anchor_attr;
         }
         if (better) {
-          src.chunk = chunk;
+          src.chunk = chunk_ptr;
           src.column = static_cast<uint32_t>(pos - chunk->attrs.begin());
           src.exact = (have == want);
           src.anchor_attr = have;
@@ -109,9 +245,9 @@ PositionalMap::BlockPlan PositionalMap::PrepareBlock(
   for (const auto& src : plan.sources_) {
     if (!src.exact) plan.fully_covered_ = false;
     if (src.chunk != nullptr &&
-        std::find(distinct.begin(), distinct.end(), src.chunk) ==
+        std::find(distinct.begin(), distinct.end(), src.chunk.get()) ==
             distinct.end()) {
-      distinct.push_back(src.chunk);
+      distinct.push_back(src.chunk.get());
     }
   }
   plan.chunks_used_ = static_cast<uint32_t>(distinct.size());
@@ -122,6 +258,8 @@ bool PositionalMap::ShouldIndexCombination(const BlockPlan& plan) const {
   if (!plan.fully_covered()) return true;
   return plan.chunks_used() > max_covering_chunks_;
 }
+
+// --------------------------------------------------- chunk population
 
 void PositionalMap::ChunkBuilder::AddRow(const uint32_t* starts,
                                          const uint32_t* ends) {
@@ -144,7 +282,22 @@ PositionalMap::ChunkBuilder PositionalMap::StartChunk(
 
 void PositionalMap::CommitChunk(ChunkBuilder builder) {
   if (builder.rows_ == 0) return;
-  auto chunk = std::make_unique<Chunk>();
+  WriteLock lock(mu_);
+  // Concurrent queries over the same cold block race to index the same
+  // combination; both parsed identical bytes, so the first equal (or
+  // wider) chunk wins and the duplicate is dropped.
+  auto block_it = blocks_.find(BlockIndex(builder.first_row_));
+  if (block_it != blocks_.end()) {
+    for (const auto& existing : block_it->second) {
+      if (existing->first_row == builder.first_row_ &&
+          existing->attrs == builder.attrs_ &&
+          existing->rows >= builder.rows_) {
+        Touch(existing.get());
+        return;
+      }
+    }
+  }
+  auto chunk = std::make_shared<Chunk>();
   chunk->first_row = builder.first_row_;
   chunk->attrs = std::move(builder.attrs_);
   chunk->data = std::move(builder.data_);
@@ -179,7 +332,7 @@ void PositionalMap::EvictOverBudget() {
     auto& vec = it->second;
     for (auto cit = vec.begin(); cit != vec.end(); ++cit) {
       if (cit->get() == victim) {
-        vec.erase(cit);
+        vec.erase(cit);  // in-flight BlockPlans still pin the chunk
         break;
       }
     }
@@ -187,7 +340,32 @@ void PositionalMap::EvictOverBudget() {
   }
 }
 
+// -------------------------------------------------------------- stats
+
+size_t PositionalMap::bytes_used() const {
+  ReadLock lock(mu_);
+  return bytes_used_;
+}
+
+double PositionalMap::utilization() const {
+  ReadLock lock(mu_);
+  return budget_bytes_ == 0
+             ? 0.0
+             : static_cast<double>(bytes_used_) / budget_bytes_;
+}
+
+size_t PositionalMap::num_chunks() const {
+  ReadLock lock(mu_);
+  return num_chunks_;
+}
+
+uint64_t PositionalMap::evictions() const {
+  ReadLock lock(mu_);
+  return evictions_;
+}
+
 double PositionalMap::CoverageFraction(uint32_t attr) const {
+  ReadLock lock(mu_);
   if (row_starts_.empty()) return 0.0;
   uint64_t covered = 0;
   for (const auto& [block, chunks] : blocks_) {
@@ -205,6 +383,7 @@ double PositionalMap::CoverageFraction(uint32_t attr) const {
 }
 
 void PositionalMap::Clear() {
+  WriteLock lock(mu_);
   row_starts_.clear();
   rows_complete_ = false;
   indexed_file_size_ = 0;

@@ -5,7 +5,9 @@
 #include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <vector>
 
 #include "util/logging.h"
@@ -38,6 +40,25 @@ namespace nodb {
 /// the best *anchor* — the known start of the greatest attribute not
 /// exceeding the request — from which the tokenizer resumes scanning
 /// mid-row instead of from byte 0.
+///
+/// **Concurrency.** The map is shared, incrementally-built state that
+/// every query both reads and improves, so it is internally
+/// synchronized:
+///
+///  - All published state (row index, chunks, LRU, counters) lives
+///    under one reader/writer lock. Mutations (chunk commits, row
+///    publication, eviction, LRU touches) are short exclusive critical
+///    sections; no I/O or parsing ever happens under the lock.
+///  - Chunks are immutable once committed and shared-owned: a
+///    BlockPlan pins the chunks it draws from, so probing stays
+///    lock-free for the whole block even if the chunks are evicted
+///    concurrently. Scans snapshot a block's row bounds the same way
+///    (SnapshotRows) and then locate rows without touching the lock.
+///  - Frontier *discovery* — extending the row index, which requires
+///    sequential newline I/O — is serialized by a separate baton
+///    (Discovery): one thread walks the tail while every other query
+///    keeps reading published rows; threads block only when they need
+///    a row nobody has published yet.
 class PositionalMap {
  private:
   struct Chunk;  // defined below; named early so BlockPlan can refer to it
@@ -48,33 +69,89 @@ class PositionalMap {
 
   // ------------------------------------------------------ tuple index
   /// Rows whose start offsets are known (contiguous from row 0).
-  uint64_t known_rows() const { return row_starts_.size(); }
+  uint64_t known_rows() const;
 
   /// Byte offset where row `row` starts. Requires row < known_rows().
-  uint64_t row_start(uint64_t row) const { return row_starts_[row]; }
+  uint64_t row_start(uint64_t row) const;
 
   /// Records the start of row known_rows() (sequential discovery).
-  void AddRowStart(uint64_t offset) { row_starts_.push_back(offset); }
+  /// Prefer Discovery::PublishRow, which also publishes the row's end;
+  /// this remains for single-threaded index construction in tests.
+  void AddRowStart(uint64_t offset);
 
   /// Marks that the discovery scan reached end of file: exactly
   /// known_rows() rows exist in `file_size` bytes.
-  void MarkRowsComplete(uint64_t file_size) {
-    rows_complete_ = true;
-    indexed_file_size_ = file_size;
-  }
-  bool rows_complete() const { return rows_complete_; }
-  uint64_t indexed_file_size() const { return indexed_file_size_; }
+  void MarkRowsComplete(uint64_t file_size);
+  bool rows_complete() const;
+  uint64_t indexed_file_size() const;
 
   /// Offset where the next undiscovered row starts (the resume point
   /// of an interrupted or append-extended discovery scan).
-  uint64_t next_discovery_offset() const { return next_discovery_offset_; }
-  void set_next_discovery_offset(uint64_t offset) {
-    next_discovery_offset_ = offset;
-  }
+  uint64_t next_discovery_offset() const;
+
+  /// Moves the discovery cursor forward to `offset` on a still-empty
+  /// index (skipping a header line). No-op once rows are published.
+  void EnsureDiscoveryStartsAt(uint64_t offset);
+
+  /// Replaces an *empty* row index in one publication: `starts` holds
+  /// every row start in file order, `cursor` is one past the last
+  /// row's end, and the index is marked complete for `file_size`
+  /// bytes. The parallel first-touch scan merges through this so
+  /// concurrent readers never observe a half-built index. No-op when
+  /// rows were already published.
+  void PublishRowIndex(std::vector<uint64_t> starts, uint64_t cursor,
+                       uint64_t file_size);
 
   /// Reopens discovery after an append: the file grew but existing
   /// boundaries remain valid.
-  void ReopenForAppend() { rows_complete_ = false; }
+  void ReopenForAppend();
+
+  /// Published-row snapshot of [first_row, first_row + count).
+  struct RowSnapshot {
+    uint32_t rows = 0;        ///< rows from first_row with known bounds
+    uint64_t known_rows = 0;  ///< total published rows at snapshot time
+    bool complete = false;    ///< discovery has reached end of file
+  };
+
+  /// Copies the bounds of up to `count` rows starting at `first_row`
+  /// into `bounds`: entry i is the start of row first_row + i, and one
+  /// sentinel entry past the last row is the offset one past that
+  /// row's terminator — so row first_row + i spans
+  /// [bounds[i], bounds[i+1] - 1). The caller then locates rows with
+  /// plain array indexing, without further locking.
+  RowSnapshot SnapshotRows(uint64_t first_row, uint32_t count,
+                           std::vector<uint64_t>* bounds) const;
+
+  /// The discovery baton: serializes frontier extension. Constructing
+  /// one blocks until the calling thread holds the baton; destruction
+  /// releases it. Holders alternate NeedsRow (re-check under the data
+  /// lock — another holder may have published the row meanwhile) with
+  /// their own newline I/O and PublishRow.
+  class Discovery {
+   public:
+    explicit Discovery(PositionalMap* map);
+    Discovery(const Discovery&) = delete;
+    Discovery& operator=(const Discovery&) = delete;
+
+    /// True when `row` still lacks published bounds and the file may
+    /// hold it; `*resume` is the offset discovery must continue from
+    /// and `*frontier_row` the index of the row starting there — when
+    /// it equals `row`, the holder can serve the bounds it is about to
+    /// publish directly, without re-reading the map.
+    bool NeedsRow(uint64_t row, uint64_t* resume,
+                  uint64_t* frontier_row) const;
+
+    /// Publishes the next row: content [start, end), terminator at
+    /// `end`, discovery cursor moves to end + 1.
+    void PublishRow(uint64_t start, uint64_t end);
+
+    /// The resume offset reached end of file: the index is complete.
+    void MarkComplete(uint64_t file_size);
+
+   private:
+    PositionalMap* map_;
+    std::unique_lock<std::mutex> baton_;
+  };
 
   // ------------------------------------------------------------ probe
   /// Result of probing the map for (row, attribute).
@@ -88,7 +165,9 @@ class PositionalMap {
 
   /// Prepared per-block lookup for a fixed attribute set: resolves
   /// which chunk serves each requested attribute once, then answers
-  /// row-level probes with array indexing. Valid until the map mutates.
+  /// row-level probes with array indexing. The plan shares ownership
+  /// of the chunks it draws from, so it stays valid — and lock-free —
+  /// even when those chunks are evicted concurrently.
   class BlockPlan {
    public:
     /// Probes (row, attrs[i]); `row` is absolute.
@@ -106,7 +185,7 @@ class PositionalMap {
    private:
     friend class PositionalMap;
     struct Source {
-      const Chunk* chunk = nullptr;  // null = no information
+      std::shared_ptr<const Chunk> chunk;  // null = no information
       uint32_t column = 0;                 // index into chunk attrs
       bool exact = false;  // chunk column == requested attr
       uint32_t anchor_attr = 0;
@@ -128,7 +207,9 @@ class PositionalMap {
   bool ShouldIndexCombination(const BlockPlan& plan) const;
 
   // ------------------------------------------------- chunk population
-  /// Accumulates one block-chunk worth of spans during a scan.
+  /// Accumulates one block-chunk worth of spans during a scan. Thread
+  /// confined: builders are filled privately and published atomically
+  /// by CommitChunk.
   class ChunkBuilder {
    public:
     /// `spans` holds (start, end) per attribute, parallel to `attrs`.
@@ -148,19 +229,18 @@ class PositionalMap {
   ChunkBuilder StartChunk(uint64_t first_row,
                           const std::vector<uint32_t>& attrs);
 
-  /// Installs a finished chunk and evicts LRU chunks over budget.
+  /// Installs a finished chunk and evicts LRU chunks over budget. When
+  /// a concurrent query already committed an equal-or-better chunk for
+  /// the same (block, combination) — the two parsed identical bytes —
+  /// the duplicate is dropped and the survivor's recency refreshed.
   void CommitChunk(ChunkBuilder builder);
 
   // ------------------------------------------------------------ stats
-  size_t bytes_used() const { return bytes_used_; }
+  size_t bytes_used() const;
   size_t budget_bytes() const { return budget_bytes_; }
-  double utilization() const {
-    return budget_bytes_ == 0
-               ? 0.0
-               : static_cast<double>(bytes_used_) / budget_bytes_;
-  }
-  size_t num_chunks() const { return num_chunks_; }
-  uint64_t evictions() const { return evictions_; }
+  double utilization() const;
+  size_t num_chunks() const;
+  uint64_t evictions() const;
   uint32_t rows_per_block() const { return rows_per_block_; }
 
   /// Fraction of known rows whose positions for `attr` are indexed.
@@ -171,6 +251,7 @@ class PositionalMap {
 
  private:
   /// One (block × attribute-combination) unit; the LRU element.
+  /// Immutable once committed (only LRU position mutates, under mu_).
   struct Chunk {
     uint64_t first_row = 0;
     std::vector<uint32_t> attrs;  // sorted combination
@@ -181,12 +262,20 @@ class PositionalMap {
   };
 
   uint64_t BlockIndex(uint64_t row) const { return row / rows_per_block_; }
-  void Touch(Chunk* chunk);
-  void EvictOverBudget();
+  void Touch(Chunk* chunk);          // requires mu_ held exclusively
+  void EvictOverBudget();            // requires mu_ held exclusively
 
-  size_t budget_bytes_;
-  uint32_t rows_per_block_;
-  uint32_t max_covering_chunks_;
+  const size_t budget_bytes_;
+  const uint32_t rows_per_block_;
+  const uint32_t max_covering_chunks_;
+
+  /// Guards all published state below. Exclusive for mutation, shared
+  /// for reads; never held across I/O or parsing.
+  mutable std::shared_mutex mu_;
+
+  /// Serializes frontier discovery (see Discovery). Lock order: the
+  /// baton is always acquired before mu_, never the other way around.
+  std::mutex discovery_mu_;
 
   std::vector<uint64_t> row_starts_;
   bool rows_complete_ = false;
@@ -194,7 +283,7 @@ class PositionalMap {
   uint64_t next_discovery_offset_ = 0;
 
   /// block index -> chunks covering that block.
-  std::map<uint64_t, std::vector<std::unique_ptr<Chunk>>> blocks_;
+  std::map<uint64_t, std::vector<std::shared_ptr<Chunk>>> blocks_;
   std::list<Chunk*> lru_;  // front = most recent
   size_t bytes_used_ = 0;
   size_t num_chunks_ = 0;

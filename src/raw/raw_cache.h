@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "types/column_vector.h"
@@ -20,6 +21,11 @@ namespace nodb {
 /// raw file in the same plan. Population happens during scans and only
 /// for attributes the current query requested ("caching does not force
 /// additional data to be parsed"); eviction is LRU under a byte budget.
+///
+/// Thread-safe: one internal mutex guards the index, the LRU list and
+/// the counters, so a concurrent Get's recency touch and a concurrent
+/// Put's eviction cannot corrupt each other. Segments are immutable
+/// and shared-owned — a hit stays valid after the entry is evicted.
 class RawCache {
  public:
   explicit RawCache(size_t budget_bytes) : budget_bytes_(budget_bytes) {}
@@ -42,17 +48,33 @@ class RawCache {
   /// Drops everything (file rewritten / table replaced).
   void Clear();
 
-  size_t bytes_used() const { return bytes_used_; }
+  size_t bytes_used() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_used_;
+  }
   size_t budget_bytes() const { return budget_bytes_; }
   double utilization() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return budget_bytes_ == 0
                ? 0.0
                : static_cast<double>(bytes_used_) / budget_bytes_;
   }
-  size_t num_segments() const { return entries_.size(); }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t evictions() const { return evictions_; }
+  size_t num_segments() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+  uint64_t evictions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return evictions_;
+  }
 
  private:
   struct Key {
@@ -74,9 +96,10 @@ class RawCache {
     std::list<Key>::iterator lru_pos;
   };
 
-  void EvictOverBudget();
+  void EvictOverBudget();  // requires mu_ held
 
-  size_t budget_bytes_;
+  const size_t budget_bytes_;
+  mutable std::mutex mu_;
   std::unordered_map<Key, Entry, KeyHash> entries_;
   std::list<Key> lru_;  // front = most recent
   size_t bytes_used_ = 0;

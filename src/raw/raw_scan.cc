@@ -39,6 +39,8 @@ RawScanOperator::RawScanOperator(RawTableState* state,
     : state_(state),
       projection_(std::move(projection)),
       metrics_(metrics != nullptr ? metrics : &local_metrics_),
+      table_name_(state->info().name),
+      table_path_(state->info().path),
       tokenizer_(state->info().dialect) {
   std::vector<size_t> indices(projection_.begin(), projection_.end());
   schema_ = state_->info().schema->Project(indices);
@@ -46,14 +48,19 @@ RawScanOperator::RawScanOperator(RawTableState* state,
 
 Status RawScanOperator::Open() {
   const NoDbConfig& config = state_->config();
-  use_map_ = config.enable_positional_map;
-  use_cache_ = config.enable_cache;
-  use_stats_ = config.enable_statistics;
+  ComponentFlags flags = state_->component_flags();
+  use_map_ = flags.map;
+  use_cache_ = flags.cache;
+  use_stats_ = flags.stats;
 
-  if (state_->file() == nullptr) {
+  std::shared_ptr<RandomAccessFile> file = state_->file();
+  if (file == nullptr) {
     NODB_RETURN_NOT_OK(state_->Open());
+    file = state_->file();
   }
-  reader_ = std::make_unique<BufferedReader>(state_->file(),
+  // The reader keeps this handle for the whole scan, so a concurrent
+  // reopen of the table cannot pull the file out from under us.
+  reader_ = std::make_unique<BufferedReader>(std::move(file),
                                              config.read_buffer_bytes);
   NODB_RETURN_NOT_OK(reader_->Refresh());
 
@@ -62,6 +69,9 @@ Status RawScanOperator::Open() {
   current_block_ = UINT64_MAX;
   block_plan_.reset();
   chunk_builder_.reset();
+  window_first_ = 0;
+  window_rows_ = 0;
+  window_bounds_.clear();
   attr_states_.clear();
   attr_states_.resize(projection_.size());
   for (size_t i = 0; i < projection_.size(); ++i) {
@@ -79,11 +89,7 @@ Status RawScanOperator::Open() {
     (void)s;  // a header-only file simply has zero data rows
   }
   if (use_map_) {
-    PositionalMap& map = state_->map();
-    if (map.known_rows() == 0 && !map.rows_complete() &&
-        map.next_discovery_offset() < header_skip_) {
-      map.set_next_discovery_offset(header_skip_);
-    }
+    state_->map().EnsureDiscoveryStartsAt(header_skip_);
   }
   local_offset_ = header_skip_;
 
@@ -108,33 +114,72 @@ Result<bool> RawScanOperator::LocateRow(uint64_t row, uint64_t* start,
   }
 
   PositionalMap& map = state_->map();
-  if (row < map.known_rows()) {
-    *start = map.row_start(row);
-  } else {
-    if (map.rows_complete()) return false;
-    *start = map.next_discovery_offset();
-    if (*start >= file_size) {
-      map.MarkRowsComplete(file_size);
-      return false;
+  const uint32_t rows_per_block = state_->config().rows_per_block;
+  while (true) {
+    // Fast path: the row's bounds are in the local snapshot window —
+    // no locking, plain array indexing.
+    if (row >= window_first_ && row < window_first_ + window_rows_) {
+      size_t i = static_cast<size_t>(row - window_first_);
+      *start = window_bounds_[i];
+      *end = window_bounds_[i + 1] - 1;
+      return true;
     }
-    NODB_CHECK(row == map.known_rows());
-    map.AddRowStart(*start);
-  }
 
-  if (row + 1 < map.known_rows()) {
-    *end = map.row_start(row + 1) - 1;
-  } else if (map.next_discovery_offset() > *start) {
-    // `row` is the newest known row and its end is implied by the
-    // discovery cursor (which was set to end+1 when the row was first
-    // walked).
-    *end = std::min<uint64_t>(map.next_discovery_offset() - 1, file_size);
-  } else {
-    PhaseTimer timer(&metrics_->parsing_ns, reader_.get());
-    Status s = reader_->FindNewline(*start, end);
-    if (!s.ok() && !s.IsOutOfRange()) return s;
-    map.set_next_discovery_offset(*end + 1);
+    // Refill the window with whatever is published from `row` to the
+    // end of its block (scans advance monotonically, so nothing before
+    // `row` is needed again).
+    uint32_t remaining =
+        rows_per_block - static_cast<uint32_t>(row % rows_per_block);
+    PositionalMap::RowSnapshot snap =
+        map.SnapshotRows(row, remaining, &window_bounds_);
+    window_first_ = row;
+    window_rows_ = snap.rows;
+    if (snap.rows > 0) continue;
+    if (snap.complete && row >= snap.known_rows) return false;
+
+    // The row is past the published frontier: take the discovery baton
+    // and walk the tail to the end of the row's block in one round —
+    // the bounds land in the local window, so a cold sequential scan
+    // pays one baton acquisition per block, not per row. Other threads
+    // block here only for rows nobody has walked yet.
+    PositionalMap::Discovery discovery(&map);
+    uint64_t resume = 0;
+    uint64_t frontier_row = 0;
+    while (discovery.NeedsRow(row, &resume, &frontier_row)) {
+      if (resume >= file_size) {
+        discovery.MarkComplete(file_size);
+        break;
+      }
+      const uint64_t block_end =
+          (row / rows_per_block + 1) * uint64_t{rows_per_block};
+      uint64_t cursor = resume;
+      uint64_t cursor_row = frontier_row;
+      window_bounds_.clear();
+      window_rows_ = 0;
+      while (cursor_row < block_end && cursor < file_size) {
+        uint64_t line_end = 0;
+        {
+          PhaseTimer timer(&metrics_->parsing_ns, reader_.get());
+          Status s = reader_->FindNewline(cursor, &line_end);
+          if (!s.ok() && !s.IsOutOfRange()) return s;
+        }
+        discovery.PublishRow(cursor, line_end);
+        if (cursor_row >= row) window_bounds_.push_back(cursor);
+        cursor = line_end + 1;
+        ++cursor_row;
+      }
+      if (cursor >= file_size) discovery.MarkComplete(file_size);
+      if (!window_bounds_.empty()) {
+        window_bounds_.push_back(cursor);  // sentinel: last end + 1
+        window_first_ = row;
+        window_rows_ = static_cast<uint32_t>(window_bounds_.size() - 1);
+        break;  // the fast path serves `row` from the fresh window
+      }
+      // File ended before reaching `row`; NeedsRow decides next.
+    }
+    // Another thread published past `row`, the window was walked, or
+    // the file ended; loop to serve or finish.
   }
-  return true;
 }
 
 Status RawScanOperator::EnterBlock(uint64_t row) {
@@ -308,10 +353,10 @@ Result<BatchPtr> RawScanOperator::Next() {
                                               starts_.data());
         if (high < attr + 1) {
           return Status::ParseError(
-              state_->info().name + ": row " + std::to_string(row_) +
+              table_name_ + ": row " + std::to_string(row_) +
               " has " + std::to_string(high) + " fields, attribute " +
               std::to_string(attr) + " requested (file " +
-              state_->info().path + ")");
+              table_path_ + ")");
         }
         metrics_->fields_tokenized += attr + 1 - before;
         span_start_[j] = starts_[attr];
@@ -335,7 +380,7 @@ Result<BatchPtr> RawScanOperator::Next() {
         Status s = ValueParser::ParseInto(text, st.type, &out->column(slot));
         if (!s.ok()) {
           return Status::ParseError(
-              state_->info().name + ": row " + std::to_string(row_) +
+              table_name_ + ": row " + std::to_string(row_) +
               ", attribute " + std::to_string(st.attr) + ": " +
               s.message());
         }

@@ -35,6 +35,17 @@ namespace nodb {
 /// All NoDB structures honor the per-table NoDbConfig; with everything
 /// disabled this operator *is* the paper's "Baseline" external-files
 /// scan.
+///
+/// Many operators may scan the same RawTableState concurrently. Each
+/// operator keeps all parsing state private and interacts with the
+/// shared structures only through their synchronized interfaces:
+/// per block it snapshots the published row bounds (SnapshotRows) and
+/// pins a chunk plan (PrepareBlock), then locates, tokenizes and
+/// parses rows without any locking; finished segments and chunks are
+/// published in short exclusive sections at block commit. Only the
+/// undiscovered tail serializes (the map's discovery baton) — queries
+/// never wait on each other's parsing, only on publication of rows
+/// nobody has walked yet.
 class RawScanOperator final : public ExecOperator {
  public:
   /// `projection`: table attribute indices to emit, ascending. May be
@@ -66,6 +77,8 @@ class RawScanOperator final : public ExecOperator {
   ScanMetrics local_metrics_;  // used when metrics == nullptr
 
   std::shared_ptr<Schema> schema_;
+  std::string table_name_;  // snapshotted for error messages
+  std::string table_path_;
   CsvTokenizer tokenizer_;
   std::unique_ptr<BufferedReader> reader_;
 
@@ -77,6 +90,13 @@ class RawScanOperator final : public ExecOperator {
   uint64_t local_offset_ = 0;  // discovery cursor when the map is off
   bool exhausted_ = false;
   uint64_t header_skip_ = 0;   // bytes of header line (has_header files)
+
+  // Lock-free row location: published bounds of rows
+  // [window_first_, window_first_ + window_rows_), snapshotted from the
+  // map; window_bounds_ has window_rows_ + 1 entries (see SnapshotRows).
+  uint64_t window_first_ = 0;
+  uint32_t window_rows_ = 0;
+  std::vector<uint64_t> window_bounds_;
 
   // Current block state.
   uint64_t current_block_ = UINT64_MAX;

@@ -32,7 +32,20 @@ void AttributeStats::Sample(double numeric, const std::string* text) {
   }
 }
 
+void AttributeStats::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  count_ = 0;
+  nulls_ = 0;
+  min_.reset();
+  max_.reset();
+  kmv_.clear();
+  numeric_sample_.clear();
+  string_sample_.clear();
+  sampled_stream_ = 0;
+}
+
 void AttributeStats::Observe(const ColumnVector& column) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (size_t i = 0; i < column.size(); ++i) {
     ++count_;
     if (column.IsNull(i)) {
@@ -66,6 +79,11 @@ void AttributeStats::Observe(const ColumnVector& column) {
 }
 
 double AttributeStats::EstimateDistinct() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EstimateDistinctLocked();
+}
+
+double AttributeStats::EstimateDistinctLocked() const {
   if (kmv_.empty()) return 0;
   if (kmv_.size() < kKmvSize) return static_cast<double>(kmv_.size());
   // Standard KMV estimator: (k-1) / normalized kth-minimum.
@@ -77,6 +95,7 @@ double AttributeStats::EstimateDistinct() const {
 
 std::optional<double> AttributeStats::EstimateCompareSelectivity(
     CompareOp op, const Value& literal) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (type_ == DataType::kString) {
     if (!literal.is_string() || string_sample_.empty()) return std::nullopt;
     const std::string& lit = literal.str();
@@ -140,7 +159,7 @@ std::optional<double> AttributeStats::EstimateCompareSelectivity(
   double frac = static_cast<double>(pass) / numeric_sample_.size();
   if (op == CompareOp::kEq && pass == 0) {
     // Equality that misses the sample: fall back on 1/NDV.
-    double ndv = EstimateDistinct();
+    double ndv = EstimateDistinctLocked();
     return ndv > 0 ? 1.0 / ndv : frac;
   }
   return frac;
@@ -148,6 +167,7 @@ std::optional<double> AttributeStats::EstimateCompareSelectivity(
 
 std::optional<double> AttributeStats::EstimateLikeSelectivity(
     std::string_view pattern, bool negated) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (string_sample_.empty()) return std::nullopt;
   size_t pass = 0;
   for (const auto& s : string_sample_) {
@@ -157,6 +177,7 @@ std::optional<double> AttributeStats::EstimateLikeSelectivity(
 }
 
 std::vector<uint64_t> AttributeStats::SampleHistogram(size_t buckets) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<uint64_t> hist(buckets, 0);
   if (numeric_sample_.empty() || !min_ || !max_ || buckets == 0) {
     return hist;
@@ -183,12 +204,28 @@ StatsCollector::StatsCollector(std::shared_ptr<Schema> schema)
 void StatsCollector::ObserveBlock(uint32_t attr, uint64_t block,
                                   const ColumnVector& column) {
   uint64_t key = (static_cast<uint64_t>(attr) << 40) | block;
-  if (!observed_.insert(key).second) return;  // already folded in
-  if (attrs_[attr] == nullptr) {
-    attrs_[attr] =
-        std::make_unique<AttributeStats>(schema_->field(attr).type);
+  AttributeStats* stats;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!observed_.insert(key).second) return;  // already folded in
+    if (attrs_[attr] == nullptr) {
+      attrs_[attr] =
+          std::make_unique<AttributeStats>(schema_->field(attr).type);
+    }
+    stats = attrs_[attr].get();
   }
-  attrs_[attr]->Observe(column);
+  // Fold outside the collector lock; the attribute's own mutex
+  // serializes concurrent observers of the same attribute.
+  stats->Observe(column);
+}
+
+bool StatsCollector::HasStats(uint32_t attr) const {
+  AttributeStats* stats;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats = attrs_[attr].get();
+  }
+  return stats != nullptr && stats->row_count() > 0;
 }
 
 std::vector<uint32_t> StatsCollector::CoveredAttributes() const {
@@ -200,7 +237,11 @@ std::vector<uint32_t> StatsCollector::CoveredAttributes() const {
 }
 
 void StatsCollector::Clear() {
-  for (auto& a : attrs_) a.reset();
+  std::lock_guard<std::mutex> lock(mu_);
+  // Reset in place: estimators may still hold GetStats() pointers.
+  for (auto& a : attrs_) {
+    if (a != nullptr) a->Reset();
+  }
   observed_.clear();
 }
 

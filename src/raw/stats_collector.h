@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -21,6 +22,14 @@ namespace nodb {
 /// (paper §3.3): only for *requested* attributes, from values that were
 /// parsed anyway, incrementally covering more of the file as queries
 /// touch more of it.
+///
+/// Thread-safe: one internal mutex serializes observation against the
+/// planner-side estimator reads, so concurrent queries can fold blocks
+/// in while another query's planner consults the same attribute. The
+/// sketches themselves are order-dependent (reservoir, KMV), so
+/// concurrent workloads may produce different — equally valid —
+/// estimates than a serial replay; query *results* never depend on
+/// them.
 class AttributeStats {
  public:
   static constexpr size_t kReservoirSize = 512;
@@ -31,15 +40,32 @@ class AttributeStats {
   /// Folds a parsed column segment into the stats.
   void Observe(const ColumnVector& column);
 
-  uint64_t row_count() const { return count_; }
-  uint64_t null_count() const { return nulls_; }
+  /// Forgets everything observed (file rewritten) without destroying
+  /// the object, so pointers handed to planners stay valid.
+  void Reset();
+
+  uint64_t row_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+  uint64_t null_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return nulls_;
+  }
   double null_fraction() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return count_ == 0 ? 0.0
                        : static_cast<double>(nulls_) /
                              static_cast<double>(count_);
   }
-  std::optional<double> numeric_min() const { return min_; }
-  std::optional<double> numeric_max() const { return max_; }
+  std::optional<double> numeric_min() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return min_;
+  }
+  std::optional<double> numeric_max() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_;
+  }
 
   /// KMV (k minimum values) distinct-count estimate.
   double EstimateDistinct() const;
@@ -60,9 +86,11 @@ class AttributeStats {
   DataType type() const { return type_; }
 
  private:
-  void Sample(double numeric, const std::string* text);
+  void Sample(double numeric, const std::string* text);  // mu_ held
+  double EstimateDistinctLocked() const;                 // mu_ held
 
-  DataType type_;
+  const DataType type_;
+  mutable std::mutex mu_;
   uint64_t count_ = 0;
   uint64_t nulls_ = 0;
   std::optional<double> min_;
@@ -76,6 +104,11 @@ class AttributeStats {
 
 /// All attributes of one raw table. Blocks already folded in are
 /// remembered so repeated scans do not double-count.
+///
+/// Thread-safe: a collector-level mutex guards the observed-block set
+/// and the lazily-created per-attribute slots. Slots are created once
+/// and reset in place on Clear(), so AttributeStats pointers handed
+/// out by GetStats stay valid for the collector's lifetime.
 class StatsCollector {
  public:
   explicit StatsCollector(std::shared_ptr<Schema> schema);
@@ -85,10 +118,10 @@ class StatsCollector {
   void ObserveBlock(uint32_t attr, uint64_t block,
                     const ColumnVector& column);
 
-  bool HasStats(uint32_t attr) const {
-    return attrs_[attr] != nullptr && attrs_[attr]->row_count() > 0;
-  }
+  bool HasStats(uint32_t attr) const;
+
   const AttributeStats* GetStats(uint32_t attr) const {
+    std::lock_guard<std::mutex> lock(mu_);
     return attrs_[attr].get();
   }
 
@@ -99,6 +132,7 @@ class StatsCollector {
 
  private:
   std::shared_ptr<Schema> schema_;
+  mutable std::mutex mu_;
   std::vector<std::unique_ptr<AttributeStats>> attrs_;
   std::unordered_set<uint64_t> observed_;  // (attr<<40)|block keys
 };

@@ -5,13 +5,20 @@ namespace nodb {
 RawTableState::RawTableState(RawTableInfo info, const NoDbConfig& config)
     : info_(std::move(info)),
       config_(config),
+      flags_{config.enable_positional_map, config.enable_cache,
+             config.enable_statistics},
+      access_counts_(info_.schema->num_fields(), 0),
       map_(config.positional_map_budget, config.rows_per_block,
            config.max_covering_chunks),
       cache_(config.cache_budget),
-      stats_(info_.schema),
-      access_counts_(info_.schema->num_fields(), 0) {}
+      stats_(info_.schema) {}
 
 Status RawTableState::Open() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return OpenLocked();
+}
+
+Status RawTableState::OpenLocked() {
   NODB_ASSIGN_OR_RETURN(auto file, OpenRandomAccessFile(info_.path));
   file_ = std::shared_ptr<RandomAccessFile>(std::move(file));
   NODB_ASSIGN_OR_RETURN(signature_, FileSignature::Capture(info_.path));
@@ -19,8 +26,9 @@ Status RawTableState::Open() {
 }
 
 Result<FileChange> RawTableState::CheckForUpdates() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (file_ == nullptr) {
-    NODB_RETURN_NOT_OK(Open());
+    NODB_RETURN_NOT_OK(OpenLocked());
     return FileChange::kUnchanged;
   }
   NODB_ASSIGN_OR_RETURN(FileChange change, signature_.Compare());
@@ -45,7 +53,7 @@ Result<FileChange> RawTableState::CheckForUpdates() {
     }
   }
   if (change == FileChange::kRewritten) {
-    InvalidateAll();
+    InvalidateAllLocked();
   }
   // Reopen: the inode may have been replaced (editors rewrite files).
   NODB_ASSIGN_OR_RETURN(auto file, OpenRandomAccessFile(info_.path));
@@ -55,20 +63,54 @@ Result<FileChange> RawTableState::CheckForUpdates() {
 }
 
 Status RawTableState::ReplaceFile(const RawTableInfo& info) {
+  std::lock_guard<std::mutex> lock(mu_);
   info_ = info;
-  InvalidateAll();
+  InvalidateAllLocked();
   access_counts_.assign(info_.schema->num_fields(), 0);
-  return Open();
+  return OpenLocked();
+}
+
+void RawTableState::SetComponentFlags(bool map, bool cache, bool stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  flags_ = ComponentFlags{map, cache, stats};
+}
+
+ComponentFlags RawTableState::component_flags() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flags_;
+}
+
+std::shared_ptr<RandomAccessFile> RawTableState::file() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return file_;
 }
 
 void RawTableState::RecordAttributeAccess(
     const std::vector<uint32_t>& attrs) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (uint32_t a : attrs) {
     if (a < access_counts_.size()) ++access_counts_[a];
   }
 }
 
-void RawTableState::InvalidateAll() {
+std::vector<uint64_t> RawTableState::attribute_access_counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return access_counts_;
+}
+
+bool RawTableState::TryClaimParallelPrewarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (parallel_prewarmed_) return false;
+  parallel_prewarmed_ = true;
+  return true;
+}
+
+bool RawTableState::parallel_prewarmed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return parallel_prewarmed_;
+}
+
+void RawTableState::InvalidateAllLocked() {
   map_.Clear();
   cache_.Clear();
   stats_.Clear();

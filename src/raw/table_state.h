@@ -1,7 +1,9 @@
 #ifndef NODB_RAW_TABLE_STATE_H_
 #define NODB_RAW_TABLE_STATE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -16,11 +18,29 @@
 
 namespace nodb {
 
+/// Runtime component switches (the demo GUI's toggles), snapshotted by
+/// each scan when it opens.
+struct ComponentFlags {
+  bool map = true;
+  bool cache = true;
+  bool stats = true;
+
+  bool any() const { return map || cache || stats; }
+};
+
 /// All adaptive state a NoDB engine accumulates for one raw table:
 /// the positional map, the binary cache, the on-the-fly statistics,
 /// the open file handle and the change-detection signature. Everything
 /// here is *disposable* — it is rebuilt from the raw file on demand —
 /// which is what makes in-situ querying safe under external updates.
+///
+/// Shared by every concurrent query over the table. The component
+/// structures are internally synchronized (see their headers); this
+/// class's own mutex guards the file handle, signature, runtime flags
+/// and access counters. File metadata (info(), config()) is immutable
+/// while queries are in flight — CheckForUpdates/ReplaceFile must not
+/// race with scans of the *new* generation, though scans of the old
+/// generation keep their shared file handle and finish safely.
 class RawTableState {
  public:
   RawTableState(RawTableInfo info, const NoDbConfig& config);
@@ -44,13 +64,16 @@ class RawTableState {
 
   /// Flips the component enable flags at runtime (demo GUI switches).
   /// Budgets and block granularity stay fixed; retained structures are
-  /// simply ignored while their component is off.
-  void SetComponentFlags(bool map, bool cache, bool stats) {
-    config_.enable_positional_map = map;
-    config_.enable_cache = cache;
-    config_.enable_statistics = stats;
-  }
-  const std::shared_ptr<RandomAccessFile>& file() const { return file_; }
+  /// simply ignored while their component is off. Scans snapshot the
+  /// flags at Open, so a flip applies to subsequent queries.
+  void SetComponentFlags(bool map, bool cache, bool stats);
+  ComponentFlags component_flags() const;
+
+  /// The shared raw-file handle (positional reads are thread-safe);
+  /// nullptr before Open. Callers keep the returned handle for the
+  /// whole scan so a concurrent reopen cannot pull it out from under
+  /// them.
+  std::shared_ptr<RandomAccessFile> file() const;
 
   PositionalMap& map() { return map_; }
   const PositionalMap& map() const { return map_; }
@@ -61,32 +84,41 @@ class RawTableState {
 
   /// Per-attribute access counts (monitoring panel usage statistics).
   void RecordAttributeAccess(const std::vector<uint32_t>& attrs);
-  const std::vector<uint64_t>& attribute_access_counts() const {
-    return access_counts_;
+  std::vector<uint64_t> attribute_access_counts() const;
+
+  uint64_t queries_executed() const {
+    return queries_executed_.load(std::memory_order_relaxed);
+  }
+  void IncrementQueryCount() {
+    queries_executed_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  uint64_t queries_executed() const { return queries_executed_; }
-  void IncrementQueryCount() { ++queries_executed_; }
-
-  /// Whether the parallel first-touch scan already ran for the current
-  /// file generation (cleared when the file is rewritten/replaced), so
-  /// the engine attempts it at most once per generation.
-  bool parallel_prewarmed() const { return parallel_prewarmed_; }
-  void set_parallel_prewarmed(bool value) { parallel_prewarmed_ = value; }
+  /// Claims the one parallel first-touch scan allowed per file
+  /// generation: true exactly once until the file is rewritten or
+  /// replaced. Concurrent first queries race here; the loser proceeds
+  /// with the serial adaptive path.
+  bool TryClaimParallelPrewarm();
+  bool parallel_prewarmed() const;
 
  private:
-  void InvalidateAll();
+  Status OpenLocked();          // requires mu_ held
+  void InvalidateAllLocked();   // requires mu_ held
 
   RawTableInfo info_;
-  NoDbConfig config_;
+  const NoDbConfig config_;
+
+  mutable std::mutex mu_;
+  ComponentFlags flags_;
   std::shared_ptr<RandomAccessFile> file_;
   FileSignature signature_;
+  std::vector<uint64_t> access_counts_;
+  bool parallel_prewarmed_ = false;
+
+  std::atomic<uint64_t> queries_executed_{0};
+
   PositionalMap map_;
   RawCache cache_;
   StatsCollector stats_;
-  std::vector<uint64_t> access_counts_;
-  uint64_t queries_executed_ = 0;
-  bool parallel_prewarmed_ = false;
 };
 
 }  // namespace nodb

@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -14,9 +15,14 @@ namespace nodb {
 /// A fixed-size pool of worker threads draining a FIFO task queue.
 ///
 /// Small by design: the parallel raw scan needs fork/join over file
-/// chunks, nothing more. Submit() never blocks; Wait() blocks the
+/// chunks and the concurrent query path needs a shared set of client
+/// workers, nothing more. Submit() never blocks; Wait() blocks the
 /// caller until every task submitted so far has finished, after which
 /// the pool is reusable for the next batch.
+///
+/// A task that throws does not take the process down: the first
+/// exception is captured and rethrown by Wait() (tasks submitted
+/// through a TaskGroup deliver to that group's Wait() instead).
 class ThreadPool {
  public:
   /// `num_threads` is clamped to at least 1.
@@ -31,7 +37,9 @@ class ThreadPool {
   /// Enqueues `task` for execution on some worker.
   void Submit(std::function<void()> task);
 
-  /// Blocks until the queue is empty and no task is running.
+  /// Blocks until the queue is empty and no task is running, then
+  /// rethrows the first exception any directly-submitted task threw
+  /// since the last Wait().
   void Wait();
 
   size_t num_threads() const { return threads_.size(); }
@@ -46,14 +54,46 @@ class ThreadPool {
   std::condition_variable work_cv_;  // signals workers: task or stop
   std::condition_variable idle_cv_;  // signals Wait(): all drained
   std::deque<std::function<void()>> queue_;
+  std::exception_ptr first_error_;  // from directly-submitted tasks
   size_t active_ = 0;
   bool stop_ = false;
   std::vector<std::thread> threads_;
 };
 
-/// Runs fn(0) .. fn(n-1) on `pool` and blocks until all complete. The
-/// caller must not submit unrelated work to `pool` concurrently (Wait
-/// synchronizes on the whole pool).
+/// A batch of tasks on a *shared* pool: Wait() returns when this
+/// group's tasks are done, regardless of what else the pool is
+/// running. This is what lets several concurrent query batches share
+/// one pool without waiting on each other.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+
+  /// Drains remaining tasks without rethrowing (call Wait() first to
+  /// observe errors); tasks must not outlive the group.
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueues `task`; an exception it throws is captured and rethrown
+  /// by this group's Wait().
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted to *this group* finished, then
+  /// rethrows the first captured exception.
+  void Wait();
+
+ private:
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable done_cv_;
+  size_t pending_ = 0;
+  std::exception_ptr first_error_;
+};
+
+/// Runs fn(0) .. fn(n-1) on `pool` and blocks until all complete; the
+/// first exception thrown by any fn is rethrown in the caller. Safe on
+/// a shared pool (uses a TaskGroup internally).
 void ParallelFor(ThreadPool* pool, size_t n,
                  const std::function<void(size_t)>& fn);
 

@@ -6,7 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include "datagen/synthetic.h"
 #include "engines/load_first_engine.h"
@@ -304,6 +307,151 @@ TEST(ParallelEquivalenceCrlf, CrlfFileMatchesReferenceAtEveryThreadCount) {
                 expected->result.CanonicalRows());
     }
   }
+}
+
+/// The concurrent-serving property: N clients hammering one shared
+/// TableState — mixed cold and warm, every knob on, small blocks so
+/// many chunks/segments publish concurrently — must return exactly the
+/// rows the serial engines return, for every query.
+class ConcurrentEquivalence : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ConcurrentEquivalence, ClientsMatchSerialOnSharedState) {
+  const uint32_t clients = GetParam();
+  auto dir = TempDir::Create("nodb-equiv-conc");
+  ASSERT_TRUE(dir.ok());
+
+  SyntheticSpec spec;
+  spec.num_tuples = 700;
+  spec.num_attributes = 8;
+  spec.ints_per_cycle = 1;
+  spec.doubles_per_cycle = 1;
+  spec.strings_per_cycle = 1;
+  spec.dates_per_cycle = 1;
+  spec.attribute_width = 7;
+  spec.null_fraction = 0.05;
+  spec.seed = 777;
+  std::string path = dir->FilePath("t.csv");
+  ASSERT_TRUE(GenerateSyntheticCsv(path, spec, CsvDialect()).ok());
+
+  Catalog catalog;
+  auto schema = spec.MakeSchema();
+  ASSERT_TRUE(
+      catalog.RegisterTable({"t", path, schema, CsvDialect()}).ok());
+
+  NoDbConfig config;
+  config.rows_per_block = 32;  // many blocks -> many concurrent commits
+  // A small map budget keeps eviction racing against publication.
+  config.positional_map_budget = 32 * 1024;
+
+  LoadFirstEngine reference(catalog, LoadProfile::kPostgres);
+  ASSERT_TRUE(reference.Initialize().ok());
+  NoDbEngine serial(catalog, config);
+
+  // Each query appears twice in the batch, so one shared state serves
+  // cold and warm instances of the same query at the same time.
+  QueryGenerator generator(*schema, 31337);
+  std::vector<std::string> batch;
+  std::vector<std::string> unique;
+  for (int q = 0; q < 12; ++q) unique.push_back(generator.Next());
+  for (int q = 0; q < 12; ++q) {
+    batch.push_back(unique[q]);
+    batch.push_back(unique[(q + 5) % 12]);
+  }
+
+  std::vector<std::vector<std::string>> expected;
+  expected.reserve(batch.size());
+  for (const std::string& sql : batch) {
+    auto ref = reference.Execute(sql);
+    ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+    auto ser = serial.Execute(sql);
+    ASSERT_TRUE(ser.ok()) << ser.status().ToString();
+    ASSERT_EQ(ser->result.CanonicalRows(), ref->result.CanonicalRows())
+        << sql;
+    expected.push_back(ref->result.CanonicalRows());
+  }
+
+  NoDbEngine concurrent(catalog, config);
+  for (int round = 0; round < 2; ++round) {  // cold batch, then warm
+    SCOPED_TRACE("round " + std::to_string(round) + ", " +
+                 std::to_string(clients) + " clients");
+    ConcurrentBatchOutcome outcome =
+        concurrent.ExecuteConcurrent(batch, clients);
+    ASSERT_EQ(outcome.reports.size(), batch.size());
+    EXPECT_EQ(outcome.failures(), 0u);
+    for (size_t i = 0; i < outcome.reports.size(); ++i) {
+      const ConcurrentQueryReport& report = outcome.reports[i];
+      SCOPED_TRACE("query " + std::to_string(i) + ": " + batch[i]);
+      ASSERT_TRUE(report.status.ok()) << report.status.ToString();
+      EXPECT_EQ(report.result.CanonicalRows(), expected[i]);
+    }
+  }
+
+  // The shared state really was exercised by the batch.
+  const RawTableState* state = concurrent.table_state("t");
+  ASSERT_NE(state, nullptr);
+  EXPECT_TRUE(state->map().rows_complete());
+  EXPECT_EQ(state->map().known_rows(), spec.num_tuples);
+}
+
+INSTANTIATE_TEST_SUITE_P(ClientCounts, ConcurrentEquivalence,
+                         ::testing::Values(2u, 8u));
+
+TEST(ConcurrentEquivalence, RawExecutePathIsThreadSafeWithoutSessions) {
+  // Plain Engine::Execute from bare threads (no ExecuteConcurrent, no
+  // pool): the documented contract is the method itself.
+  auto dir = TempDir::Create("nodb-equiv-bare");
+  ASSERT_TRUE(dir.ok());
+  std::string content;
+  for (int i = 0; i < 500; ++i) {
+    content += std::to_string(i) + "," + std::to_string(i % 13) + "," +
+               std::to_string(i * 3) + "\n";
+  }
+  std::string path = dir->FilePath("t.csv");
+  ASSERT_TRUE(WriteStringToFile(path, content).ok());
+
+  Catalog catalog;
+  auto schema = Schema::Make({{"id", DataType::kInt64},
+                              {"grp", DataType::kInt64},
+                              {"x", DataType::kInt64}});
+  ASSERT_TRUE(
+      catalog.RegisterTable({"t", path, schema, CsvDialect()}).ok());
+
+  NoDbConfig config;
+  config.rows_per_block = 64;
+  NoDbEngine nodb(catalog, config);
+  LoadFirstEngine reference(catalog, LoadProfile::kPostgres);
+  ASSERT_TRUE(reference.Initialize().ok());
+
+  const std::vector<std::string> queries = {
+      "SELECT grp, COUNT(*) AS n, SUM(x) AS s FROM t GROUP BY grp "
+      "ORDER BY grp",
+      "SELECT id, x FROM t WHERE x > 600 ORDER BY id LIMIT 25",
+      "SELECT COUNT(*) AS n FROM t WHERE grp = 7",
+      "SELECT MIN(x) AS lo, MAX(x) AS hi FROM t",
+  };
+  std::vector<std::vector<std::string>> expected;
+  for (const auto& sql : queries) {
+    auto ref = reference.Execute(sql);
+    ASSERT_TRUE(ref.ok());
+    expected.push_back(ref->result.CanonicalRows());
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 6; ++round) {
+        size_t q = static_cast<size_t>(t + round) % queries.size();
+        auto got = nodb.Execute(queries[q]);
+        if (!got.ok() ||
+            got->result.CanonicalRows() != expected[q]) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 TEST(EquivalenceJoinTest, JoinsMatchAcrossEngines) {

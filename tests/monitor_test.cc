@@ -106,5 +106,49 @@ TEST(PanelTest, TableStatePanelShowsStructures) {
   EXPECT_NE(panel.find("a "), std::string::npos);  // accessed attribute
 }
 
+TEST(PanelTest, ConcurrentBatchPanelAggregates) {
+  ConcurrentBatchOutcome batch;
+  batch.clients = 3;
+  batch.wall_ns = 2'000'000;  // 2 ms for 4 queries -> 2000 q/s
+  for (size_t i = 0; i < 4; ++i) {
+    ConcurrentQueryReport report;
+    report.index = i;
+    report.client = "client-" + std::to_string(i % 3);
+    report.sql = "SELECT " + std::to_string(i);
+    report.metrics.total_ns = 900'000;
+    // Overlapping pairs: q0/q1 together, then q2/q3 together.
+    report.start_ns = static_cast<int64_t>((i / 2) * 1'000'000);
+    report.finish_ns = report.start_ns + 900'000;
+    batch.reports.push_back(std::move(report));
+  }
+  batch.reports[3].status = Status::ParseError("bad row");
+
+  EXPECT_EQ(batch.peak_in_flight(), 2u);
+  EXPECT_EQ(batch.failures(), 1u);
+  EXPECT_NEAR(batch.queries_per_second(), 2000.0, 1.0);
+
+  std::string panel = MonitorPanel::RenderConcurrentBatch(batch);
+  EXPECT_NE(panel.find("4 queries on 3 client(s)"), std::string::npos);
+  EXPECT_NE(panel.find("peak in flight 2"), std::string::npos);
+  EXPECT_NE(panel.find("failures 1"), std::string::npos);
+  EXPECT_NE(panel.find("client-1"), std::string::npos);
+  EXPECT_NE(panel.find("FAILED"), std::string::npos);
+  EXPECT_NE(panel.find("queries/s"), std::string::npos);
+}
+
+TEST(PanelTest, PeakInFlightBackToBackDoesNotOverlap) {
+  ConcurrentBatchOutcome batch;
+  batch.clients = 1;
+  batch.wall_ns = 2'000'000;
+  for (size_t i = 0; i < 3; ++i) {
+    ConcurrentQueryReport report;
+    report.index = i;
+    report.start_ns = static_cast<int64_t>(i) * 500'000;
+    report.finish_ns = report.start_ns + 500'000;  // finish == next start
+    batch.reports.push_back(std::move(report));
+  }
+  EXPECT_EQ(batch.peak_in_flight(), 1u);
+}
+
 }  // namespace
 }  // namespace nodb

@@ -9,6 +9,7 @@
 #include <chrono>
 #include <mutex>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -110,6 +111,99 @@ TEST(ThreadPoolTest, TasksActuallyRunConcurrently) {
 
 TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
   EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+}
+
+// ------------------------------------------------ exception delivery
+
+TEST(ThreadPoolTest, TaskExceptionReachesWaiter) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("task blew up"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, PoolStaysUsableAfterTaskException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("first batch"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&count] { ++count; });
+  }
+  pool.Wait();  // error was consumed by the previous Wait
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, OnlyFirstExceptionIsDelivered) {
+  ThreadPool pool(4);
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([] { throw std::runtime_error("boom"); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  pool.Wait();  // drained and cleared: no rethrow
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(ParallelFor(&pool, 16,
+                           [](size_t i) {
+                             if (i == 7) throw std::logic_error("bad lane");
+                           }),
+               std::logic_error);
+  // The pool survives for the next fork/join.
+  std::atomic<int> count{0};
+  ParallelFor(&pool, 8, [&](size_t) { ++count; });
+  EXPECT_EQ(count.load(), 8);
+}
+
+// ----------------------------------------------------------- groups
+
+TEST(TaskGroupTest, WaitsOnlyForOwnTasks) {
+  ThreadPool pool(4);
+  std::atomic<bool> release_other{false};
+  std::atomic<int> own_done{0};
+
+  TaskGroup slow(&pool);
+  slow.Submit([&release_other] {
+    while (!release_other.load()) std::this_thread::yield();
+  });
+
+  TaskGroup fast(&pool);
+  for (int i = 0; i < 8; ++i) {
+    fast.Submit([&own_done] { ++own_done; });
+  }
+  // Must return although the slow group's task is still running.
+  fast.Wait();
+  EXPECT_EQ(own_done.load(), 8);
+
+  release_other = true;
+  slow.Wait();
+}
+
+TEST(TaskGroupTest, ExceptionGoesToGroupNotPool) {
+  ThreadPool pool(2);
+  {
+    TaskGroup group(&pool);
+    group.Submit([] { throw std::runtime_error("group task"); });
+    EXPECT_THROW(group.Wait(), std::runtime_error);
+  }
+  pool.Wait();  // pool-level error state untouched: no rethrow
+}
+
+TEST(TaskGroupTest, DestructorDrainsWithoutThrowing) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  {
+    TaskGroup group(&pool);
+    for (int i = 0; i < 10; ++i) {
+      group.Submit([&count, i] {
+        if (i == 3) throw std::runtime_error("swallowed by dtor");
+        ++count;
+      });
+    }
+    // No Wait(): the destructor must drain and must not throw.
+  }
+  EXPECT_EQ(count.load(), 9);
 }
 
 }  // namespace

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Mechanical style gate for the whole tree.
+
+Checks every C++ source for the rules that never depend on a formatter
+version: no tab indentation, no trailing whitespace, no CRLF line
+endings, exactly one trailing newline. CI runs this as a hard gate
+(the clang-format job covers layout on changed files).
+
+Exit code 0 when clean; 1 with one line per violation otherwise.
+"""
+
+import glob
+import sys
+
+PATTERNS = [
+    "src/**/*.cc",
+    "src/**/*.h",
+    "tests/*.cc",
+    "bench/*.cc",
+    "bench/*.h",
+    "examples/*.cpp",
+]
+
+
+def check_file(path: str) -> list:
+    problems = []
+    with open(path, "rb") as f:
+        raw = f.read()
+    if b"\r" in raw:
+        problems.append(f"{path}: CRLF line endings")
+    if raw and not raw.endswith(b"\n"):
+        problems.append(f"{path}: missing trailing newline")
+    if raw.endswith(b"\n\n"):
+        problems.append(f"{path}: multiple trailing newlines")
+    for i, line in enumerate(raw.split(b"\n"), start=1):
+        if b"\t" in line:
+            problems.append(f"{path}:{i}: tab character")
+        if line != line.rstrip():
+            problems.append(f"{path}:{i}: trailing whitespace")
+    return problems
+
+
+def main() -> int:
+    files = sorted({f for p in PATTERNS for f in glob.glob(p, recursive=True)})
+    if not files:
+        print("check_style: no sources found (run from the repo root)")
+        return 1
+    problems = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    print(
+        f"check_style: {len(files)} files, "
+        f"{len(problems)} problem(s)"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

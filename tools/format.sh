@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Formats the tree with the project .clang-format (or checks it with
+# --check). CI pins the same clang-format version (see ci.yml) and
+# checks the files a PR touches.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+MODE="${1:---fix}"
+
+mapfile -t files < <(find src tests bench examples \
+  -name '*.cc' -o -name '*.h' -o -name '*.cpp')
+
+if [[ "$MODE" == "--check" ]]; then
+  "$CLANG_FORMAT" --dry-run -Werror "${files[@]}"
+else
+  "$CLANG_FORMAT" -i "${files[@]}"
+fi
