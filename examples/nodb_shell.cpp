@@ -8,8 +8,9 @@
 //   \open NAME PATH SCHEMA [DELIM]  register a raw file as a table
 //   \tables                         list registered tables
 //   \panel [TABLE]                  show the monitoring panel
+//   \tiers [TABLE]                  per-table storage-tier report
 //   \explain SQL                    show the (adaptive) query plan
-//   \baseline on|off                toggle map+cache+stats together
+//   \baseline on|off                toggle map+cache+stats+store
 //   \timing on|off                  per-query breakdown line
 //   \help  \quit
 //
@@ -55,7 +56,7 @@ void PrintHelp() {
       "commands:\n"
       "  \\open NAME PATH SCHEMA [DELIM]   e.g. \\open t data.csv "
       "\"id:int,name:string\" ,\n"
-      "  \\tables    \\panel [TABLE]    \\explain SQL\n"
+      "  \\tables    \\panel [TABLE]    \\tiers [TABLE]    \\explain SQL\n"
       "  \\export FILE SQL                 run SQL, write result as CSV\n"
       "  \\baseline on|off    \\timing on|off    \\help    \\quit\n"
       "anything else runs as SQL. Omit SCHEMA in \\open to infer it.\n");
@@ -159,6 +160,28 @@ int main(int argc, char** argv) {
         } else {
           std::printf("%s", MonitorPanel::RenderTableState(*state).c_str());
         }
+      } else if (cmd == "\\tiers") {
+        std::string table;
+        iss >> table;
+        // Settle in-flight background promotions so the report shows
+        // the store the next query will actually see.
+        engine.WaitForPromotions();
+        std::vector<std::string> tables;
+        if (!table.empty()) {
+          tables.push_back(table);
+        } else {
+          tables = engine.catalog().TableNames();
+        }
+        for (const auto& name : tables) {
+          const RawTableState* state = engine.table_state(name);
+          if (state == nullptr) {
+            std::printf("no adaptive state yet for '%s' (query it first)\n",
+                        name.c_str());
+          } else {
+            std::printf("%s",
+                        MonitorPanel::RenderStorageTiers(*state).c_str());
+          }
+        }
       } else if (cmd == "\\explain") {
         std::string sql;
         std::getline(iss, sql);
@@ -195,6 +218,7 @@ int main(int argc, char** argv) {
         engine.SetPositionalMapEnabled(!on);
         engine.SetCacheEnabled(!on);
         engine.SetStatisticsEnabled(!on);
+        engine.SetStoreEnabled(!on);
         std::printf("NoDB components %s\n", on ? "DISABLED (baseline "
                                                  "external-files mode)"
                                                : "enabled");

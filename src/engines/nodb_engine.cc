@@ -7,6 +7,7 @@
 #include "raw/raw_scan.h"
 #include "raw/stats_collector.h"
 #include "sql/planner.h"
+#include "store/promoter.h"
 #include "util/stopwatch.h"
 
 namespace nodb {
@@ -47,6 +48,8 @@ NoDbEngine::NoDbEngine(Catalog catalog, NoDbConfig config, std::string name)
       catalog_(std::move(catalog)),
       config_(config) {}
 
+NoDbEngine::~NoDbEngine() { WaitForPromotions(); }
+
 Result<int64_t> NoDbEngine::Initialize() {
   // The NoDB philosophy: there is no initialization step. A pointer to
   // the raw files (the catalog) is all the engine needs.
@@ -84,7 +87,8 @@ Result<RawTableState*> NoDbEngine::GetOrCreateState(
   if (inserted) {
     it->second->SetComponentFlags(config_.enable_positional_map,
                                   config_.enable_cache,
-                                  config_.enable_statistics);
+                                  config_.enable_statistics,
+                                  config_.enable_store);
   }
   return it->second.get();
 }
@@ -96,6 +100,12 @@ Status NoDbEngine::MaybeParallelPrewarm(RawTableState* state,
           ? static_cast<uint32_t>(ThreadPool::DefaultThreadCount())
           : config_.num_threads;
   if (threads <= 1) return Status::OK();
+  if (state->info().dialect.allow_quoting) {
+    // Chunk boundaries split on raw '\n', which a quoted field may
+    // contain: fall back to the serial first-touch path (the claim is
+    // left untaken, so parallel_prewarmed() stays false).
+    return Status::OK();
+  }
   if (!state->component_flags().any()) {
     return Status::OK();  // Baseline mode: nothing would be retained.
   }
@@ -148,7 +158,53 @@ Result<QueryOutcome> NoDbEngine::Execute(std::string_view sql) {
     std::lock_guard<std::mutex> lock(states_mu_);
     for (auto& [table, state] : states_) state->IncrementQueryCount();
   }
+  // Paper-style adaptive loading: once the query is answered, promote
+  // whatever it made hot in the background.
+  SchedulePromotions();
   return outcome;
+}
+
+void NoDbEngine::SchedulePromotions() {
+  std::vector<RawTableState*> states;
+  {
+    std::lock_guard<std::mutex> lock(states_mu_);
+    if (!config_.enable_store) return;
+    states.reserve(states_.size());
+    for (auto& [table, state] : states_) states.push_back(state.get());
+  }
+  for (RawTableState* state : states) {
+    ComponentFlags flags = state->component_flags();
+    // Store serving rides on the map (hybrid plans locate the raw
+    // residue through it), so promotion does too.
+    if (!flags.store || !flags.map) continue;
+    std::vector<uint32_t> hot = HotAttributes(*state);
+    if (!PromotionPending(*state, hot)) continue;
+    if (!state->TryBeginPromotion(hot, state->map().known_rows())) {
+      continue;  // a pass is in flight, or this target is already done
+    }
+    {
+      std::lock_guard<std::mutex> lock(promo_mu_);
+      ++promo_pending_;
+    }
+    // The task deliberately does not keep the pool alive: the engine
+    // owns pool lifetime, and a replaced pool drains its queue in its
+    // destructor, so a queued pass always runs before teardown.
+    ClientPool(1)->Submit([this, state, hot = std::move(hot)] {
+      Status status = PromoteHotColumns(state, hot);
+      // A failed pass (e.g. the file was rewritten underneath) leaves
+      // the claim re-armed; the next query retries against the new
+      // generation.
+      state->EndPromotion(status.ok());
+      std::lock_guard<std::mutex> lock(promo_mu_);
+      --promo_pending_;
+      promo_cv_.notify_all();
+    });
+  }
+}
+
+void NoDbEngine::WaitForPromotions() {
+  std::unique_lock<std::mutex> lock(promo_mu_);
+  promo_cv_.wait(lock, [&] { return promo_pending_ == 0; });
 }
 
 std::shared_ptr<ThreadPool> NoDbEngine::ClientPool(uint32_t threads) {
@@ -230,34 +286,37 @@ Result<std::string> NoDbEngine::Explain(std::string_view sql) {
   return text;
 }
 
-void NoDbEngine::SetPositionalMapEnabled(bool enabled) {
-  std::lock_guard<std::mutex> lock(states_mu_);
-  config_.enable_positional_map = enabled;
+void NoDbEngine::ApplyComponentFlagsLocked() {
   for (auto& [name, state] : states_) {
     state->SetComponentFlags(config_.enable_positional_map,
                              config_.enable_cache,
-                             config_.enable_statistics);
+                             config_.enable_statistics,
+                             config_.enable_store);
   }
+}
+
+void NoDbEngine::SetPositionalMapEnabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(states_mu_);
+  config_.enable_positional_map = enabled;
+  ApplyComponentFlagsLocked();
 }
 
 void NoDbEngine::SetCacheEnabled(bool enabled) {
   std::lock_guard<std::mutex> lock(states_mu_);
   config_.enable_cache = enabled;
-  for (auto& [name, state] : states_) {
-    state->SetComponentFlags(config_.enable_positional_map,
-                             config_.enable_cache,
-                             config_.enable_statistics);
-  }
+  ApplyComponentFlagsLocked();
 }
 
 void NoDbEngine::SetStatisticsEnabled(bool enabled) {
   std::lock_guard<std::mutex> lock(states_mu_);
   config_.enable_statistics = enabled;
-  for (auto& [name, state] : states_) {
-    state->SetComponentFlags(config_.enable_positional_map,
-                             config_.enable_cache,
-                             config_.enable_statistics);
-  }
+  ApplyComponentFlagsLocked();
+}
+
+void NoDbEngine::SetStoreEnabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(states_mu_);
+  config_.enable_store = enabled;
+  ApplyComponentFlagsLocked();
 }
 
 const RawTableState* NoDbEngine::table_state(

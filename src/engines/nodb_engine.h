@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include <condition_variable>
+
 #include "catalog/catalog.h"
 #include "engines/engine.h"
 #include "engines/query_session.h"
@@ -38,6 +40,10 @@ class NoDbEngine final : public Engine {
   NoDbEngine(Catalog catalog, NoDbConfig config,
              std::string name = "PostgresRaw");
 
+  /// Waits for in-flight background promotions before tearing down the
+  /// table states they walk.
+  ~NoDbEngine() override;
+
   std::string_view name() const override { return name_; }
 
   /// In-situ: nothing to do. Registers no I/O, returns ~0.
@@ -67,6 +73,11 @@ class NoDbEngine final : public Engine {
   void SetPositionalMapEnabled(bool enabled);
   void SetCacheEnabled(bool enabled);
   void SetStatisticsEnabled(bool enabled);
+  void SetStoreEnabled(bool enabled);
+
+  /// Blocks until every scheduled background promotion pass has
+  /// finished (tests and benches that want a deterministic store).
+  void WaitForPromotions();
 
   /// Adaptive state of `table` (for the monitoring panel and tests);
   /// nullptr before the first query touches the table.
@@ -100,6 +111,15 @@ class NoDbEngine final : public Engine {
   /// a shared_ptr so an in-flight batch keeps its pool alive.
   std::shared_ptr<ThreadPool> ClientPool(uint32_t threads);
 
+  /// After a query completes: for every table whose hot attributes are
+  /// not fully materialized, claims and submits one background
+  /// promotion pass (store/promoter.h) to the shared pool.
+  void SchedulePromotions();
+
+  /// Pushes the engine-level component flags down to every table
+  /// state. Requires states_mu_ held.
+  void ApplyComponentFlagsLocked();
+
   std::string name_;
   Catalog catalog_;
   NoDbConfig config_;
@@ -111,6 +131,13 @@ class NoDbEngine final : public Engine {
 
   std::mutex totals_mu_;
   EngineTotals totals_;
+
+  /// Background-promotion accounting. Declared before the pool so a
+  /// queued promotion task drained by the pool's destructor still
+  /// finds these alive.
+  std::mutex promo_mu_;
+  std::condition_variable promo_cv_;
+  size_t promo_pending_ = 0;
 
   std::mutex pool_mu_;
   std::shared_ptr<ThreadPool> client_pool_;

@@ -38,6 +38,14 @@ std::string MonitorPanel::RenderTableState(const RawTableState& state) {
          std::to_string(cache.num_segments()) + " segments, hits " +
          std::to_string(cache.hits()) + " / misses " +
          std::to_string(cache.misses()) + "\n";
+  const ShadowStore& store = state.store();
+  out += "shadow store    " + Bar(store.utilization()) + "  " +
+         FormatBytes(store.bytes_used()) + " / " +
+         FormatBytes(store.budget_bytes()) + ", " +
+         std::to_string(store.num_segments()) + " segments, " +
+         std::to_string(store.promotions()) + " promotions, hits " +
+         std::to_string(store.hits()) + " / evictions " +
+         std::to_string(store.evictions()) + "\n";
   out += "tuple index     " + std::to_string(map.known_rows()) +
          " rows known" +
          std::string(map.rows_complete() ? " (complete)" : " (partial)") +
@@ -67,19 +75,69 @@ std::string MonitorPanel::RenderTableState(const RawTableState& state) {
 
 std::string MonitorPanel::RenderBreakdown(const std::string& label,
                                           const QueryMetrics& metrics) {
-  char line[256];
+  char line[384];
   std::snprintf(
       line, sizeof(line),
       "%-24s total %10s | proc %10s | io %10s | convert %10s | "
-      "parse %10s | tokenize %10s | nodb %10s\n",
+      "parse %10s | tokenize %10s | nodb %10s | rows store/cache/raw "
+      "%llu/%llu/%llu\n",
       label.c_str(), FormatNanos(metrics.total_ns).c_str(),
       FormatNanos(metrics.processing_ns()).c_str(),
       FormatNanos(metrics.scan.io_ns).c_str(),
       FormatNanos(metrics.scan.convert_ns).c_str(),
       FormatNanos(metrics.scan.parsing_ns).c_str(),
       FormatNanos(metrics.scan.tokenize_ns).c_str(),
-      FormatNanos(metrics.scan.nodb_ns).c_str());
+      FormatNanos(metrics.scan.nodb_ns).c_str(),
+      static_cast<unsigned long long>(metrics.scan.rows_from_store),
+      static_cast<unsigned long long>(metrics.scan.rows_from_cache),
+      static_cast<unsigned long long>(metrics.scan.rows_from_raw));
   return line;
+}
+
+std::string MonitorPanel::RenderStorageTiers(const RawTableState& state) {
+  const PositionalMap& map = state.map();
+  const RawCache& cache = state.cache();
+  const ShadowStore& store = state.store();
+  const uint64_t known = map.known_rows();
+
+  std::string out;
+  out += "=== storage tiers: table '" + state.info().name + "' ===\n";
+  out += "raw file        " + state.info().path + "\n";
+  out += "positional map  " + FormatBytes(map.bytes_used()) + " / " +
+         FormatBytes(map.budget_bytes()) + ", " +
+         std::to_string(map.num_chunks()) + " chunks, " +
+         std::to_string(known) + " rows known" +
+         (map.rows_complete() ? " (complete)" : " (partial)") + "\n";
+  out += "raw cache       " + FormatBytes(cache.bytes_used()) + " / " +
+         FormatBytes(cache.budget_bytes()) + ", " +
+         std::to_string(cache.num_segments()) + " segments, hits " +
+         std::to_string(cache.hits()) + " / misses " +
+         std::to_string(cache.misses()) + "\n";
+  out += "shadow store    " + FormatBytes(store.bytes_used()) + " / " +
+         FormatBytes(store.budget_bytes()) + ", " +
+         std::to_string(store.num_segments()) + " segments, " +
+         std::to_string(store.promotions()) + " promotions, " +
+         std::to_string(store.evictions()) + " evictions, block hits " +
+         std::to_string(store.hits()) + "\n";
+
+  const std::vector<uint32_t> promoted = store.MaterializedAttributes();
+  const std::vector<uint64_t> heat = state.stats().access_heat_counts();
+  out += "promoted columns (" + std::to_string(promoted.size()) + "):\n";
+  for (uint32_t a : promoted) {
+    double coverage =
+        known == 0 ? 0.0
+                   : static_cast<double>(store.rows_materialized(a)) /
+                         static_cast<double>(known);
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  %-16s heat %6llu   store %s\n",
+                  state.info().schema->field(a).name.c_str(),
+                  static_cast<unsigned long long>(
+                      a < heat.size() ? heat[a] : 0),
+                  Bar(coverage, 20).c_str());
+    out += line;
+  }
+  return out;
 }
 
 std::string MonitorPanel::RenderConcurrentBatch(
@@ -113,16 +171,17 @@ std::string MonitorPanel::RenderConcurrentBatch(
 std::string MonitorPanel::BreakdownCsvHeader() {
   return "label,total_ns,processing_ns,io_ns,convert_ns,parsing_ns,"
          "tokenize_ns,nodb_ns,rows,bytes_read,cache_hits,cache_misses,"
-         "map_exact,map_anchor,map_blind";
+         "map_exact,map_anchor,map_blind,store_hits,rows_store,"
+         "rows_cache,rows_raw";
 }
 
 std::string MonitorPanel::BreakdownCsvRow(const std::string& label,
                                           const QueryMetrics& metrics) {
-  char line[320];
+  char line[384];
   const ScanMetrics& s = metrics.scan;
   std::snprintf(line, sizeof(line),
                 "%s,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%llu,%llu,%llu,"
-                "%llu,%llu,%llu,%llu",
+                "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu",
                 label.c_str(), static_cast<long long>(metrics.total_ns),
                 static_cast<long long>(metrics.processing_ns()),
                 static_cast<long long>(s.io_ns),
@@ -136,7 +195,11 @@ std::string MonitorPanel::BreakdownCsvRow(const std::string& label,
                 static_cast<unsigned long long>(s.cache_block_misses),
                 static_cast<unsigned long long>(s.map_exact_probes),
                 static_cast<unsigned long long>(s.map_anchor_probes),
-                static_cast<unsigned long long>(s.map_blind_rows));
+                static_cast<unsigned long long>(s.map_blind_rows),
+                static_cast<unsigned long long>(s.store_block_hits),
+                static_cast<unsigned long long>(s.rows_from_store),
+                static_cast<unsigned long long>(s.rows_from_cache),
+                static_cast<unsigned long long>(s.rows_from_raw));
   return line;
 }
 

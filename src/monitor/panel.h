@@ -18,10 +18,15 @@ namespace nodb {
 /// logs can show the identical information.
 class MonitorPanel {
  public:
-  /// The System Monitoring Panel (Figure 2): map/cache utilization
-  /// bars, structure sizes, per-attribute access counts and known-file
-  /// coverage shading for the touched attributes.
+  /// The System Monitoring Panel (Figure 2): map/cache/store
+  /// utilization bars, structure sizes, per-attribute access counts
+  /// and known-file coverage shading for the touched attributes.
   static std::string RenderTableState(const RawTableState& state);
+
+  /// The storage-tier report (the shell's \tiers command): raw file →
+  /// RawCache → shadow store, with per-tier bytes vs budgets, hit
+  /// counters and the promoted columns' heat and coverage.
+  static std::string RenderStorageTiers(const RawTableState& state);
 
   /// The Query Execution Breakdown panel (Figure 3): one stacked row
   /// of Processing / IO / Convert / Parsing / Tokenizing / NoDB.

@@ -22,6 +22,21 @@ struct NoDbConfig {
   /// On-the-fly statistics (paper §3.3).
   bool enable_statistics = true;
 
+  /// Shadow column store (store/shadow_store.h): heat-driven background
+  /// materialization of hot columns — the paper's adaptive-loading end
+  /// state where frequently accessed raw data gradually becomes loaded
+  /// data. Serving from the store requires the positional map (the
+  /// hybrid plan's raw residue needs it to locate rows).
+  bool enable_store = true;
+  size_t store_budget = 256u << 20;  // bytes
+
+  /// Heat threshold: an attribute is promotable once this many scans
+  /// have requested it. The scan that crosses the threshold hands its
+  /// parsed (or cache-resident) segments to the store as it goes
+  /// (piggybacked promotion); a background pass on the engine's shared
+  /// pool fills whatever that scan did not cover.
+  uint32_t promote_after_accesses = 2;
+
   /// Row-block granularity shared by the map and cache. One chunk /
   /// cached column segment covers this many consecutive tuples.
   uint32_t rows_per_block = 4096;
@@ -49,6 +64,19 @@ struct NoDbConfig {
     config.enable_positional_map = false;
     config.enable_cache = false;
     config.enable_statistics = false;
+    config.enable_store = false;
+    return config;
+  }
+
+  /// Approximates a load-first system without a load phase: every
+  /// column is promoted to the shadow store on first touch under an
+  /// effectively unlimited budget, so repeated queries run against
+  /// fully materialized binary columns.
+  static NoDbConfig FullyMaterialized() {
+    NoDbConfig config;
+    config.promote_after_accesses = 1;
+    config.store_budget = size_t{8} << 30;
+    config.cache_budget = size_t{1} << 30;
     return config;
   }
 };

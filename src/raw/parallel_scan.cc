@@ -175,10 +175,15 @@ Result<ParallelScanStats> ParallelChunkedScan(RawTableState* state,
   }
 
   // Newline-aligned chunk boundaries: chunk i owns every row whose
-  // start offset falls in [bounds[i], bounds[i+1]).
+  // start offset falls in [bounds[i], bounds[i+1]). With quoting
+  // enabled a raw '\n' may sit inside a field, so boundary alignment
+  // could split a record mid-quote: collapse to one chunk — a serial
+  // walk that still builds every structure through the same merge.
   const uint64_t data_size = file_size - data_begin;
   const uint64_t num_chunks =
-      std::max<uint64_t>(1, std::min<uint64_t>(out.threads, data_size));
+      state->info().dialect.allow_quoting
+          ? 1
+          : std::max<uint64_t>(1, std::min<uint64_t>(out.threads, data_size));
   std::vector<uint64_t> bounds;
   bounds.push_back(data_begin);
   for (uint64_t i = 1; i < num_chunks; ++i) {

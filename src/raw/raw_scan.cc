@@ -35,10 +35,11 @@ class PhaseTimer {
 
 RawScanOperator::RawScanOperator(RawTableState* state,
                                  std::vector<uint32_t> projection,
-                                 ScanMetrics* metrics)
+                                 ScanMetrics* metrics, bool internal)
     : state_(state),
       projection_(std::move(projection)),
       metrics_(metrics != nullptr ? metrics : &local_metrics_),
+      internal_(internal),
       table_name_(state->info().name),
       table_path_(state->info().path),
       tokenizer_(state->info().dialect) {
@@ -52,6 +53,15 @@ Status RawScanOperator::Open() {
   use_map_ = flags.map;
   use_cache_ = flags.cache;
   use_stats_ = flags.stats;
+  use_store_ = flags.store;
+  // Serving from the store needs the map: the raw residue of a hybrid
+  // plan locates rows through it after a store-served block.
+  serve_store_ = use_store_ && use_map_ && !projection_.empty();
+  // Snapshot the store generation *before* taking the file handle: if
+  // the file is rewritten after this point, the generation moves on
+  // and this scan's promotions are rejected rather than poisoning the
+  // cleared store with old-file segments.
+  store_generation_ = state_->store().generation();
 
   std::shared_ptr<RandomAccessFile> file = state_->file();
   if (file == nullptr) {
@@ -72,6 +82,11 @@ Status RawScanOperator::Open() {
   window_first_ = 0;
   window_rows_ = 0;
   window_bounds_.clear();
+  store_block_ = false;
+  store_tail_ = false;
+  store_until_row_ = 0;
+  store_segments_.clear();
+  block_has_building_ = false;
   attr_states_.clear();
   attr_states_.resize(projection_.size());
   for (size_t i = 0; i < projection_.size(); ++i) {
@@ -93,7 +108,17 @@ Status RawScanOperator::Open() {
   }
   local_offset_ = header_skip_;
 
-  state_->RecordAttributeAccess(projection_);
+  if (!internal_) state_->RecordAttributeAccess(projection_);
+
+  // Snapshot promotion heat after recording this access, so the scan
+  // that crosses the threshold is the one that promotes.
+  promote_attr_.assign(projection_.size(), false);
+  if (use_store_) {
+    for (size_t i = 0; i < projection_.size(); ++i) {
+      promote_attr_[i] = state_->stats().access_heat(projection_[i]) >=
+                         config.promote_after_accesses;
+    }
+  }
 
   uint32_t max_attr = projection_.empty() ? 0 : projection_.back();
   starts_.assign(max_attr + 2, 0);
@@ -182,6 +207,21 @@ Result<bool> RawScanOperator::LocateRow(uint64_t row, uint64_t* start,
   }
 }
 
+bool RawScanOperator::SegmentCoversBlock(size_t segment_rows,
+                                         uint64_t block) const {
+  const uint32_t rows_per_block = state_->config().rows_per_block;
+  if (segment_rows >= rows_per_block) return true;
+  if (use_map_ && state_->map().rows_complete()) {
+    uint64_t known = state_->map().known_rows();
+    uint64_t first = block * uint64_t{rows_per_block};
+    uint64_t expected =
+        first >= known ? 0
+                       : std::min<uint64_t>(rows_per_block, known - first);
+    return segment_rows >= expected;
+  }
+  return false;
+}
+
 Status RawScanOperator::EnterBlock(uint64_t row) {
   NODB_RETURN_NOT_OK(CommitBlock());
 
@@ -189,23 +229,13 @@ Status RawScanOperator::EnterBlock(uint64_t row) {
   const uint32_t rows_per_block = config.rows_per_block;
   current_block_ = row / rows_per_block;
   block_first_row_ = current_block_ * rows_per_block;
+  store_block_ = false;
+  block_has_building_ = false;
 
   // Resolve cache residency per attribute. A segment counts only when
   // it provably covers the whole block (partial tail segments are
   // rebuilt — bounded by one block of work).
   PositionalMap& map = state_->map();
-  auto segment_complete = [&](const ColumnVector& seg) {
-    if (seg.size() >= rows_per_block) return true;
-    if (use_map_ && map.rows_complete()) {
-      uint64_t known = map.known_rows();
-      uint64_t expected =
-          block_first_row_ >= known
-              ? 0
-              : std::min<uint64_t>(rows_per_block, known - block_first_row_);
-      return seg.size() >= expected;
-    }
-    return false;
-  };
 
   std::vector<uint32_t> probe_attrs;
   probe_slot_.clear();
@@ -213,9 +243,11 @@ Status RawScanOperator::EnterBlock(uint64_t row) {
     AttrState& st = attr_states_[i];
     st.cached.reset();
     st.building.reset();
+    bool promote = use_store_ && promote_attr_[i] &&
+                   !state_->store().Contains(st.attr, current_block_);
     if (use_cache_) {
       auto seg = state_->cache().Get(st.attr, current_block_);
-      if (seg != nullptr && segment_complete(*seg)) {
+      if (seg != nullptr && SegmentCoversBlock(seg->size(), current_block_)) {
         st.cached = std::move(seg);
         ++metrics_->cache_block_hits;
         continue;
@@ -224,9 +256,10 @@ Status RawScanOperator::EnterBlock(uint64_t row) {
     }
     probe_attrs.push_back(st.attr);
     probe_slot_.push_back(i);
-    if (use_cache_ || use_stats_) {
+    if (use_cache_ || use_stats_ || promote) {
       st.building = std::make_unique<ColumnVector>(st.type);
       st.building->Reserve(rows_per_block);
+      block_has_building_ = true;
     }
   }
 
@@ -257,9 +290,19 @@ Status RawScanOperator::CommitBlock() {
     }
     chunk_builder_.reset();
   }
-  for (AttrState& st : attr_states_) {
+  for (size_t i = 0; i < attr_states_.size(); ++i) {
+    AttrState& st = attr_states_[i];
+    bool promote = use_store_ && promote_attr_[i];
     if (st.building == nullptr || st.building->size() == 0) {
       st.building.reset();
+      // Piggybacked promotion from the cache: the segment that served
+      // this block is already fully parsed — hand it to the store
+      // instead of re-parsing later.
+      if (promote && st.cached != nullptr &&
+          SegmentCoversBlock(st.cached->size(), current_block_)) {
+        state_->store().Promote(st.attr, current_block_, st.cached,
+                                store_generation_);
+      }
       continue;
     }
     std::shared_ptr<ColumnVector> segment(st.building.release());
@@ -269,8 +312,64 @@ Status RawScanOperator::CommitBlock() {
     if (use_cache_) {
       state_->cache().Put(st.attr, current_block_, segment);
     }
+    // Piggybacked promotion of the segment this scan just parsed;
+    // admitted only when it provably covers the whole block (a scan
+    // abandoned mid-block leaves nothing half-promoted).
+    if (promote && SegmentCoversBlock(segment->size(), current_block_)) {
+      state_->store().Promote(st.attr, current_block_, segment,
+                              store_generation_);
+    }
   }
   return Status::OK();
+}
+
+Result<bool> RawScanOperator::TryEnterStoreBlock(uint64_t row) {
+  const uint32_t rows_per_block = state_->config().rows_per_block;
+  const uint64_t block = row / rows_per_block;
+  const uint64_t first = block * uint64_t{rows_per_block};
+  {
+    PhaseTimer timer(&metrics_->nodb_ns, reader_.get());
+    if (!state_->store().GetBlock(projection_, block, &store_segments_)) {
+      return false;
+    }
+  }
+  // Serve-time validation. A short segment claims to be the file's
+  // tail, which would end the scan at its last row — so it must match
+  // the completed row index *right now*; and all attributes of the
+  // block must agree on its row count. A stale segment (e.g. a
+  // pre-append tail committed by a racing promotion) fails these, is
+  // evicted, and the block re-parses through the raw path.
+  size_t rows = store_segments_[0]->size();
+  bool aligned = true;
+  for (const auto& seg : store_segments_) {
+    aligned = aligned && seg->size() == rows;
+  }
+  if (!aligned ||
+      (rows < rows_per_block &&
+       (!state_->map().rows_complete() ||
+        first + rows != state_->map().known_rows()))) {
+    state_->store().DropBlock(block);
+    store_segments_.clear();
+    return false;
+  }
+  NODB_RETURN_NOT_OK(CommitBlock());
+  current_block_ = block;
+  block_first_row_ = block * uint64_t{rows_per_block};
+  block_plan_.reset();
+  chunk_builder_.reset();
+  chunk_attrs_.clear();
+  probe_attrs_.clear();
+  probe_slot_.clear();
+  for (AttrState& st : attr_states_) {
+    st.cached.reset();
+    st.building.reset();
+  }
+  block_has_building_ = false;
+  store_block_ = true;
+  store_tail_ = rows < rows_per_block;  // only the file's last block may
+  store_until_row_ = block_first_row_ + rows;
+  ++metrics_->store_block_hits;
+  return true;
 }
 
 Result<BatchPtr> RawScanOperator::Next() {
@@ -282,6 +381,34 @@ Result<BatchPtr> RawScanOperator::Next() {
   Slice line;
 
   while (emitted < RecordBatch::kDefaultBatchRows) {
+    // ---- store fast path: the current block is fully materialized —
+    // rows come straight out of the promoted segments, with no row
+    // location, map lookup, tokenizing or parsing.
+    if (store_block_) {
+      if (row_ < store_until_row_) {
+        size_t rel = static_cast<size_t>(row_ - block_first_row_);
+        for (size_t i = 0; i < store_segments_.size(); ++i) {
+          out->column(i).AppendFrom(*store_segments_[i], rel);
+        }
+        ++metrics_->rows_scanned;
+        ++metrics_->rows_from_store;
+        ++row_;
+        ++emitted;
+        continue;
+      }
+      store_block_ = false;
+      if (store_tail_) {
+        // The served block was the file's known tail: end of scan.
+        exhausted_ = true;
+        current_block_ = UINT64_MAX;
+        break;
+      }
+    }
+    if (serve_store_ && row_ / rows_per_block != current_block_) {
+      NODB_ASSIGN_OR_RETURN(bool served, TryEnterStoreBlock(row_));
+      if (served) continue;
+    }
+
     uint64_t start = 0;
     uint64_t end = 0;
     NODB_ASSIGN_OR_RETURN(bool ok, LocateRow(row_, &start, &end));
@@ -390,7 +517,7 @@ Result<BatchPtr> RawScanOperator::Next() {
 
     // ---- NoDB side effects: teach the map, grow the cache segments.
     if (!probe_attrs_.empty() &&
-        (chunk_builder_.has_value() || use_cache_ || use_stats_)) {
+        (chunk_builder_.has_value() || block_has_building_)) {
       PhaseTimer timer(&metrics_->nodb_ns, reader_.get());
       if (chunk_builder_.has_value()) {
         chunk_builder_->AddRow(span_start_.data(), span_end_.data());
@@ -405,6 +532,14 @@ Result<BatchPtr> RawScanOperator::Next() {
       }
     }
 
+    // Tier attribution: a row whose every needed column came from the
+    // cache never touched the raw bytes (empty projections count here
+    // too); anything tokenized or parsed is a raw-tier row.
+    if (probe_attrs_.empty()) {
+      ++metrics_->rows_from_cache;
+    } else {
+      ++metrics_->rows_from_raw;
+    }
     ++metrics_->rows_scanned;
     ++row_;
     ++emitted;

@@ -30,7 +30,20 @@ namespace nodb {
 ///      (*selective tuple formation* together with the columnar
 ///      filter);
 ///   5. as side effects populates the map (per the distance policy),
-///      the cache and the statistics for the touched blocks.
+///      the cache and the statistics for the touched blocks — and,
+///      for attributes whose access heat crossed the promotion
+///      threshold, hands the fully parsed (or cache-resident) block
+///      segments to the shadow column store (piggybacked promotion:
+///      the scan that parsed a hot column pays for it exactly once).
+///
+/// The scan builds a **hybrid block plan**: blocks all of whose needed
+/// columns are already materialized in the shadow store are emitted
+/// straight from the store — no row location, no positional-map
+/// lookup, no tokenizing, no value parsing — while the remaining
+/// blocks take the raw/cache path above, and the two interleave
+/// freely. Results are byte-identical either way. Store serving
+/// requires the positional-map component (the raw residue relies on
+/// it to locate rows after a served block).
 ///
 /// All NoDB structures honor the per-table NoDbConfig; with everything
 /// disabled this operator *is* the paper's "Baseline" external-files
@@ -51,8 +64,11 @@ class RawScanOperator final : public ExecOperator {
   /// `projection`: table attribute indices to emit, ascending. May be
   /// empty (COUNT(*) plans): rows are located but nothing is parsed.
   /// `metrics` (optional) receives the scan's cost breakdown.
+  /// `internal`: an engine-internal pass (the store promoter) — it
+  /// does not record attribute accesses, so usage counts and promotion
+  /// heat keep meaning "scans the workload requested".
   RawScanOperator(RawTableState* state, std::vector<uint32_t> projection,
-                  ScanMetrics* metrics);
+                  ScanMetrics* metrics, bool internal = false);
 
   Status Open() override;
   Result<BatchPtr> Next() override;
@@ -71,10 +87,21 @@ class RawScanOperator final : public ExecOperator {
   Status CommitBlock();
   Result<bool> LocateRow(uint64_t row, uint64_t* start, uint64_t* end);
 
+  /// True when `segment_rows` provably covers the whole of `block`
+  /// (full block, or the known tail of a completed row index) — the
+  /// admission rule shared by cache residency and store promotion.
+  bool SegmentCoversBlock(size_t segment_rows, uint64_t block) const;
+
+  /// Tries to serve the block containing `row` (a block boundary)
+  /// entirely from the shadow store. On success commits the previous
+  /// block and arms the store fast path.
+  Result<bool> TryEnterStoreBlock(uint64_t row);
+
   RawTableState* state_;
   std::vector<uint32_t> projection_;
   ScanMetrics* metrics_;
   ScanMetrics local_metrics_;  // used when metrics == nullptr
+  bool internal_ = false;      // engine-internal pass: no access records
 
   std::shared_ptr<Schema> schema_;
   std::string table_name_;  // snapshotted for error messages
@@ -85,6 +112,9 @@ class RawScanOperator final : public ExecOperator {
   bool use_map_ = false;
   bool use_cache_ = false;
   bool use_stats_ = false;
+  bool use_store_ = false;    // promotion side effects enabled
+  bool serve_store_ = false;  // store fast path enabled (needs the map)
+  uint64_t store_generation_ = 0;  // file generation this scan parses
 
   uint64_t row_ = 0;
   uint64_t local_offset_ = 0;  // discovery cursor when the map is off
@@ -98,9 +128,18 @@ class RawScanOperator final : public ExecOperator {
   uint32_t window_rows_ = 0;
   std::vector<uint64_t> window_bounds_;
 
+  // Store fast path: rows [block_first_row_, store_until_row_) are
+  // emitted straight from store_segments_ (parallel to projection_).
+  bool store_block_ = false;
+  bool store_tail_ = false;  // served block is the file's last
+  uint64_t store_until_row_ = 0;
+  std::vector<std::shared_ptr<const ColumnVector>> store_segments_;
+  std::vector<bool> promote_attr_;  // projection slot is promotion-hot
+
   // Current block state.
   uint64_t current_block_ = UINT64_MAX;
   uint64_t block_first_row_ = 0;
+  bool block_has_building_ = false;  // some attr accumulates a segment
   std::vector<AttrState> attr_states_;
   std::optional<PositionalMap::BlockPlan> block_plan_;
   std::optional<PositionalMap::ChunkBuilder> chunk_builder_;

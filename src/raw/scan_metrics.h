@@ -40,6 +40,18 @@ struct ScanMetrics {
   uint64_t map_anchor_probes = 0;  ///< partial help: jumped mid-tuple
   uint64_t map_blind_rows = 0;     ///< tokenized from byte 0 of the row
 
+  /// Storage-tier attribution: every scanned row lands in exactly one
+  /// bucket. `rows_from_store`: all needed columns came from a shadow-
+  /// store block (no row location, tokenizing or parsing at all).
+  /// `rows_from_cache`: every needed column was a RawCache segment hit
+  /// (rows located, nothing tokenized; includes empty projections).
+  /// `rows_from_raw`: at least one column was tokenized/parsed from
+  /// the raw bytes.
+  uint64_t store_block_hits = 0;   ///< whole blocks served by the store
+  uint64_t rows_from_store = 0;
+  uint64_t rows_from_cache = 0;
+  uint64_t rows_from_raw = 0;
+
   void Add(const ScanMetrics& other) {
     io_ns += other.io_ns;
     parsing_ns += other.parsing_ns;
@@ -55,6 +67,10 @@ struct ScanMetrics {
     map_exact_probes += other.map_exact_probes;
     map_anchor_probes += other.map_anchor_probes;
     map_blind_rows += other.map_blind_rows;
+    store_block_hits += other.store_block_hits;
+    rows_from_store += other.rows_from_store;
+    rows_from_cache += other.rows_from_cache;
+    rows_from_raw += other.rows_from_raw;
   }
 
   int64_t TotalScanNs() const {

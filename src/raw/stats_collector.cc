@@ -199,6 +199,24 @@ std::vector<uint64_t> AttributeStats::SampleHistogram(size_t buckets) const {
 StatsCollector::StatsCollector(std::shared_ptr<Schema> schema)
     : schema_(std::move(schema)) {
   attrs_.resize(schema_->num_fields());
+  heat_.assign(schema_->num_fields(), 0);
+}
+
+void StatsCollector::RecordAccessHeat(const std::vector<uint32_t>& attrs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint32_t a : attrs) {
+    if (a < heat_.size()) ++heat_[a];
+  }
+}
+
+uint64_t StatsCollector::access_heat(uint32_t attr) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return attr < heat_.size() ? heat_[attr] : 0;
+}
+
+std::vector<uint64_t> StatsCollector::access_heat_counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return heat_;
 }
 
 void StatsCollector::ObserveBlock(uint32_t attr, uint64_t block,
@@ -242,6 +260,7 @@ void StatsCollector::Clear() {
   for (auto& a : attrs_) {
     if (a != nullptr) a->Reset();
   }
+  heat_.assign(heat_.size(), 0);
   observed_.clear();
 }
 

@@ -128,12 +128,22 @@ class StatsCollector {
   /// Attributes with any statistics (for the monitoring panel).
   std::vector<uint32_t> CoveredAttributes() const;
 
+  /// Access heat: how many scans requested each attribute. Recorded
+  /// unconditionally (cheap counters, independent of the statistics
+  /// toggle) — this is what drives shadow-store promotion. Heat is
+  /// dropped together with the statistics on Clear(): a rewritten file
+  /// restarts the adaptive-loading cycle from scratch.
+  void RecordAccessHeat(const std::vector<uint32_t>& attrs);
+  uint64_t access_heat(uint32_t attr) const;
+  std::vector<uint64_t> access_heat_counts() const;
+
   void Clear();
 
  private:
   std::shared_ptr<Schema> schema_;
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<AttributeStats>> attrs_;
+  std::vector<uint64_t> heat_;             // per-attr scan requests
   std::unordered_set<uint64_t> observed_;  // (attr<<40)|block keys
 };
 

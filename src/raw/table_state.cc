@@ -6,12 +6,13 @@ RawTableState::RawTableState(RawTableInfo info, const NoDbConfig& config)
     : info_(std::move(info)),
       config_(config),
       flags_{config.enable_positional_map, config.enable_cache,
-             config.enable_statistics},
+             config.enable_statistics, config.enable_store},
       access_counts_(info_.schema->num_fields(), 0),
       map_(config.positional_map_budget, config.rows_per_block,
            config.max_covering_chunks),
       cache_(config.cache_budget),
-      stats_(info_.schema) {}
+      stats_(info_.schema),
+      store_(config.store_budget) {}
 
 Status RawTableState::Open() {
   std::lock_guard<std::mutex> lock(mu_);
@@ -47,7 +48,15 @@ Result<FileChange> RawTableState::CheckForUpdates() {
       clean_append = s.ok() && got.size() == 1 && got[0] == '\n';
     }
     if (clean_append) {
+      // The block containing the old frontier is about to gain rows:
+      // its promoted store segments no longer cover the whole block.
+      // Earlier full blocks keep their promotion (the tail is
+      // re-promoted by heat once re-scanned). Reopen discovery first —
+      // tail admission requires a complete row index, so a concurrent
+      // scan cannot re-promote the stale tail after the drop.
       map_.ReopenForAppend();
+      store_.DropBlocksFrom(map_.known_rows() / config_.rows_per_block);
+      promoted_rows_ = UINT64_MAX;  // re-arm the background promoter
     } else {
       change = FileChange::kRewritten;
     }
@@ -70,9 +79,10 @@ Status RawTableState::ReplaceFile(const RawTableInfo& info) {
   return OpenLocked();
 }
 
-void RawTableState::SetComponentFlags(bool map, bool cache, bool stats) {
+void RawTableState::SetComponentFlags(bool map, bool cache, bool stats,
+                                      bool store) {
   std::lock_guard<std::mutex> lock(mu_);
-  flags_ = ComponentFlags{map, cache, stats};
+  flags_ = ComponentFlags{map, cache, stats, store};
 }
 
 ComponentFlags RawTableState::component_flags() const {
@@ -87,10 +97,14 @@ std::shared_ptr<RandomAccessFile> RawTableState::file() const {
 
 void RawTableState::RecordAttributeAccess(
     const std::vector<uint32_t>& attrs) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (uint32_t a : attrs) {
-    if (a < access_counts_.size()) ++access_counts_[a];
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (uint32_t a : attrs) {
+      if (a < access_counts_.size()) ++access_counts_[a];
+    }
   }
+  // Promotion heat rides on the same signal (store/promoter.h).
+  stats_.RecordAccessHeat(attrs);
 }
 
 std::vector<uint64_t> RawTableState::attribute_access_counts() const {
@@ -110,11 +124,42 @@ bool RawTableState::parallel_prewarmed() const {
   return parallel_prewarmed_;
 }
 
+bool RawTableState::TryBeginPromotion(std::vector<uint32_t> hot_attrs,
+                                      uint64_t known_rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (promotion_in_flight_) return false;
+  if (promoted_rows_ == known_rows && promoted_hot_ == hot_attrs) {
+    return false;  // the last completed pass already covered this
+  }
+  promotion_in_flight_ = true;
+  staged_hot_ = std::move(hot_attrs);
+  staged_rows_ = known_rows;
+  return true;
+}
+
+void RawTableState::EndPromotion(bool completed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  promotion_in_flight_ = false;
+  if (completed) {
+    promoted_hot_ = std::move(staged_hot_);
+    promoted_rows_ = staged_rows_;
+  }
+  staged_hot_.clear();
+}
+
+bool RawTableState::promotion_in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return promotion_in_flight_;
+}
+
 void RawTableState::InvalidateAllLocked() {
   map_.Clear();
   cache_.Clear();
   stats_.Clear();
+  store_.Clear();
   parallel_prewarmed_ = false;
+  promoted_hot_.clear();
+  promoted_rows_ = UINT64_MAX;
 }
 
 }  // namespace nodb

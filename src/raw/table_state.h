@@ -14,6 +14,7 @@
 #include "raw/positional_map.h"
 #include "raw/raw_cache.h"
 #include "raw/stats_collector.h"
+#include "store/shadow_store.h"
 #include "util/result.h"
 
 namespace nodb {
@@ -24,8 +25,9 @@ struct ComponentFlags {
   bool map = true;
   bool cache = true;
   bool stats = true;
+  bool store = true;
 
-  bool any() const { return map || cache || stats; }
+  bool any() const { return map || cache || stats || store; }
 };
 
 /// All adaptive state a NoDB engine accumulates for one raw table:
@@ -66,7 +68,7 @@ class RawTableState {
   /// Budgets and block granularity stay fixed; retained structures are
   /// simply ignored while their component is off. Scans snapshot the
   /// flags at Open, so a flip applies to subsequent queries.
-  void SetComponentFlags(bool map, bool cache, bool stats);
+  void SetComponentFlags(bool map, bool cache, bool stats, bool store);
   ComponentFlags component_flags() const;
 
   /// The shared raw-file handle (positional reads are thread-safe);
@@ -81,6 +83,8 @@ class RawTableState {
   const RawCache& cache() const { return cache_; }
   StatsCollector& stats() { return stats_; }
   const StatsCollector& stats() const { return stats_; }
+  ShadowStore& store() { return store_; }
+  const ShadowStore& store() const { return store_; }
 
   /// Per-attribute access counts (monitoring panel usage statistics).
   void RecordAttributeAccess(const std::vector<uint32_t>& attrs);
@@ -100,6 +104,19 @@ class RawTableState {
   bool TryClaimParallelPrewarm();
   bool parallel_prewarmed() const;
 
+  /// Claims a background shadow-store promotion pass for the given
+  /// (hot-attribute set, known-row count) target. Returns false while
+  /// another pass is in flight, or when the last *completed* pass
+  /// already covered the same target — a budget-bound store is not
+  /// re-promoted in a loop; only new heat or new rows re-arm it.
+  bool TryBeginPromotion(std::vector<uint32_t> hot_attrs,
+                         uint64_t known_rows);
+
+  /// Releases the promotion claim. `completed` records the staged
+  /// target as done; a failed pass leaves it re-armed.
+  void EndPromotion(bool completed);
+  bool promotion_in_flight() const;
+
  private:
   Status OpenLocked();          // requires mu_ held
   void InvalidateAllLocked();   // requires mu_ held
@@ -114,11 +131,18 @@ class RawTableState {
   std::vector<uint64_t> access_counts_;
   bool parallel_prewarmed_ = false;
 
+  bool promotion_in_flight_ = false;
+  std::vector<uint32_t> staged_hot_;  // target of the in-flight pass
+  uint64_t staged_rows_ = 0;
+  std::vector<uint32_t> promoted_hot_;  // last completed pass target
+  uint64_t promoted_rows_ = UINT64_MAX;
+
   std::atomic<uint64_t> queries_executed_{0};
 
   PositionalMap map_;
   RawCache cache_;
   StatsCollector stats_;
+  ShadowStore store_;
 };
 
 }  // namespace nodb

@@ -1,0 +1,40 @@
+#ifndef NODB_STORE_PROMOTER_H_
+#define NODB_STORE_PROMOTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "raw/table_state.h"
+#include "util/status.h"
+
+namespace nodb {
+
+/// Background promotion into the shadow column store (the paper's
+/// adaptive loading: hot raw data gradually becomes loaded data).
+///
+/// The policy lives here; the engine only decides *when* to run a pass
+/// (after query completion, on the shared worker pool, at most one
+/// pass per table at a time — see RawTableState::TryBeginPromotion).
+
+/// Attributes whose access heat reached the table's promotion
+/// threshold (NoDbConfig::promote_after_accesses), ascending.
+std::vector<uint32_t> HotAttributes(const RawTableState& state);
+
+/// True when some hot attribute still has rows the store does not
+/// hold — either the store's coverage trails the known row count or
+/// row discovery has not reached end of file yet.
+bool PromotionPending(const RawTableState& state,
+                      const std::vector<uint32_t>& hot_attrs);
+
+/// Materializes every block of `hot_attrs` into the state's shadow
+/// store by driving a RawScanOperator over exactly those columns:
+/// blocks already promoted are skipped via the store fast path, cache-
+/// resident segments are handed over without re-parsing, and only
+/// genuinely missing blocks are parsed (once). Runs correctly
+/// concurrently with queries over the same state.
+Status PromoteHotColumns(RawTableState* state,
+                         const std::vector<uint32_t>& hot_attrs);
+
+}  // namespace nodb
+
+#endif  // NODB_STORE_PROMOTER_H_

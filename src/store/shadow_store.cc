@@ -1,0 +1,128 @@
+#include "store/shadow_store.h"
+
+#include <algorithm>
+
+namespace nodb {
+
+std::shared_ptr<const ColumnVector> ShadowStore::Get(uint32_t attr,
+                                                     uint64_t block) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(Key{attr, block});
+  if (it == entries_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.segment;
+}
+
+bool ShadowStore::Contains(uint32_t attr, uint64_t block) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.find(Key{attr, block}) != entries_.end();
+}
+
+bool ShadowStore::GetBlock(
+    const std::vector<uint32_t>& attrs, uint64_t block,
+    std::vector<std::shared_ptr<const ColumnVector>>* out) {
+  out->clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  out->reserve(attrs.size());
+  std::vector<std::list<Key>::iterator> found;
+  found.reserve(attrs.size());
+  for (uint32_t attr : attrs) {
+    auto it = entries_.find(Key{attr, block});
+    if (it == entries_.end()) {
+      out->clear();
+      ++misses_;
+      return false;
+    }
+    out->push_back(it->second.segment);
+    found.push_back(it->second.lru_pos);
+  }
+  // All resident: the block will be served, refresh every segment.
+  for (auto pos : found) lru_.splice(lru_.begin(), lru_, pos);
+  ++hits_;
+  return true;
+}
+
+void ShadowStore::Promote(uint32_t attr, uint64_t block,
+                          std::shared_ptr<const ColumnVector> segment,
+                          uint64_t generation) {
+  if (segment == nullptr) return;
+  size_t bytes = segment->MemoryUsage();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (generation != generation_) return;  // parsed a rewritten file
+  if (bytes > budget_bytes_) return;      // could never fit
+  Key key{attr, block};
+  if (entries_.find(key) != entries_.end()) return;  // already promoted
+  lru_.push_front(key);
+  Entry entry;
+  size_t rows = segment->size();
+  entry.segment = std::move(segment);
+  entry.bytes = bytes;
+  entry.lru_pos = lru_.begin();
+  entries_.emplace(key, std::move(entry));
+  bytes_used_ += bytes;
+  if (attr >= rows_.size()) rows_.resize(attr + 1, 0);
+  rows_[attr] += rows;
+  ++promotions_;
+  EvictOverBudget();
+}
+
+void ShadowStore::RemoveLocked(const Key& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  bytes_used_ -= it->second.bytes;
+  if (key.attr < rows_.size()) {
+    rows_[key.attr] -= it->second.segment->size();
+  }
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+}
+
+void ShadowStore::EvictOverBudget() {
+  while (bytes_used_ > budget_bytes_ && !lru_.empty()) {
+    RemoveLocked(lru_.back());
+    ++evictions_;
+  }
+}
+
+void ShadowStore::DropBlocksFrom(uint64_t first_block) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Key> doomed;
+  for (const auto& [key, entry] : entries_) {
+    if (key.block >= first_block) doomed.push_back(key);
+  }
+  for (const Key& key : doomed) RemoveLocked(key);
+}
+
+void ShadowStore::DropBlock(uint64_t block) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Key> doomed;
+  for (const auto& [key, entry] : entries_) {
+    if (key.block == block) doomed.push_back(key);
+  }
+  for (const Key& key : doomed) RemoveLocked(key);
+}
+
+void ShadowStore::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+  rows_.assign(rows_.size(), 0);
+  bytes_used_ = 0;
+  ++generation_;
+}
+
+uint64_t ShadowStore::rows_materialized(uint32_t attr) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return attr < rows_.size() ? rows_[attr] : 0;
+}
+
+std::vector<uint32_t> ShadowStore::MaterializedAttributes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint32_t> out;
+  for (uint32_t a = 0; a < rows_.size(); ++a) {
+    if (rows_[a] > 0) out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace nodb

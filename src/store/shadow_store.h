@@ -1,0 +1,170 @@
+#ifndef NODB_STORE_SHADOW_STORE_H_
+#define NODB_STORE_SHADOW_STORE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "types/column_vector.h"
+#include "util/hash.h"
+
+namespace nodb {
+
+/// The shadow column store: the third storage tier between the raw
+/// file and a conventionally loaded database (the paper's adaptive
+/// loading end state — "frequently accessed data gradually becomes
+/// loaded data").
+///
+/// Where the RawCache keeps whatever segments recent scans happened to
+/// parse, the shadow store holds *promoted* segments: fully parsed
+/// ColumnVector data for hot (attribute, row-block) pairs, admitted
+/// only when the segment provably covers its whole block. A block all
+/// of whose needed columns are resident here is served without
+/// touching the raw file, the tokenizer, the value parser or the
+/// positional map — the hot path of a loaded column store, reached
+/// without ever running a load phase.
+///
+/// Synchronization follows the RawCache/PositionalMap discipline: one
+/// internal mutex guards the index, LRU list and counters; segments
+/// are immutable and shared-owned, so a scan that obtained a block's
+/// segments keeps them valid even if they are evicted concurrently.
+/// Invalidation mirrors the other structures: Clear() on rewrite,
+/// DropBlocksFrom() on append (the block containing the old frontier
+/// gains rows, so its segments no longer cover it; earlier full
+/// blocks stay promoted).
+class ShadowStore {
+ public:
+  explicit ShadowStore(size_t budget_bytes) : budget_bytes_(budget_bytes) {}
+
+  ShadowStore(const ShadowStore&) = delete;
+  ShadowStore& operator=(const ShadowStore&) = delete;
+
+  /// Returns the promoted segment for (attr, block) or nullptr. Hits
+  /// refresh LRU recency; per-segment lookups are not counted (block
+  /// probes are — see GetBlock).
+  std::shared_ptr<const ColumnVector> Get(uint32_t attr, uint64_t block);
+
+  /// Peeks without touching LRU or counters.
+  bool Contains(uint32_t attr, uint64_t block) const;
+
+  /// All-or-nothing block probe: fills `out` with the segment of every
+  /// attribute of `attrs` for `block` and refreshes their recency
+  /// (one hit counted), or leaves the store untouched and returns
+  /// false (one miss counted). This is the scan's fast-path check for
+  /// "serve this block straight from the store".
+  bool GetBlock(const std::vector<uint32_t>& attrs, uint64_t block,
+                std::vector<std::shared_ptr<const ColumnVector>>* out);
+
+  /// Installs a promoted segment; a no-op when (attr, block) is
+  /// already resident (the existing segment parsed identical bytes)
+  /// or when `generation` is stale — a scan that opened against a
+  /// file generation that has since been rewritten must not repopulate
+  /// the cleared store with old-file data. Evicts LRU segments over
+  /// budget; segments larger than the whole budget are rejected
+  /// silently. The caller guarantees `segment` covers the entire
+  /// block.
+  void Promote(uint32_t attr, uint64_t block,
+               std::shared_ptr<const ColumnVector> segment,
+               uint64_t generation);
+
+  /// The current file generation; snapshot it before opening the file
+  /// handle a scan will parse from, and pass it back to Promote.
+  uint64_t generation() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return generation_;
+  }
+
+  /// Drops every segment of block >= `first_block` (append: the block
+  /// containing the old frontier is about to gain rows).
+  void DropBlocksFrom(uint64_t first_block);
+
+  /// Drops every attribute's segment of exactly `block` (serve-time
+  /// invalidation of one stale block).
+  void DropBlock(uint64_t block);
+
+  /// Drops everything and advances the generation (file rewritten /
+  /// table replaced): in-flight promotions of the old file are
+  /// rejected from here on.
+  void Clear();
+
+  size_t bytes_used() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_used_;
+  }
+  size_t budget_bytes() const { return budget_bytes_; }
+  double utilization() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return budget_bytes_ == 0
+               ? 0.0
+               : static_cast<double>(bytes_used_) / budget_bytes_;
+  }
+  size_t num_segments() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+  uint64_t evictions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return evictions_;
+  }
+  uint64_t promotions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return promotions_;
+  }
+
+  /// Rows of `attr` currently materialized (sum of resident segment
+  /// sizes) — the promoter's coverage check.
+  uint64_t rows_materialized(uint32_t attr) const;
+
+  /// Attributes with any resident segment, ascending (tier report).
+  std::vector<uint32_t> MaterializedAttributes() const;
+
+ private:
+  struct Key {
+    uint32_t attr;
+    uint64_t block;
+    bool operator==(const Key& o) const {
+      return attr == o.attr && block == o.block;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return static_cast<size_t>(
+          CombineHash64(MixHash64(k.attr), MixHash64(k.block)));
+    }
+  };
+  struct Entry {
+    std::shared_ptr<const ColumnVector> segment;
+    size_t bytes = 0;
+    std::list<Key>::iterator lru_pos;
+  };
+
+  void RemoveLocked(const Key& key);  // requires mu_ held
+  void EvictOverBudget();             // requires mu_ held
+
+  const size_t budget_bytes_;
+  mutable std::mutex mu_;
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+  std::list<Key> lru_;  // front = most recent
+  std::vector<uint64_t> rows_;  // per-attr materialized rows
+  uint64_t generation_ = 0;
+  size_t bytes_used_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t promotions_ = 0;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_STORE_SHADOW_STORE_H_
