@@ -29,13 +29,27 @@ class NoDbEngine::Factory final : public ScanFactory {
   Result<OperatorPtr> CreateScan(
       const std::string& table,
       const std::vector<size_t>& projection) override {
+    return CreatePushdownScan(table, projection, nullptr);
+  }
+
+  /// The planner offers single-table conjuncts here; the raw scan can
+  /// evaluate any bound expression, so with pushdown enabled every
+  /// offered conjunct is consumed and runs two-phase inside the scan.
+  Result<OperatorPtr> CreatePushdownScan(
+      const std::string& table, const std::vector<size_t>& projection,
+      ScanPushdown* pushdown) override {
     NODB_ASSIGN_OR_RETURN(RawTableState * state,
                           engine_->GetOrCreateState(table));
     std::vector<uint32_t> attrs(projection.begin(), projection.end());
     NODB_RETURN_NOT_OK(engine_->MaybeParallelPrewarm(state, attrs));
-    return OperatorPtr(
-        std::make_unique<RawScanOperator>(state, std::move(attrs),
-                                          metrics_));
+    auto scan = std::make_unique<RawScanOperator>(state, std::move(attrs),
+                                                  metrics_);
+    if (pushdown != nullptr && !pushdown->conjuncts.empty() &&
+        engine_->config_.enable_pushdown) {
+      scan->SetPushdownPredicates(pushdown->conjuncts);
+      pushdown->pushed.assign(pushdown->conjuncts.size(), true);
+    }
+    return OperatorPtr(std::move(scan));
   }
 
  private:

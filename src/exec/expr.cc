@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/logging.h"
+
 namespace nodb {
 
 namespace {
@@ -388,6 +390,57 @@ Result<std::shared_ptr<ColumnVector>> LikeExpr::Evaluate(
 std::string LikeExpr::ToString() const {
   return "(" + input_->ToString() + (negated_ ? " NOT LIKE '" : " LIKE '") +
          pattern_ + "')";
+}
+
+// ------------------------------------------------------------------ Rebase
+
+ExprPtr RebaseColumnRefs(const ExprPtr& e, size_t delta) {
+  if (e == nullptr) return nullptr;
+  if (const auto* ref = dynamic_cast<const ColumnRefExpr*>(e.get())) {
+    NODB_CHECK(ref->index() >= delta);
+    return std::make_shared<ColumnRefExpr>(ref->index() - delta,
+                                           ref->name(), ref->type());
+  }
+  if (dynamic_cast<const LiteralExpr*>(e.get()) != nullptr) {
+    return e;  // no column references; share the node
+  }
+  if (const auto* cmp = dynamic_cast<const CompareExpr*>(e.get())) {
+    ExprPtr l = RebaseColumnRefs(cmp->left(), delta);
+    ExprPtr r = RebaseColumnRefs(cmp->right(), delta);
+    if (l == nullptr || r == nullptr) return nullptr;
+    return std::make_shared<CompareExpr>(cmp->op(), std::move(l),
+                                         std::move(r));
+  }
+  if (const auto* logical = dynamic_cast<const LogicalExpr*>(e.get())) {
+    ExprPtr l = RebaseColumnRefs(logical->left(), delta);
+    if (l == nullptr) return nullptr;
+    ExprPtr r;
+    if (logical->op() != LogicalOp::kNot) {
+      r = RebaseColumnRefs(logical->right(), delta);
+      if (r == nullptr) return nullptr;
+    }
+    return std::make_shared<LogicalExpr>(logical->op(), std::move(l),
+                                         std::move(r));
+  }
+  if (const auto* arith = dynamic_cast<const ArithExpr*>(e.get())) {
+    ExprPtr l = RebaseColumnRefs(arith->left(), delta);
+    ExprPtr r = RebaseColumnRefs(arith->right(), delta);
+    if (l == nullptr || r == nullptr) return nullptr;
+    return std::make_shared<ArithExpr>(arith->op(), std::move(l),
+                                       std::move(r));
+  }
+  if (const auto* isnull = dynamic_cast<const IsNullExpr*>(e.get())) {
+    ExprPtr in = RebaseColumnRefs(isnull->input(), delta);
+    if (in == nullptr) return nullptr;
+    return std::make_shared<IsNullExpr>(std::move(in), isnull->negated());
+  }
+  if (const auto* like = dynamic_cast<const LikeExpr*>(e.get())) {
+    ExprPtr in = RebaseColumnRefs(like->input(), delta);
+    if (in == nullptr) return nullptr;
+    return std::make_shared<LikeExpr>(std::move(in), like->pattern(),
+                                      like->negated());
+  }
+  return nullptr;  // unknown node kind: caller keeps the original plan
 }
 
 }  // namespace nodb

@@ -177,6 +177,9 @@ class IsNullExpr final : public Expr {
   IsNullExpr(ExprPtr input, bool negated)
       : input_(std::move(input)), negated_(negated) {}
 
+  const ExprPtr& input() const { return input_; }
+  bool negated() const { return negated_; }
+
   Result<DataType> OutputType(const Schema& schema) const override;
   Result<std::shared_ptr<ColumnVector>> Evaluate(
       const RecordBatch& batch) const override;
@@ -198,6 +201,10 @@ class LikeExpr final : public Expr {
         pattern_(std::move(pattern)),
         negated_(negated) {}
 
+  const ExprPtr& input() const { return input_; }
+  const std::string& pattern() const { return pattern_; }
+  bool negated() const { return negated_; }
+
   Result<DataType> OutputType(const Schema& schema) const override;
   Result<std::shared_ptr<ColumnVector>> Evaluate(
       const RecordBatch& batch) const override;
@@ -214,6 +221,13 @@ class LikeExpr final : public Expr {
   std::string pattern_;
   bool negated_;
 };
+
+/// Clones `e` with every ColumnRefExpr index shifted down by `delta`
+/// (re-targeting an expression bound over a combined join schema onto
+/// the build side's own output schema). Returns nullptr for node kinds
+/// it does not know how to clone — callers must treat that as "cannot
+/// rebase", not an error.
+ExprPtr RebaseColumnRefs(const ExprPtr& e, size_t delta);
 
 }  // namespace nodb
 

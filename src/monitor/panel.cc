@@ -75,12 +75,12 @@ std::string MonitorPanel::RenderTableState(const RawTableState& state) {
 
 std::string MonitorPanel::RenderBreakdown(const std::string& label,
                                           const QueryMetrics& metrics) {
-  char line[384];
+  char line[512];
   std::snprintf(
       line, sizeof(line),
       "%-24s total %10s | proc %10s | io %10s | convert %10s | "
       "parse %10s | tokenize %10s | nodb %10s | rows store/cache/raw "
-      "%llu/%llu/%llu\n",
+      "%llu/%llu/%llu | skipped blocks %llu | parse p1/p2 %llu/%llu\n",
       label.c_str(), FormatNanos(metrics.total_ns).c_str(),
       FormatNanos(metrics.processing_ns()).c_str(),
       FormatNanos(metrics.scan.io_ns).c_str(),
@@ -90,7 +90,12 @@ std::string MonitorPanel::RenderBreakdown(const std::string& label,
       FormatNanos(metrics.scan.nodb_ns).c_str(),
       static_cast<unsigned long long>(metrics.scan.rows_from_store),
       static_cast<unsigned long long>(metrics.scan.rows_from_cache),
-      static_cast<unsigned long long>(metrics.scan.rows_from_raw));
+      static_cast<unsigned long long>(metrics.scan.rows_from_raw),
+      static_cast<unsigned long long>(metrics.scan.zone_skipped_blocks),
+      static_cast<unsigned long long>(
+          metrics.scan.pushdown_phase1_fields),
+      static_cast<unsigned long long>(
+          metrics.scan.pushdown_phase2_fields));
   return line;
 }
 
@@ -119,6 +124,8 @@ std::string MonitorPanel::RenderStorageTiers(const RawTableState& state) {
          std::to_string(store.promotions()) + " promotions, " +
          std::to_string(store.evictions()) + " evictions, block hits " +
          std::to_string(store.hits()) + "\n";
+  out += "zone maps       " + std::to_string(state.zones().num_entries()) +
+         " (attribute, block) summaries\n";
 
   const std::vector<uint32_t> promoted = store.MaterializedAttributes();
   const std::vector<uint64_t> heat = state.stats().access_heat_counts();
@@ -172,16 +179,18 @@ std::string MonitorPanel::BreakdownCsvHeader() {
   return "label,total_ns,processing_ns,io_ns,convert_ns,parsing_ns,"
          "tokenize_ns,nodb_ns,rows,bytes_read,cache_hits,cache_misses,"
          "map_exact,map_anchor,map_blind,store_hits,rows_store,"
-         "rows_cache,rows_raw";
+         "rows_cache,rows_raw,zone_skipped_blocks,zone_skipped_rows,"
+         "pushdown_pruned,pushdown_p1_fields,pushdown_p2_fields";
 }
 
 std::string MonitorPanel::BreakdownCsvRow(const std::string& label,
                                           const QueryMetrics& metrics) {
-  char line[384];
+  char line[512];
   const ScanMetrics& s = metrics.scan;
   std::snprintf(line, sizeof(line),
                 "%s,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%llu,%llu,%llu,"
-                "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu",
+                "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
+                "%llu,%llu",
                 label.c_str(), static_cast<long long>(metrics.total_ns),
                 static_cast<long long>(metrics.processing_ns()),
                 static_cast<long long>(s.io_ns),
@@ -199,7 +208,12 @@ std::string MonitorPanel::BreakdownCsvRow(const std::string& label,
                 static_cast<unsigned long long>(s.store_block_hits),
                 static_cast<unsigned long long>(s.rows_from_store),
                 static_cast<unsigned long long>(s.rows_from_cache),
-                static_cast<unsigned long long>(s.rows_from_raw));
+                static_cast<unsigned long long>(s.rows_from_raw),
+                static_cast<unsigned long long>(s.zone_skipped_blocks),
+                static_cast<unsigned long long>(s.zone_skipped_rows),
+                static_cast<unsigned long long>(s.pushdown_rows_pruned),
+                static_cast<unsigned long long>(s.pushdown_phase1_fields),
+                static_cast<unsigned long long>(s.pushdown_phase2_fields));
   return line;
 }
 

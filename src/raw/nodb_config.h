@@ -22,6 +22,23 @@ struct NoDbConfig {
   /// On-the-fly statistics (paper §3.3).
   bool enable_statistics = true;
 
+  /// Predicate pushdown: eligible single-table WHERE conjuncts are
+  /// evaluated inside RawScanOperator in two phases — per block, only
+  /// the predicate columns are tokenized and parsed first, the
+  /// predicate is vectorized over that partial batch, and the
+  /// remaining projection columns are parsed only for qualifying rows
+  /// (selective parsing and selective tuple formation taken all the
+  /// way into the scan).
+  bool enable_pushdown = true;
+
+  /// Per-block zone maps: min/max per (attribute, row-block), collected
+  /// whenever a scan or first-touch pass parses a full block. A block
+  /// provably disjoint from a pushed range/equality predicate is
+  /// skipped without locating a single row. Skipping requires the
+  /// positional map (the scan must be able to resume at the next
+  /// block); NULL-bearing blocks are never skipped.
+  bool enable_zone_maps = true;
+
   /// Shadow column store (store/shadow_store.h): heat-driven background
   /// materialization of hot columns — the paper's adaptive-loading end
   /// state where frequently accessed raw data gradually becomes loaded
@@ -65,6 +82,8 @@ struct NoDbConfig {
     config.enable_cache = false;
     config.enable_statistics = false;
     config.enable_store = false;
+    config.enable_pushdown = false;
+    config.enable_zone_maps = false;
     return config;
   }
 

@@ -149,7 +149,10 @@ Result<ParallelScanStats> ParallelChunkedScan(RawTableState* state,
   const bool use_map = flags.map;
   const bool use_cache = flags.cache;
   const bool use_stats = flags.stats;
-  const bool parse_values = (use_cache || use_stats) && !attrs.empty();
+  const bool use_zones = config.enable_zone_maps;
+  const bool parse_values =
+      (use_cache || use_stats || use_zones) && !attrs.empty();
+  const uint64_t zone_generation = state->zones().generation();
 
   BufferedReader reader(state->file(), config.read_buffer_bytes);
   NODB_RETURN_NOT_OK(reader.Refresh());
@@ -271,6 +274,20 @@ Result<ParallelScanStats> ParallelChunkedScan(RawTableState* state,
         continue;
       }
       std::shared_ptr<ColumnVector> segment(building[j].release());
+      if (use_zones) {
+        // First-touch pass over the whole file: every block's segment
+        // provably covers it (the final partial block is the tail of
+        // the just-published complete row index).
+        bool covers =
+            segment->size() >= rows_per_block ||
+            (map.rows_complete() &&
+             block * uint64_t{rows_per_block} + segment->size() ==
+                 map.known_rows());
+        if (covers) {
+          state->zones().Observe(attrs[j], block, *segment,
+                                 zone_generation);
+        }
+      }
       if (use_stats) {
         state->stats().ObserveBlock(attrs[j], block, *segment);
       }

@@ -31,6 +31,37 @@ class PhaseTimer {
   Stopwatch watch_;
 };
 
+/// Zone-map attributes summarize only numeric-ish payloads.
+bool ZoneEligibleType(DataType type) {
+  return type == DataType::kInt64 || type == DataType::kDouble ||
+         type == DataType::kDate;
+}
+
+/// True when every row of a block with the given bounds provably fails
+/// `op` against the literal — the zone-map pruning rule. Bounds and
+/// literal are compared exactly like CompareExpr::Evaluate compares
+/// rows: exact int64 when both sides are integral, otherwise through
+/// the double view (a monotone conversion, so converted bounds remain
+/// bounds).
+template <typename T>
+bool ZoneDisjoint(CompareOp op, T min, T max, T lit) {
+  switch (op) {
+    case CompareOp::kEq:
+      return lit < min || lit > max;
+    case CompareOp::kNe:
+      return min == max && min == lit;
+    case CompareOp::kLt:
+      return min >= lit;
+    case CompareOp::kLe:
+      return min > lit;
+    case CompareOp::kGt:
+      return max <= lit;
+    case CompareOp::kGe:
+      return max < lit;
+  }
+  return false;
+}
+
 }  // namespace
 
 RawScanOperator::RawScanOperator(RawTableState* state,
@@ -45,6 +76,11 @@ RawScanOperator::RawScanOperator(RawTableState* state,
       tokenizer_(state->info().dialect) {
   std::vector<size_t> indices(projection_.begin(), projection_.end());
   schema_ = state_->info().schema->Project(indices);
+}
+
+void RawScanOperator::SetPushdownPredicates(
+    std::vector<ExprPtr> predicates) {
+  predicates_ = std::move(predicates);
 }
 
 Status RawScanOperator::Open() {
@@ -62,6 +98,74 @@ Status RawScanOperator::Open() {
   // and this scan's promotions are rejected rather than poisoning the
   // cleared store with old-file segments.
   store_generation_ = state_->store().generation();
+  // Zone maps follow the same discipline: collect summaries whenever
+  // the config asks for them, but prune blocks only when predicates
+  // were pushed and the map can resume the scan at the next block.
+  collect_zones_ = config.enable_zone_maps;
+  skip_zones_ =
+      config.enable_zone_maps && use_map_ && !predicates_.empty();
+  zone_generation_ = state_->zones().generation();
+
+  // Pushdown analysis: which projection slots feed a predicate
+  // (phase 1), and which conjuncts are zone-checkable `col op lit`.
+  pred_slot_.assign(projection_.size(), false);
+  zone_preds_.clear();
+  for (const ExprPtr& p : predicates_) {
+    std::vector<size_t> cols;
+    p->CollectColumns(&cols);
+    for (size_t c : cols) {
+      NODB_CHECK(c < projection_.size());
+      pred_slot_[c] = true;
+    }
+    const auto* cmp = dynamic_cast<const CompareExpr*>(p.get());
+    if (cmp == nullptr) continue;
+    const auto* ref =
+        dynamic_cast<const ColumnRefExpr*>(cmp->left().get());
+    const auto* lit =
+        dynamic_cast<const LiteralExpr*>(cmp->right().get());
+    CompareOp op = cmp->op();
+    if (ref == nullptr || lit == nullptr) {
+      ref = dynamic_cast<const ColumnRefExpr*>(cmp->right().get());
+      lit = dynamic_cast<const LiteralExpr*>(cmp->left().get());
+      if (ref == nullptr || lit == nullptr) continue;
+      // Mirror the operator: lit < col  ==  col > lit.
+      switch (op) {
+        case CompareOp::kLt:
+          op = CompareOp::kGt;
+          break;
+        case CompareOp::kLe:
+          op = CompareOp::kGe;
+          break;
+        case CompareOp::kGt:
+          op = CompareOp::kLt;
+          break;
+        case CompareOp::kGe:
+          op = CompareOp::kLe;
+          break;
+        default:
+          break;
+      }
+    }
+    if (!ZoneEligibleType(ref->type())) continue;
+    ZonePredicate zp;
+    zp.attr = projection_[ref->index()];
+    zp.op = op;
+    const Value& v = lit->value();
+    if (v.is_int64()) {
+      zp.lit_is_int = true;
+      zp.lit_i = v.int64();
+      zp.lit_d = static_cast<double>(v.int64());
+    } else if (v.is_date()) {
+      zp.lit_is_int = true;
+      zp.lit_i = v.date_days();
+      zp.lit_d = static_cast<double>(v.date_days());
+    } else if (v.is_double()) {
+      zp.lit_d = v.dbl();
+    } else {
+      continue;  // NULL/string literal: evaluate, never zone-prune
+    }
+    zone_preds_.push_back(zp);
+  }
 
   std::shared_ptr<RandomAccessFile> file = state_->file();
   if (file == nullptr) {
@@ -207,6 +311,16 @@ Result<bool> RawScanOperator::LocateRow(uint64_t row, uint64_t* start,
   }
 }
 
+void RawScanOperator::MaybeObserveZone(uint32_t attr, uint64_t block,
+                                       const ColumnVector& segment) {
+  // Summaries admit exactly like store segments: the values must
+  // provably cover the whole block, else a skip could hide rows.
+  if (!collect_zones_ || !ZoneEligibleType(segment.type())) return;
+  if (!SegmentCoversBlock(segment.size(), block)) return;
+  if (state_->zones().Contains(attr, block)) return;
+  state_->zones().Observe(attr, block, segment, zone_generation_);
+}
+
 bool RawScanOperator::SegmentCoversBlock(size_t segment_rows,
                                          uint64_t block) const {
   const uint32_t rows_per_block = state_->config().rows_per_block;
@@ -256,7 +370,12 @@ Status RawScanOperator::EnterBlock(uint64_t row) {
     }
     probe_attrs.push_back(st.attr);
     probe_slot_.push_back(i);
-    if (use_cache_ || use_stats_ || promote) {
+    // Zone maps piggyback on the same full-block segments the cache
+    // and statistics build; a missing summary is worth one block of
+    // accumulation even when those components are off.
+    bool want_zone = collect_zones_ && ZoneEligibleType(st.type) &&
+                     !state_->zones().Contains(st.attr, current_block_);
+    if (use_cache_ || use_stats_ || promote || want_zone) {
       st.building = std::make_unique<ColumnVector>(st.type);
       st.building->Reserve(rows_per_block);
       block_has_building_ = true;
@@ -277,6 +396,10 @@ Status RawScanOperator::EnterBlock(uint64_t row) {
 
   span_start_.assign(probe_attrs.size(), 0);
   span_end_.assign(probe_attrs.size(), 0);
+  probe_identity_.resize(probe_attrs.size());
+  for (size_t j = 0; j < probe_identity_.size(); ++j) {
+    probe_identity_[j] = j;
+  }
   probe_attrs_ = std::move(probe_attrs);
   return Status::OK();
 }
@@ -297,15 +420,20 @@ Status RawScanOperator::CommitBlock() {
       st.building.reset();
       // Piggybacked promotion from the cache: the segment that served
       // this block is already fully parsed — hand it to the store
-      // instead of re-parsing later.
-      if (promote && st.cached != nullptr &&
-          SegmentCoversBlock(st.cached->size(), current_block_)) {
-        state_->store().Promote(st.attr, current_block_, st.cached,
-                                store_generation_);
+      // instead of re-parsing later. Zone maps summarize it the same
+      // way.
+      if (st.cached != nullptr) {
+        MaybeObserveZone(st.attr, current_block_, *st.cached);
+        if (promote &&
+            SegmentCoversBlock(st.cached->size(), current_block_)) {
+          state_->store().Promote(st.attr, current_block_, st.cached,
+                                  store_generation_);
+        }
       }
       continue;
     }
     std::shared_ptr<ColumnVector> segment(st.building.release());
+    MaybeObserveZone(st.attr, current_block_, *segment);
     if (use_stats_) {
       state_->stats().ObserveBlock(st.attr, current_block_, *segment);
     }
@@ -323,9 +451,8 @@ Status RawScanOperator::CommitBlock() {
   return Status::OK();
 }
 
-Result<bool> RawScanOperator::TryEnterStoreBlock(uint64_t row) {
+bool RawScanOperator::FetchStoreBlock(uint64_t block, size_t* rows) {
   const uint32_t rows_per_block = state_->config().rows_per_block;
-  const uint64_t block = row / rows_per_block;
   const uint64_t first = block * uint64_t{rows_per_block};
   {
     PhaseTimer timer(&metrics_->nodb_ns, reader_.get());
@@ -339,20 +466,36 @@ Result<bool> RawScanOperator::TryEnterStoreBlock(uint64_t row) {
   // block must agree on its row count. A stale segment (e.g. a
   // pre-append tail committed by a racing promotion) fails these, is
   // evicted, and the block re-parses through the raw path.
-  size_t rows = store_segments_[0]->size();
+  *rows = store_segments_[0]->size();
   bool aligned = true;
   for (const auto& seg : store_segments_) {
-    aligned = aligned && seg->size() == rows;
+    aligned = aligned && seg->size() == *rows;
   }
   if (!aligned ||
-      (rows < rows_per_block &&
+      (*rows < rows_per_block &&
        (!state_->map().rows_complete() ||
-        first + rows != state_->map().known_rows()))) {
+        first + *rows != state_->map().known_rows()))) {
     state_->store().DropBlock(block);
     store_segments_.clear();
     return false;
   }
+  return true;
+}
+
+Result<bool> RawScanOperator::TryEnterStoreBlock(uint64_t row) {
+  const uint32_t rows_per_block = state_->config().rows_per_block;
+  const uint64_t block = row / rows_per_block;
+  size_t rows = 0;
+  if (!FetchStoreBlock(block, &rows)) return false;
   NODB_RETURN_NOT_OK(CommitBlock());
+  // Store-served blocks summarize into the zone maps too: the
+  // segments are fully parsed, so the pass is one cheap scan.
+  {
+    PhaseTimer timer(&metrics_->nodb_ns, reader_.get());
+    for (size_t i = 0; i < store_segments_.size(); ++i) {
+      MaybeObserveZone(projection_[i], block, *store_segments_[i]);
+    }
+  }
   current_block_ = block;
   block_first_row_ = block * uint64_t{rows_per_block};
   block_plan_.reset();
@@ -373,6 +516,7 @@ Result<bool> RawScanOperator::TryEnterStoreBlock(uint64_t row) {
 }
 
 Result<BatchPtr> RawScanOperator::Next() {
+  if (!predicates_.empty()) return NextPushdown();
   if (exhausted_) return BatchPtr();
 
   auto out = std::make_shared<RecordBatch>(schema_);
@@ -445,54 +589,11 @@ Result<BatchPtr> RawScanOperator::Next() {
 
     // ---- selective tokenizing: spans for the uncached attributes.
     if (!probe_attrs_.empty()) {
-      PhaseTimer timer(&metrics_->tokenize_ns, reader_.get());
-      uint32_t progress_field = 0;
-      uint32_t progress_off = 0;
-      bool had_help = false;
-      for (size_t j = 0; j < probe_attrs_.size(); ++j) {
-        uint32_t attr = probe_attrs_[j];
-        PositionalMap::Probe probe;
-        if (block_plan_.has_value()) {
-          probe = block_plan_->Lookup(row_, j);
-        }
-        if (probe.exact) {
-          span_start_[j] = probe.start;
-          span_end_[j] = probe.end;
-          ++metrics_->map_exact_probes;
-          had_help = true;
-          if (attr + 1 > progress_field) {
-            progress_field = attr + 1;
-            progress_off = std::min<uint32_t>(
-                probe.end + 1, static_cast<uint32_t>(line.size()));
-          }
-          continue;
-        }
-        if (probe.anchor_attr > progress_field) {
-          progress_field = probe.anchor_attr;
-          progress_off = std::min<uint32_t>(
-              probe.anchor_rel, static_cast<uint32_t>(line.size()));
-          ++metrics_->map_anchor_probes;
-          had_help = true;
-        }
-        uint32_t before = progress_field;
-        uint32_t high = tokenizer_.ScanStarts(line, progress_field,
-                                              progress_off, attr + 1,
-                                              starts_.data());
-        if (high < attr + 1) {
-          return Status::ParseError(
-              table_name_ + ": row " + std::to_string(row_) +
-              " has " + std::to_string(high) + " fields, attribute " +
-              std::to_string(attr) + " requested (file " +
-              table_path_ + ")");
-        }
-        metrics_->fields_tokenized += attr + 1 - before;
-        span_start_[j] = starts_[attr];
-        span_end_[j] = starts_[attr + 1] - 1;
-        progress_field = attr + 1;
-        progress_off = std::min<uint32_t>(
-            starts_[attr + 1], static_cast<uint32_t>(line.size()));
-      }
-      if (!had_help) ++metrics_->map_blind_rows;
+      NODB_RETURN_NOT_OK(TokenizeSpans(line, row_, block_plan_,
+                                       probe_attrs_, probe_identity_,
+                                       span_start_.data(),
+                                       span_end_.data(),
+                                       /*count_blind=*/true));
     }
 
     // ---- selective parsing/conversion of exactly those spans.
@@ -551,6 +652,461 @@ Result<BatchPtr> RawScanOperator::Next() {
 
   if (emitted == 0) return BatchPtr();
   out->SetNumRows(emitted);
+  return out;
+}
+
+// --------------------------------------------------------------- pushdown
+
+Result<BatchPtr> RawScanOperator::NextPushdown() {
+  while (!exhausted_) {
+    NODB_ASSIGN_OR_RETURN(BatchPtr batch, ProcessPushdownBlock());
+    if (batch != nullptr && batch->num_rows() > 0) {
+      metrics_->io_ns += reader_->io_nanos();
+      metrics_->bytes_read += reader_->bytes_read();
+      reader_->ResetCounters();
+      return batch;
+    }
+    // A skipped or fully filtered block: keep walking. The operator
+    // contract forbids empty non-final batches (drains stop on them).
+  }
+  metrics_->io_ns += reader_->io_nanos();
+  metrics_->bytes_read += reader_->bytes_read();
+  reader_->ResetCounters();
+  return BatchPtr();
+}
+
+Result<BatchPtr> RawScanOperator::ProcessPushdownBlock() {
+  const uint32_t rows_per_block = state_->config().rows_per_block;
+  const uint64_t block = row_ / rows_per_block;
+  const uint64_t first = block * uint64_t{rows_per_block};
+
+  // ---- zone pruning: a block provably disjoint from a pushed
+  // range/equality conjunct advances the cursor without locating,
+  // tokenizing or parsing a single row — on any serving tier.
+  if (skip_zones_ && !zone_preds_.empty()) {
+    uint64_t block_rows = 0;
+    bool skip;
+    {
+      PhaseTimer timer(&metrics_->nodb_ns, reader_.get());
+      skip = ZoneSkipsBlock(block, &block_rows);
+    }
+    if (skip) {
+      ++metrics_->zone_skipped_blocks;
+      metrics_->zone_skipped_rows += block_rows;
+      row_ = first + block_rows;
+      if (block_rows < rows_per_block) {
+        exhausted_ = true;  // the entry was validated as the file tail
+      }
+      return BatchPtr();
+    }
+  }
+
+  if (serve_store_) {
+    BatchPtr staged;
+    NODB_ASSIGN_OR_RETURN(bool served,
+                          TryPushdownStoreBlock(block, &staged));
+    if (served) return staged;
+  }
+
+  return PushdownRawBlock(block);
+}
+
+bool RawScanOperator::ZoneSkipsBlock(uint64_t block,
+                                     uint64_t* rows_in_block) const {
+  const uint32_t rows_per_block = state_->config().rows_per_block;
+  const uint64_t first = block * uint64_t{rows_per_block};
+  const ZoneMaps& zones = state_->zones();
+  for (const ZonePredicate& zp : zone_preds_) {
+    std::optional<ZoneMaps::Entry> entry = zones.Get(zp.attr, block);
+    if (!entry.has_value()) continue;
+    const ZoneMaps::Entry& e = *entry;
+    // NULL-bearing (and NaN-bearing, and all-NULL) blocks are never
+    // skipped: their rows' fate is decided row-by-row, exactly like
+    // FilterOperator would.
+    if (e.has_null || e.unsafe || !e.non_null) continue;
+    // The entry must provably cover the block *right now*: a full
+    // block, or the tail of the currently-complete row index. (Append
+    // truncation and generation tagging make stale entries disappear,
+    // but serve-time validation keeps even a racing one harmless.)
+    if (e.rows < rows_per_block &&
+        (!state_->map().rows_complete() ||
+         first + e.rows != state_->map().known_rows())) {
+      continue;
+    }
+    bool disjoint =
+        e.is_int && zp.lit_is_int
+            ? ZoneDisjoint<int64_t>(zp.op, e.min_i, e.max_i, zp.lit_i)
+            : ZoneDisjoint<double>(zp.op, e.min_d, e.max_d, zp.lit_d);
+    if (disjoint) {
+      *rows_in_block = std::min<uint64_t>(e.rows, rows_per_block);
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<bool> RawScanOperator::TryPushdownStoreBlock(uint64_t block,
+                                                    BatchPtr* staged) {
+  const uint32_t rows_per_block = state_->config().rows_per_block;
+  const uint64_t first = block * uint64_t{rows_per_block};
+  size_t rows = 0;
+  if (!FetchStoreBlock(block, &rows)) return false;
+
+  // The store's fully parsed segments are the cheapest zone-map
+  // source there is — summarize any block the maps do not know yet.
+  {
+    PhaseTimer timer(&metrics_->nodb_ns, reader_.get());
+    for (size_t c = 0; c < store_segments_.size(); ++c) {
+      MaybeObserveZone(projection_[c], block, *store_segments_[c]);
+    }
+  }
+
+  // Vectorize the pushed conjuncts straight over the promoted segments
+  // (a read-only batch view; segments are immutable, shared-owned).
+  std::vector<std::shared_ptr<ColumnVector>> view;
+  view.reserve(store_segments_.size());
+  for (const auto& seg : store_segments_) {
+    view.push_back(std::const_pointer_cast<ColumnVector>(seg));
+  }
+  auto probe = std::make_shared<RecordBatch>(schema_, std::move(view),
+                                             rows);
+  NODB_ASSIGN_OR_RETURN(size_t passing,
+                        EvaluatePushdown(*probe, &pd_pass_));
+
+  BatchPtr out;
+  if (passing == rows) {
+    // Every row passes: hand the view out as-is — the store tier's
+    // zero-copy serving survives pushdown.
+    out = std::move(probe);
+  } else {
+    out = std::make_shared<RecordBatch>(schema_);
+    if (passing > 0) {
+      for (size_t c = 0; c < store_segments_.size(); ++c) {
+        ColumnVector& dst = out->column(c);
+        dst.Reserve(passing);
+        for (size_t r = 0; r < rows; ++r) {
+          if (pd_pass_[r]) dst.AppendFrom(*store_segments_[c], r);
+        }
+      }
+      out->SetNumRows(passing);
+    }
+  }
+  ++metrics_->store_block_hits;
+  metrics_->rows_scanned += rows;
+  metrics_->rows_from_store += rows;
+  metrics_->pushdown_rows_pruned += rows - passing;
+  store_segments_.clear();
+  row_ = first + rows;
+  if (rows < rows_per_block) exhausted_ = true;  // validated tail
+  *staged = std::move(out);
+  return true;
+}
+
+Result<size_t> RawScanOperator::EvaluatePushdown(
+    const RecordBatch& batch, std::vector<char>* pass) const {
+  const size_t n = batch.num_rows();
+  pass->assign(n, 1);
+  size_t passing = n;
+  for (const ExprPtr& predicate : predicates_) {
+    NODB_ASSIGN_OR_RETURN(auto mask, predicate->Evaluate(batch));
+    for (size_t i = 0; i < n; ++i) {
+      if (!(*pass)[i]) continue;
+      // SQL WHERE semantics: NULL folds to "drop", like FilterOperator.
+      if (mask->IsNull(i) || mask->GetInt64(i) == 0) {
+        (*pass)[i] = 0;
+        --passing;
+      }
+    }
+  }
+  return passing;
+}
+
+Status RawScanOperator::TokenizeSpans(
+    Slice line, uint64_t row,
+    const std::optional<PositionalMap::BlockPlan>& plan,
+    const std::vector<uint32_t>& probe_attrs,
+    const std::vector<size_t>& subset, uint32_t* starts, uint32_t* ends,
+    bool count_blind) {
+  PhaseTimer timer(&metrics_->tokenize_ns, reader_.get());
+  uint32_t progress_field = 0;
+  uint32_t progress_off = 0;
+  bool had_help = false;
+  for (size_t k = 0; k < subset.size(); ++k) {
+    size_t j = subset[k];
+    uint32_t attr = probe_attrs[j];
+    PositionalMap::Probe probe;
+    if (plan.has_value()) {
+      probe = plan->Lookup(row, j);
+    }
+    if (probe.exact) {
+      starts[k] = probe.start;
+      ends[k] = probe.end;
+      ++metrics_->map_exact_probes;
+      had_help = true;
+      if (attr + 1 > progress_field) {
+        progress_field = attr + 1;
+        progress_off = std::min<uint32_t>(
+            probe.end + 1, static_cast<uint32_t>(line.size()));
+      }
+      continue;
+    }
+    if (probe.anchor_attr > progress_field) {
+      progress_field = probe.anchor_attr;
+      progress_off = std::min<uint32_t>(
+          probe.anchor_rel, static_cast<uint32_t>(line.size()));
+      ++metrics_->map_anchor_probes;
+      had_help = true;
+    }
+    uint32_t before = progress_field;
+    uint32_t high = tokenizer_.ScanStarts(line, progress_field,
+                                          progress_off, attr + 1,
+                                          starts_.data());
+    if (high < attr + 1) {
+      return Status::ParseError(
+          table_name_ + ": row " + std::to_string(row) + " has " +
+          std::to_string(high) + " fields, attribute " +
+          std::to_string(attr) + " requested (file " + table_path_ + ")");
+    }
+    metrics_->fields_tokenized += attr + 1 - before;
+    starts[k] = starts_[attr];
+    ends[k] = starts_[attr + 1] - 1;
+    progress_field = attr + 1;
+    progress_off = std::min<uint32_t>(
+        starts_[attr + 1], static_cast<uint32_t>(line.size()));
+  }
+  if (count_blind && !had_help && !subset.empty()) {
+    ++metrics_->map_blind_rows;
+  }
+  return Status::OK();
+}
+
+Result<BatchPtr> RawScanOperator::PushdownRawBlock(uint64_t block) {
+  const NoDbConfig& config = state_->config();
+  const uint32_t rows_per_block = config.rows_per_block;
+  const uint64_t first = block * uint64_t{rows_per_block};
+  PositionalMap& map = state_->map();
+
+  // ---- resolve cache residency and split the probes into phases:
+  // predicate columns parse for every row (phase 1), the rest only for
+  // qualifying rows (phase 2).
+  const size_t n_slots = projection_.size();
+  std::vector<std::shared_ptr<const ColumnVector>> cached(n_slots);
+  std::vector<std::shared_ptr<ColumnVector>> built(n_slots);
+  std::vector<uint32_t> probe_attrs;
+  std::vector<size_t> probe_slots;
+  std::vector<size_t> p1_idx, p2_idx;  // indices into probe_attrs
+  for (size_t i = 0; i < n_slots; ++i) {
+    uint32_t attr = projection_[i];
+    if (use_cache_) {
+      auto seg = state_->cache().Get(attr, block);
+      if (seg != nullptr && SegmentCoversBlock(seg->size(), block)) {
+        cached[i] = std::move(seg);
+        ++metrics_->cache_block_hits;
+        continue;
+      }
+      ++metrics_->cache_block_misses;
+    }
+    if (pred_slot_[i]) {
+      p1_idx.push_back(probe_attrs.size());
+      built[i] = std::make_shared<ColumnVector>(attr_states_[i].type);
+      built[i]->Reserve(rows_per_block);
+    } else {
+      p2_idx.push_back(probe_attrs.size());
+    }
+    probe_attrs.push_back(attr);
+    probe_slots.push_back(i);
+  }
+
+  std::optional<PositionalMap::BlockPlan> plan;
+  std::optional<PositionalMap::ChunkBuilder> chunk;
+  if (use_map_ && !probe_attrs.empty()) {
+    PhaseTimer timer(&metrics_->nodb_ns, reader_.get());
+    plan = map.PrepareBlock(first, probe_attrs);
+    // The distance policy still decides per combination, but only the
+    // phase-1 columns have spans for every row of the block — the
+    // chunk records exactly those.
+    if (!p1_idx.empty() && map.ShouldIndexCombination(*plan)) {
+      std::vector<uint32_t> chunk_attrs;
+      chunk_attrs.reserve(p1_idx.size());
+      for (size_t j : p1_idx) chunk_attrs.push_back(probe_attrs[j]);
+      chunk = map.StartChunk(first, chunk_attrs);
+    }
+  }
+
+  // ---- phase 1: locate every row of the block, tokenize and convert
+  // only the predicate columns.
+  pd_bounds_.clear();
+  std::vector<uint32_t> p1_starts(p1_idx.size());
+  std::vector<uint32_t> p1_ends(p1_idx.size());
+  Slice line;
+  for (uint64_t r = first; r < first + rows_per_block; ++r) {
+    uint64_t start = 0;
+    uint64_t end = 0;
+    NODB_ASSIGN_OR_RETURN(bool ok, LocateRow(r, &start, &end));
+    if (!ok) break;
+    pd_bounds_.emplace_back(start, end);
+    if (p1_idx.empty()) continue;
+    if (end > start) {
+      NODB_RETURN_NOT_OK(
+          reader_->ReadAt(start, static_cast<size_t>(end - start), &line));
+    } else {
+      line = Slice();
+    }
+    NODB_RETURN_NOT_OK(TokenizeSpans(line, r, plan, probe_attrs, p1_idx,
+                                     p1_starts.data(), p1_ends.data(),
+                                     /*count_blind=*/true));
+    {
+      PhaseTimer timer(&metrics_->convert_ns, reader_.get());
+      for (size_t k = 0; k < p1_idx.size(); ++k) {
+        size_t slot = probe_slots[p1_idx[k]];
+        Slice raw =
+            CsvTokenizer::RawField(line, p1_starts[k], p1_ends[k] + 1);
+        Slice text = tokenizer_.DecodeField(raw, &decode_scratch_);
+        Status s = ValueParser::ParseInto(text, attr_states_[slot].type,
+                                          built[slot].get());
+        if (!s.ok()) {
+          return Status::ParseError(
+              table_name_ + ": row " + std::to_string(r) +
+              ", attribute " + std::to_string(projection_[slot]) + ": " +
+              s.message());
+        }
+        ++metrics_->fields_converted;
+        ++metrics_->pushdown_phase1_fields;
+      }
+    }
+    if (chunk.has_value()) {
+      PhaseTimer timer(&metrics_->nodb_ns, reader_.get());
+      chunk->AddRow(p1_starts.data(), p1_ends.data());
+    }
+  }
+  const size_t rows = pd_bounds_.size();
+  if (rows == 0) {
+    exhausted_ = true;
+    return BatchPtr();
+  }
+
+  // ---- vectorize the conjuncts over the partial batch. Slots no
+  // predicate references hold empty placeholder columns.
+  size_t passing = 0;
+  {
+    std::vector<std::shared_ptr<ColumnVector>> columns(n_slots);
+    for (size_t i = 0; i < n_slots; ++i) {
+      if (built[i] != nullptr) {
+        columns[i] = built[i];
+      } else if (pred_slot_[i] && cached[i] != nullptr) {
+        NODB_CHECK(cached[i]->size() >= rows);
+        columns[i] = std::const_pointer_cast<ColumnVector>(cached[i]);
+      } else {
+        columns[i] =
+            std::make_shared<ColumnVector>(attr_states_[i].type);
+      }
+    }
+    RecordBatch probe(schema_, std::move(columns), rows);
+    NODB_ASSIGN_OR_RETURN(passing, EvaluatePushdown(probe, &pd_pass_));
+  }
+
+  // ---- phase 2: qualifying rows only — tokenize/convert the
+  // remaining columns and form the output tuples (the paper's
+  // selective tuple formation, now predicate-aware).
+  auto out = std::make_shared<RecordBatch>(schema_);
+  std::vector<uint32_t> p2_starts(p2_idx.size());
+  std::vector<uint32_t> p2_ends(p2_idx.size());
+  if (passing > 0) {
+    for (size_t i = 0; i < n_slots; ++i) out->column(i).Reserve(passing);
+    for (size_t r = 0; r < rows; ++r) {
+      if (!pd_pass_[r]) continue;
+      if (!p2_idx.empty()) {
+        uint64_t start = pd_bounds_[r].first;
+        uint64_t end = pd_bounds_[r].second;
+        if (end > start) {
+          NODB_RETURN_NOT_OK(reader_->ReadAt(
+              start, static_cast<size_t>(end - start), &line));
+        } else {
+          line = Slice();
+        }
+        // Blind-row attribution happened in phase 1 (when predicate
+        // columns probed) — count here only when phase 2 is the row's
+        // first tokenize pass.
+        NODB_RETURN_NOT_OK(TokenizeSpans(line, first + r, plan,
+                                         probe_attrs, p2_idx,
+                                         p2_starts.data(), p2_ends.data(),
+                                         /*count_blind=*/p1_idx.empty()));
+      }
+      size_t k2 = 0;
+      PhaseTimer timer(&metrics_->convert_ns, reader_.get());
+      for (size_t i = 0; i < n_slots; ++i) {
+        if (built[i] != nullptr) {
+          out->column(i).AppendFrom(*built[i], r);
+          continue;
+        }
+        if (cached[i] != nullptr) {
+          NODB_CHECK(r < cached[i]->size());
+          out->column(i).AppendFrom(*cached[i], r);
+          continue;
+        }
+        Slice raw =
+            CsvTokenizer::RawField(line, p2_starts[k2], p2_ends[k2] + 1);
+        Slice text = tokenizer_.DecodeField(raw, &decode_scratch_);
+        Status s = ValueParser::ParseInto(text, attr_states_[i].type,
+                                          &out->column(i));
+        if (!s.ok()) {
+          return Status::ParseError(
+              table_name_ + ": row " + std::to_string(first + r) +
+              ", attribute " + std::to_string(projection_[i]) + ": " +
+              s.message());
+        }
+        ++metrics_->fields_converted;
+        ++metrics_->pushdown_phase2_fields;
+        ++k2;
+      }
+    }
+    out->SetNumRows(passing);
+  }
+
+  // ---- side effects: phase-1 columns covered the whole block, so
+  // they feed the map, cache, statistics, zone maps and promotion
+  // exactly like a predicate-free scan's segments; phase-2 columns
+  // were only parsed for qualifying rows and teach nothing.
+  {
+    PhaseTimer timer(&metrics_->nodb_ns, reader_.get());
+    if (chunk.has_value() && chunk->rows() > 0) {
+      map.CommitChunk(std::move(*chunk));
+    }
+    for (size_t i = 0; i < n_slots; ++i) {
+      uint32_t attr = projection_[i];
+      bool promote = use_store_ && promote_attr_[i] &&
+                     !state_->store().Contains(attr, block);
+      if (built[i] != nullptr) {
+        MaybeObserveZone(attr, block, *built[i]);
+        if (use_stats_) {
+          state_->stats().ObserveBlock(attr, block, *built[i]);
+        }
+        if (use_cache_) {
+          state_->cache().Put(attr, block, built[i]);
+        }
+        if (promote && SegmentCoversBlock(built[i]->size(), block)) {
+          state_->store().Promote(attr, block, built[i],
+                                  store_generation_);
+        }
+      } else if (cached[i] != nullptr) {
+        MaybeObserveZone(attr, block, *cached[i]);
+        if (promote) {
+          state_->store().Promote(attr, block, cached[i],
+                                  store_generation_);
+        }
+      }
+    }
+  }
+
+  metrics_->rows_scanned += rows;
+  metrics_->pushdown_rows_pruned += rows - passing;
+  if (probe_attrs.empty()) {
+    metrics_->rows_from_cache += rows;
+  } else {
+    metrics_->rows_from_raw += rows;
+  }
+  row_ = first + rows;
+  if (rows < rows_per_block) exhausted_ = true;  // end of file
   return out;
 }
 

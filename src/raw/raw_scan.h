@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "csv/tokenizer.h"
+#include "exec/expr.h"
 #include "exec/operator.h"
 #include "io/buffered_reader.h"
 #include "raw/scan_metrics.h"
@@ -70,6 +71,19 @@ class RawScanOperator final : public ExecOperator {
   RawScanOperator(RawTableState* state, std::vector<uint32_t> projection,
                   ScanMetrics* metrics, bool internal = false);
 
+  /// Arms predicate pushdown: `predicates` are boolean conjuncts bound
+  /// over this scan's *output* schema (every referenced column is in
+  /// the projection). The scan then evaluates them two-phase per block
+  /// — tokenize/parse only the predicate columns for every row,
+  /// vectorize the conjuncts over that partial batch, and parse the
+  /// remaining projection columns only for qualifying rows — and,
+  /// when zone maps are enabled, skips blocks provably disjoint from a
+  /// pushed range/equality predicate without locating a single row.
+  /// Emitted rows are exactly the rows a FilterOperator cascade over
+  /// the unfiltered scan would keep (NULL predicates drop the row,
+  /// like SQL WHERE). Call before Open.
+  void SetPushdownPredicates(std::vector<ExprPtr> predicates);
+
   Status Open() override;
   Result<BatchPtr> Next() override;
   std::shared_ptr<Schema> output_schema() const override { return schema_; }
@@ -87,10 +101,63 @@ class RawScanOperator final : public ExecOperator {
   Status CommitBlock();
   Result<bool> LocateRow(uint64_t row, uint64_t* start, uint64_t* end);
 
+  /// A pushed `col op literal` conjunct in zone-checkable form.
+  struct ZonePredicate {
+    uint32_t attr = 0;  // table attribute index
+    CompareOp op = CompareOp::kEq;
+    bool lit_is_int = false;
+    int64_t lit_i = 0;
+    double lit_d = 0;
+  };
+
+  /// ---- pushdown path (predicates_ non-empty). One call processes
+  /// exactly one row-block: zone-skips it, serves it from the store,
+  /// or runs the two-phase raw/cache parse — and returns the block's
+  /// qualifying rows (possibly an empty batch; nullptr only for a
+  /// skipped block).
+  Result<BatchPtr> NextPushdown();
+  Result<BatchPtr> ProcessPushdownBlock();
+  bool ZoneSkipsBlock(uint64_t block, uint64_t* rows_in_block) const;
+  Result<bool> TryPushdownStoreBlock(uint64_t block, BatchPtr* staged);
+  Result<BatchPtr> PushdownRawBlock(uint64_t block);
+
+  /// Evaluates every pushed conjunct over `batch`, folding SQL
+  /// three-valued logic to keep/drop (NULL drops). Fills `pass`
+  /// (size = batch rows) and returns the number of qualifying rows.
+  Result<size_t> EvaluatePushdown(const RecordBatch& batch,
+                                  std::vector<char>* pass) const;
+
+  /// Tokenizes the spans of `subset` (indices into `probe_attrs`,
+  /// which the block plan was prepared with) for one row, writing into
+  /// `starts`/`ends` parallel to `subset`. `count_blind` attributes a
+  /// from-byte-0 walk to map_blind_rows — pass it on the first pass
+  /// over a row only, so two-phase rows count once like any other.
+  Status TokenizeSpans(Slice line, uint64_t row,
+                       const std::optional<PositionalMap::BlockPlan>& plan,
+                       const std::vector<uint32_t>& probe_attrs,
+                       const std::vector<size_t>& subset, uint32_t* starts,
+                       uint32_t* ends, bool count_blind);
+
   /// True when `segment_rows` provably covers the whole of `block`
   /// (full block, or the known tail of a completed row index) — the
   /// admission rule shared by cache residency and store promotion.
   bool SegmentCoversBlock(size_t segment_rows, uint64_t block) const;
+
+  /// The one zone-map admission path for this scan: installs a summary
+  /// for (attr, block) iff collection is on, the attribute's payload
+  /// is summarizable, `segment` provably covers the block, and no
+  /// entry exists yet. Safe to call with any parsed segment — cache,
+  /// store or freshly built.
+  void MaybeObserveZone(uint32_t attr, uint64_t block,
+                        const ColumnVector& segment);
+
+  /// Fetches `block`'s promoted segments into store_segments_ and runs
+  /// the serve-time validation shared by both store paths: all
+  /// attributes must agree on the row count, and a short segment must
+  /// match the completed row index *right now* (a stale pre-append
+  /// tail fails, is evicted, and the block re-parses raw). False when
+  /// the block is absent or stale; `*rows` is its row count on success.
+  bool FetchStoreBlock(uint64_t block, size_t* rows);
 
   /// Tries to serve the block containing `row` (a block boundary)
   /// entirely from the shadow store. On success commits the previous
@@ -114,7 +181,15 @@ class RawScanOperator final : public ExecOperator {
   bool use_stats_ = false;
   bool use_store_ = false;    // promotion side effects enabled
   bool serve_store_ = false;  // store fast path enabled (needs the map)
+  bool collect_zones_ = false;  // summarize full blocks into zone maps
+  bool skip_zones_ = false;     // prune blocks via zone maps (needs map)
   uint64_t store_generation_ = 0;  // file generation this scan parses
+  uint64_t zone_generation_ = 0;   // ditto, for zone-map observation
+
+  // Predicate pushdown (empty = legacy row-at-a-time path).
+  std::vector<ExprPtr> predicates_;
+  std::vector<bool> pred_slot_;          // projection slot is phase-1
+  std::vector<ZonePredicate> zone_preds_;  // zone-checkable conjuncts
 
   uint64_t row_ = 0;
   uint64_t local_offset_ = 0;  // discovery cursor when the map is off
@@ -145,6 +220,7 @@ class RawScanOperator final : public ExecOperator {
   std::optional<PositionalMap::ChunkBuilder> chunk_builder_;
   std::vector<uint32_t> probe_attrs_;  // attrs not served by the cache
   std::vector<size_t> probe_slot_;     // probe j -> attr_states_ index
+  std::vector<size_t> probe_identity_;  // 0..n-1, TokenizeSpans subset
   std::vector<uint32_t> chunk_attrs_;  // attrs recorded in the builder
 
   // Reused per-row scratch.
@@ -152,6 +228,10 @@ class RawScanOperator final : public ExecOperator {
   std::vector<uint32_t> span_start_;  // per projection slot
   std::vector<uint32_t> span_end_;
   std::string decode_scratch_;
+
+  // Reused per-block pushdown scratch.
+  std::vector<std::pair<uint64_t, uint64_t>> pd_bounds_;  // row byte spans
+  std::vector<char> pd_pass_;
 };
 
 }  // namespace nodb

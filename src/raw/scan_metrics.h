@@ -52,6 +52,19 @@ struct ScanMetrics {
   uint64_t rows_from_cache = 0;
   uint64_t rows_from_raw = 0;
 
+  /// Predicate pushdown + zone maps. Zone-skipped rows were never
+  /// located, tokenized or parsed (they are *not* in rows_scanned);
+  /// pruned rows were examined in phase 1 and dropped by a pushed
+  /// predicate before any phase-2 parsing. Field counters split the
+  /// two-phase parse: phase 1 converts predicate columns for every
+  /// examined row, phase 2 converts the remaining projection columns
+  /// for qualifying rows only.
+  uint64_t zone_skipped_blocks = 0;
+  uint64_t zone_skipped_rows = 0;
+  uint64_t pushdown_rows_pruned = 0;
+  uint64_t pushdown_phase1_fields = 0;
+  uint64_t pushdown_phase2_fields = 0;
+
   void Add(const ScanMetrics& other) {
     io_ns += other.io_ns;
     parsing_ns += other.parsing_ns;
@@ -71,6 +84,11 @@ struct ScanMetrics {
     rows_from_store += other.rows_from_store;
     rows_from_cache += other.rows_from_cache;
     rows_from_raw += other.rows_from_raw;
+    zone_skipped_blocks += other.zone_skipped_blocks;
+    zone_skipped_rows += other.zone_skipped_rows;
+    pushdown_rows_pruned += other.pushdown_rows_pruned;
+    pushdown_phase1_fields += other.pushdown_phase1_fields;
+    pushdown_phase2_fields += other.pushdown_phase2_fields;
   }
 
   int64_t TotalScanNs() const {

@@ -86,11 +86,16 @@ double AttributeStats::EstimateDistinct() const {
 double AttributeStats::EstimateDistinctLocked() const {
   if (kmv_.empty()) return 0;
   if (kmv_.size() < kKmvSize) return static_cast<double>(kmv_.size());
-  // Standard KMV estimator: (k-1) / normalized kth-minimum.
+  // Standard KMV estimator: (k-1) / normalized kth-minimum. Degenerate
+  // sketches (kth-minimum of 0 or denormal) would divide by zero or
+  // blow up to inf; fall back on the sketch size, which is a valid
+  // lower bound.
   double kth = static_cast<double>(*kmv_.rbegin()) /
                static_cast<double>(UINT64_MAX);
   if (kth <= 0) return static_cast<double>(kmv_.size());
-  return (static_cast<double>(kKmvSize) - 1.0) / kth;
+  double estimate = (static_cast<double>(kKmvSize) - 1.0) / kth;
+  if (!std::isfinite(estimate)) return static_cast<double>(kmv_.size());
+  return estimate;
 }
 
 std::optional<double> AttributeStats::EstimateCompareSelectivity(
@@ -158,9 +163,13 @@ std::optional<double> AttributeStats::EstimateCompareSelectivity(
   }
   double frac = static_cast<double>(pass) / numeric_sample_.size();
   if (op == CompareOp::kEq && pass == 0) {
-    // Equality that misses the sample: fall back on 1/NDV.
+    // Equality that misses the sample: fall back on 1/NDV. A
+    // degenerate sketch (no distinct values observed, e.g. an all-NULL
+    // column whose sample is somehow non-empty) must not divide by
+    // zero or return inf — keep the sample fraction instead.
     double ndv = EstimateDistinctLocked();
-    return ndv > 0 ? 1.0 / ndv : frac;
+    if (ndv > 0 && std::isfinite(1.0 / ndv)) return 1.0 / ndv;
+    return frac;
   }
   return frac;
 }
@@ -264,11 +273,96 @@ void StatsCollector::Clear() {
   observed_.clear();
 }
 
+void ZoneMaps::Observe(uint32_t attr, uint64_t block,
+                       const ColumnVector& column, uint64_t generation) {
+  if (column.type() == DataType::kString) return;
+  Entry entry;
+  entry.is_int = column.type() != DataType::kDouble;
+  entry.rows = column.size();
+  bool first = true;
+  for (size_t i = 0; i < column.size(); ++i) {
+    if (column.IsNull(i)) {
+      entry.has_null = true;
+      continue;
+    }
+    entry.non_null = true;
+    double d = column.GetNumeric(i);
+    if (std::isnan(d)) {
+      entry.unsafe = true;
+      continue;
+    }
+    if (entry.is_int) {
+      int64_t v = column.GetInt64(i);
+      if (first || v < entry.min_i) entry.min_i = v;
+      if (first || v > entry.max_i) entry.max_i = v;
+    }
+    if (first || d < entry.min_d) entry.min_d = d;
+    if (first || d > entry.max_d) entry.max_d = d;
+    first = false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (generation != generation_) return;  // parsed a rewritten file
+  entries_.emplace(KeyOf(attr, block), entry);  // first install wins
+}
+
+std::optional<ZoneMaps::Entry> ZoneMaps::Get(uint32_t attr,
+                                             uint64_t block) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(KeyOf(attr, block));
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ZoneMaps::Contains(uint32_t attr, uint64_t block) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.find(KeyOf(attr, block)) != entries_.end();
+}
+
+uint64_t ZoneMaps::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generation_;
+}
+
+void ZoneMaps::DropBlocksFrom(uint64_t first_block) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if ((it->first & ((uint64_t{1} << 40) - 1)) >= first_block) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ZoneMaps::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  ++generation_;
+}
+
+size_t ZoneMaps::num_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
 void StatsSelectivityEstimator::Register(const std::string& table,
                                          const StatsCollector* stats,
                                          std::shared_ptr<Schema> schema) {
   tables_[table] = TableEntry{stats, std::move(schema)};
 }
+
+namespace {
+
+/// Selectivities are fractions; degenerate stats (empty samples,
+/// zero-width ranges, broken sketches) must never leak NaN/inf into
+/// the planner's ordering comparisons.
+std::optional<double> ClampSelectivity(std::optional<double> sel) {
+  if (!sel.has_value()) return sel;
+  if (!std::isfinite(*sel)) return std::nullopt;
+  return std::min(1.0, std::max(0.0, *sel));
+}
+
+}  // namespace
 
 std::optional<double> StatsSelectivityEstimator::EstimateSelectivity(
     const std::string& table, const Expr& predicate) const {
@@ -280,7 +374,14 @@ std::optional<double> StatsSelectivityEstimator::EstimateSelectivity(
     const auto* ref = dynamic_cast<const ColumnRefExpr*>(&e);
     if (ref == nullptr) return nullptr;
     auto idx = entry.schema->FieldIndex(ref->name());
-    if (!idx.ok()) return nullptr;
+    if (!idx.ok()) {
+      // Join-side conjuncts carry qualified display names ("alias.col");
+      // retry with the bare column name against the table schema.
+      size_t dot = ref->name().rfind('.');
+      if (dot == std::string::npos) return nullptr;
+      idx = entry.schema->FieldIndex(ref->name().substr(dot + 1));
+      if (!idx.ok()) return nullptr;
+    }
     if (!entry.stats->HasStats(static_cast<uint32_t>(*idx))) return nullptr;
     return entry.stats->GetStats(static_cast<uint32_t>(*idx));
   };
@@ -313,7 +414,8 @@ std::optional<double> StatsSelectivityEstimator::EstimateSelectivity(
     if (stats == nullptr) return std::nullopt;
     const auto* lit = dynamic_cast<const LiteralExpr*>(literal_side);
     if (lit == nullptr) return std::nullopt;
-    return stats->EstimateCompareSelectivity(op, lit->value());
+    return ClampSelectivity(
+        stats->EstimateCompareSelectivity(op, lit->value()));
   }
 
   if (const auto* like = dynamic_cast<const LikeExpr*>(&predicate)) {
@@ -334,13 +436,13 @@ std::optional<double> StatsSelectivityEstimator::EstimateSelectivity(
     if (logical->op() == LogicalOp::kAnd) {
       auto l = EstimateSelectivity(table, *logical->left());
       auto r = EstimateSelectivity(table, *logical->right());
-      if (l && r) return *l * *r;
-      return l ? l : r;
+      if (l && r) return ClampSelectivity(*l * *r);
+      return ClampSelectivity(l ? l : r);
     }
     if (logical->op() == LogicalOp::kOr) {
       auto l = EstimateSelectivity(table, *logical->left());
       auto r = EstimateSelectivity(table, *logical->right());
-      if (l && r) return std::min(1.0, *l + *r - *l * *r);
+      if (l && r) return ClampSelectivity(*l + *r - *l * *r);
       return std::nullopt;
     }
   }

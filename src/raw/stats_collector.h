@@ -7,6 +7,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -145,6 +146,84 @@ class StatsCollector {
   std::vector<std::unique_ptr<AttributeStats>> attrs_;
   std::vector<uint64_t> heat_;             // per-attr scan requests
   std::unordered_set<uint64_t> observed_;  // (attr<<40)|block keys
+};
+
+/// Per-(attribute, row-block) min/max summaries — zone maps — collected
+/// alongside the on-the-fly statistics whenever a scan, first-touch
+/// pass or store promotion has a fully parsed block segment in hand
+/// (the values were parsed anyway; summarizing them is one extra pass,
+/// paid once per block). A pushed range/equality predicate provably
+/// disjoint from a block's [min, max] lets the scan skip the block
+/// without locating a single row.
+///
+/// Admission mirrors the shadow store: an entry is installed only for
+/// a segment that provably covers its whole block, and entries are
+/// generation-tagged — a scan that opened against a since-rewritten
+/// file cannot repopulate the cleared maps with old-file summaries, so
+/// a stale map can never skip live rows. Invalidation also mirrors the
+/// store: Clear() on rewrite (advances the generation),
+/// DropBlocksFrom() on append (the block containing the old frontier
+/// gains rows). Entries are immutable once installed (any two
+/// observers parsed identical bytes).
+///
+/// NULL-bearing and NaN-bearing blocks are marked non-skippable;
+/// string attributes are not summarized.
+///
+/// Zone maps are deliberately unbudgeted, like the positional map's
+/// row index (and unlike the chunk/segment LRUs): one ~56-byte entry
+/// summarizes a whole (attribute, row-block) — about 0.02 bytes per
+/// row per attribute, two orders of magnitude below the row index's
+/// 8 bytes per row that any mapped table already carries. Evicting
+/// them would trade away exactly the summaries that make skips
+/// possible while saving memory that rounds to nothing next to the
+/// structures that are budgeted.
+///
+/// Thread-safe: one internal mutex, no I/O under it.
+class ZoneMaps {
+ public:
+  struct Entry {
+    bool is_int = false;  ///< int64/date payload: exact integer bounds
+    int64_t min_i = 0;
+    int64_t max_i = 0;
+    double min_d = 0;  ///< bounds under GetNumeric's double view
+    double max_d = 0;
+    uint64_t rows = 0;       ///< rows the observed segment held
+    bool has_null = false;   ///< block contains NULLs: never skip
+    bool non_null = false;   ///< at least one non-null value observed
+    bool unsafe = false;     ///< NaN observed: bounds unusable
+  };
+
+  /// Summarizes `column` (the parsed values of `attr` for `block`) into
+  /// an entry; first install wins. Rejected when `generation` is stale
+  /// or the attribute is a string. The caller guarantees the column
+  /// covers the entire block.
+  void Observe(uint32_t attr, uint64_t block, const ColumnVector& column,
+               uint64_t generation);
+
+  std::optional<Entry> Get(uint32_t attr, uint64_t block) const;
+  bool Contains(uint32_t attr, uint64_t block) const;
+
+  /// The current file generation; snapshot before opening the file a
+  /// scan will parse from, pass back to Observe.
+  uint64_t generation() const;
+
+  /// Drops every entry of block >= `first_block` (append: the block
+  /// containing the old frontier is about to gain rows).
+  void DropBlocksFrom(uint64_t first_block);
+
+  /// Drops everything and advances the generation (file rewritten).
+  void Clear();
+
+  size_t num_entries() const;
+
+ private:
+  static uint64_t KeyOf(uint32_t attr, uint64_t block) {
+    return (static_cast<uint64_t>(attr) << 40) | block;
+  }
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, Entry> entries_;
+  uint64_t generation_ = 0;
 };
 
 /// Bridges table statistics into the planner's SelectivityEstimator

@@ -56,6 +56,9 @@ Result<FileChange> RawTableState::CheckForUpdates() {
       // scan cannot re-promote the stale tail after the drop.
       map_.ReopenForAppend();
       store_.DropBlocksFrom(map_.known_rows() / config_.rows_per_block);
+      // The zone maps truncate exactly like the store: the frontier
+      // block's summary no longer covers it, earlier full blocks stay.
+      zones_.DropBlocksFrom(map_.known_rows() / config_.rows_per_block);
       promoted_rows_ = UINT64_MAX;  // re-arm the background promoter
     } else {
       change = FileChange::kRewritten;
@@ -157,6 +160,7 @@ void RawTableState::InvalidateAllLocked() {
   cache_.Clear();
   stats_.Clear();
   store_.Clear();
+  zones_.Clear();
   parallel_prewarmed_ = false;
   promoted_hot_.clear();
   promoted_rows_ = UINT64_MAX;

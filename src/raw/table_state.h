@@ -85,6 +85,8 @@ class RawTableState {
   const StatsCollector& stats() const { return stats_; }
   ShadowStore& store() { return store_; }
   const ShadowStore& store() const { return store_; }
+  ZoneMaps& zones() { return zones_; }
+  const ZoneMaps& zones() const { return zones_; }
 
   /// Per-attribute access counts (monitoring panel usage statistics).
   void RecordAttributeAccess(const std::vector<uint32_t>& attrs);
@@ -143,6 +145,7 @@ class RawTableState {
   RawCache cache_;
   StatsCollector stats_;
   ShadowStore store_;
+  ZoneMaps zones_;
 };
 
 }  // namespace nodb

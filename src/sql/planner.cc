@@ -322,26 +322,16 @@ void SplitConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out) {
   out->push_back(e);
 }
 
-/// Rebuilds a left-deep AND tree.
-ExprPtr CombineConjuncts(const std::vector<ExprPtr>& conjuncts) {
-  ExprPtr acc = conjuncts.front();
-  for (size_t i = 1; i < conjuncts.size(); ++i) {
-    acc = std::make_shared<LogicalExpr>(LogicalOp::kAnd, acc, conjuncts[i]);
-  }
-  return acc;
-}
-
 /// Orders conjuncts most-selective-first using the stats oracle
 /// (paper §3.3: on-the-fly statistics feed plan choices). Unknown
 /// selectivities sort last, keeping their source order (stable sort).
-ExprPtr ReorderPredicate(const ExprPtr& predicate, const std::string& table,
-                         const SelectivityEstimator* stats) {
-  std::vector<ExprPtr> conjuncts;
-  SplitConjuncts(predicate, &conjuncts);
-  if (conjuncts.size() < 2 || stats == nullptr) return predicate;
+void ReorderConjuncts(std::vector<ExprPtr>* conjuncts,
+                      const std::string& table,
+                      const SelectivityEstimator* stats) {
+  if (conjuncts->size() < 2 || stats == nullptr) return;
   std::vector<std::pair<double, ExprPtr>> ranked;
-  ranked.reserve(conjuncts.size());
-  for (const auto& c : conjuncts) {
+  ranked.reserve(conjuncts->size());
+  for (const auto& c : *conjuncts) {
     double sel = stats->EstimateSelectivity(table, *c).value_or(1.0);
     ranked.emplace_back(sel, c);
   }
@@ -349,10 +339,8 @@ ExprPtr ReorderPredicate(const ExprPtr& predicate, const std::string& table,
                    [](const auto& a, const auto& b) {
                      return a.first < b.first;
                    });
-  std::vector<ExprPtr> ordered;
-  ordered.reserve(ranked.size());
-  for (auto& [sel, expr] : ranked) ordered.push_back(std::move(expr));
-  return CombineConjuncts(ordered);
+  conjuncts->clear();
+  for (auto& [sel, expr] : ranked) conjuncts->push_back(std::move(expr));
 }
 
 /// Extracts equi-join key pairs from a bound ON condition over the
@@ -447,25 +435,117 @@ Result<OperatorPtr> PlanSelect(const SelectStatement& stmt,
   }
   binder.FinalizeProjections();
 
-  // ---- Leaf scans (the only engine-specific part of the plan).
-  auto describe_scan = [&](const Binder::TableSlot& slot) {
+  // ---- WHERE analysis. Conjuncts are classified *before* the leaf
+  // scans exist so that single-table conjuncts can be offered to their
+  // scan as pushdown predicates — and, on joins, evaluated on the
+  // correct side below the join (reordered by that table's statistics)
+  // instead of over every joined row. Only conjuncts that genuinely
+  // reference both tables remain above the HashJoin.
+  const size_t split = binder.slot(0).projection.size();
+  std::vector<ExprPtr> side_conjuncts[2];
+  std::vector<ExprPtr> cross_conjuncts;
+  if (stmt.where) {
+    NODB_ASSIGN_OR_RETURN(auto predicate, binder.Bind(*stmt.where));
+    NODB_ASSIGN_OR_RETURN(DataType t,
+                          predicate->OutputType(*binder.combined_schema()));
+    if (t != DataType::kInt64) {
+      return Status::InvalidArgument("WHERE predicate is not boolean");
+    }
+    std::vector<ExprPtr> conjuncts;
+    SplitConjuncts(predicate, &conjuncts);
+    if (!stmt.has_join) {
+      side_conjuncts[0] = std::move(conjuncts);
+    } else {
+      for (auto& c : conjuncts) {
+        std::vector<size_t> cols;
+        c->CollectColumns(&cols);
+        bool left_only = true;
+        bool right_only = true;
+        for (size_t col : cols) {
+          (col < split ? right_only : left_only) = false;
+        }
+        if (left_only) {  // includes column-free conjuncts
+          side_conjuncts[0].push_back(std::move(c));
+        } else if (right_only) {
+          // The build-side scan emits only the right table's columns;
+          // re-target the conjunct onto that schema. A node kind the
+          // rebase does not know stays above the join (still correct).
+          ExprPtr rebased = RebaseColumnRefs(c, split);
+          if (rebased != nullptr) {
+            side_conjuncts[1].push_back(std::move(rebased));
+          } else {
+            cross_conjuncts.push_back(std::move(c));
+          }
+        } else {
+          cross_conjuncts.push_back(std::move(c));
+        }
+      }
+    }
+    // Most-selective-first per side, so the cheap rejections run first
+    // whether the conjuncts execute inside the scan or as a cascade of
+    // filters above it.
+    ReorderConjuncts(&side_conjuncts[0], stmt.from_table, options.stats);
+    if (stmt.has_join) {
+      ReorderConjuncts(&side_conjuncts[1], stmt.join_table, options.stats);
+    }
+  }
+
+  // ---- Leaf scans (the only engine-specific part of the plan). Each
+  // side's conjuncts are offered to its scan; whatever the factory does
+  // not consume becomes a cascade of filters directly above that scan.
+  auto annotate = [&](const std::string& table, const Expr& c) {
+    std::string suffix;
+    // Estimates are display-only here (ordering already happened in
+    // ReorderConjuncts) — skip the stats traffic unless EXPLAINing.
+    if (options.explain != nullptr && options.stats != nullptr) {
+      auto sel = options.stats->EstimateSelectivity(table, c);
+      if (sel.has_value()) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "  (selectivity ~%.4f)", *sel);
+        suffix = buf;
+      }
+    }
+    return suffix;
+  };
+  auto plan_scan = [&](size_t which, const std::string& table,
+                       std::vector<ExprPtr>& conjuncts)
+      -> Result<OperatorPtr> {
+    const Binder::TableSlot& slot = binder.slot(which);
     std::string cols;
     for (size_t i : slot.projection) {
       if (!cols.empty()) cols += ", ";
       cols += slot.schema->field(i).name;
     }
     note("SCAN " + slot.name + " [" + cols + "]");
+    ScanPushdown pushdown;
+    pushdown.conjuncts = conjuncts;
+    pushdown.pushed.assign(conjuncts.size(), false);
+    NODB_ASSIGN_OR_RETURN(
+        OperatorPtr scan,
+        factory->CreatePushdownScan(table, slot.projection, &pushdown));
+    pushdown.pushed.resize(conjuncts.size(), false);
+    for (size_t i = 0; i < conjuncts.size(); ++i) {
+      if (!pushdown.pushed[i]) continue;
+      note("PUSHDOWN " + conjuncts[i]->ToString() +
+           annotate(table, *conjuncts[i]));
+    }
+    for (size_t i = 0; i < conjuncts.size(); ++i) {
+      if (pushdown.pushed[i]) continue;
+      note("FILTER " + conjuncts[i]->ToString() +
+           annotate(table, *conjuncts[i]));
+      scan = std::make_unique<FilterOperator>(std::move(scan),
+                                              conjuncts[i]);
+    }
+    return scan;
   };
-  describe_scan(binder.slot(0));
+
   NODB_ASSIGN_OR_RETURN(
       OperatorPtr plan,
-      factory->CreateScan(stmt.from_table, binder.slot(0).projection));
-  size_t split = binder.slot(0).projection.size();
+      plan_scan(0, stmt.from_table, side_conjuncts[0]));
   if (stmt.has_join) {
-    describe_scan(binder.slot(1));
     NODB_ASSIGN_OR_RETURN(
         OperatorPtr build,
-        factory->CreateScan(stmt.join_table, binder.slot(1).projection));
+        plan_scan(1, stmt.join_table, side_conjuncts[1]));
     if (stmt.join_condition == nullptr) {
       return Status::InvalidArgument("JOIN requires an ON condition");
     }
@@ -484,45 +564,18 @@ Result<OperatorPtr> PlanSelect(const SelectStatement& stmt,
         plan, HashJoinOperator::Create(std::move(plan), std::move(build),
                                        std::move(probe_keys),
                                        std::move(build_keys)));
+    // Cross-table residue: only these conjuncts see joined rows.
+    for (auto& conjunct : cross_conjuncts) {
+      note("FILTER " + conjunct->ToString());
+      plan = std::make_unique<FilterOperator>(std::move(plan),
+                                              std::move(conjunct));
+    }
   }
 
   // The combined schema must match what the scans emit; rename to the
   // binder's display names so later OutputType calls line up.
   // (Scans emit per-table projected schemas; for joins the HashJoin
   // concatenates them in the same order the binder used.)
-
-  // ---- WHERE. Conjuncts become a cascade of filters so that ordering
-  // them most-selective-first (when statistics exist) actually reduces
-  // the rows later, more expensive conjuncts must evaluate.
-  if (stmt.where) {
-    NODB_ASSIGN_OR_RETURN(auto predicate, binder.Bind(*stmt.where));
-    if (!stmt.has_join) {
-      predicate =
-          ReorderPredicate(predicate, stmt.from_table, options.stats);
-    }
-    NODB_ASSIGN_OR_RETURN(DataType t,
-                          predicate->OutputType(*binder.combined_schema()));
-    if (t != DataType::kInt64) {
-      return Status::InvalidArgument("WHERE predicate is not boolean");
-    }
-    std::vector<ExprPtr> conjuncts;
-    SplitConjuncts(predicate, &conjuncts);
-    for (auto& conjunct : conjuncts) {
-      std::string line = "FILTER " + conjunct->ToString();
-      if (options.stats != nullptr && !stmt.has_join) {
-        auto sel =
-            options.stats->EstimateSelectivity(stmt.from_table, *conjunct);
-        if (sel.has_value()) {
-          char buf[32];
-          std::snprintf(buf, sizeof(buf), "  (selectivity ~%.4f)", *sel);
-          line += buf;
-        }
-      }
-      note(line);
-      plan = std::make_unique<FilterOperator>(std::move(plan),
-                                              std::move(conjunct));
-    }
-  }
 
   if (has_aggregate) {
     // ---- Aggregate path: Agg -> Project(reorder) -> Sort -> Limit.

@@ -6,11 +6,25 @@
 #include <string>
 #include <vector>
 
+#include "exec/expr.h"
 #include "exec/operator.h"
 #include "sql/ast.h"
 #include "util/result.h"
 
 namespace nodb {
+
+/// Predicate-pushdown offer handed to ScanFactory::CreatePushdownScan.
+/// `conjuncts` are boolean expressions bound over the scan's *output*
+/// schema (the projected columns, in projection order) — every column
+/// they reference is in the projection by construction. The factory
+/// marks the conjuncts it consumed in `pushed` (parallel to
+/// `conjuncts`, pre-sized to false); the planner keeps a FilterOperator
+/// above the scan for every conjunct left unpushed, so a factory that
+/// ignores the offer still yields a correct plan.
+struct ScanPushdown {
+  std::vector<ExprPtr> conjuncts;
+  std::vector<bool> pushed;
+};
 
 /// Supplies leaf scans to the planner.
 ///
@@ -29,6 +43,18 @@ class ScanFactory {
 
   virtual Result<OperatorPtr> CreateScan(
       const std::string& table, const std::vector<size_t>& projection) = 0;
+
+  /// CreateScan plus a predicate-pushdown offer (see ScanPushdown).
+  /// The default implementation ignores the offer and forwards to
+  /// CreateScan — engines whose leaves cannot evaluate predicates need
+  /// not change; the NoDB factory overrides this to push eligible
+  /// conjuncts into the two-phase raw scan.
+  virtual Result<OperatorPtr> CreatePushdownScan(
+      const std::string& table, const std::vector<size_t>& projection,
+      ScanPushdown* pushdown) {
+    (void)pushdown;
+    return CreateScan(table, projection);
+  }
 };
 
 /// Selectivity oracle for predicate ordering, implemented by the NoDB

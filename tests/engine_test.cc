@@ -99,8 +99,12 @@ TEST_F(EngineTest, MetricsPopulatedAndAdaptive) {
       engine.Execute("SELECT SUM(amount) AS s FROM sales WHERE id > 10");
   ASSERT_TRUE(warm.ok());
   EXPECT_EQ(warm->result.CanonicalRows(), cold->result.CanonicalRows());
-  // Cache-served: nothing converted the second time.
-  EXPECT_EQ(warm->metrics.scan.fields_converted, 0u);
+  // The pushed predicate's column (id) is cache-served on the second
+  // run; only phase 2 — the qualifying rows' amount values — still
+  // converts. (Phase-2 columns are parsed selectively, so they never
+  // populate the cache; promotion materializes them instead.)
+  EXPECT_LT(warm->metrics.scan.fields_converted,
+            cold->metrics.scan.fields_converted);
   EXPECT_GT(warm->metrics.scan.cache_block_hits, 0u);
 
   EXPECT_EQ(engine.totals().queries, 2u);
@@ -111,6 +115,17 @@ TEST_F(EngineTest, MetricsPopulatedAndAdaptive) {
   ASSERT_NE(state, nullptr);
   EXPECT_TRUE(state->map().rows_complete());
   EXPECT_GT(state->cache().num_segments(), 0u);
+
+  // Two accesses crossed the promotion threshold: once the background
+  // pass materializes the hot columns, the third run serves from the
+  // store and converts nothing at all.
+  engine.WaitForPromotions();
+  auto hot =
+      engine.Execute("SELECT SUM(amount) AS s FROM sales WHERE id > 10");
+  ASSERT_TRUE(hot.ok());
+  EXPECT_EQ(hot->result.CanonicalRows(), cold->result.CanonicalRows());
+  EXPECT_EQ(hot->metrics.scan.fields_converted, 0u);
+  EXPECT_GT(hot->metrics.scan.rows_from_store, 0u);
 }
 
 TEST_F(EngineTest, BaselineConfigDoesNotAdapt) {
@@ -177,14 +192,16 @@ TEST_F(EngineTest, ExplainShowsPlanAndAdaptiveReordering) {
       "SELECT region FROM sales WHERE region LIKE 'n%' AND id < 5 "
       "ORDER BY region LIMIT 3");
   ASSERT_TRUE(plan.ok()) << plan.status().ToString();
-  // Without statistics yet, filters keep source order.
+  // Without statistics yet, pushed conjuncts keep source order. Both
+  // WHERE conjuncts are single-table, so they run inside the scan.
   EXPECT_NE(plan->find("SCAN sales [id, region]"), std::string::npos)
       << *plan;
-  size_t like_pos = plan->find("FILTER (region LIKE");
-  size_t id_pos = plan->find("FILTER (id < 5)");
-  ASSERT_NE(like_pos, std::string::npos);
-  ASSERT_NE(id_pos, std::string::npos);
+  size_t like_pos = plan->find("PUSHDOWN (region LIKE");
+  size_t id_pos = plan->find("PUSHDOWN (id < 5)");
+  ASSERT_NE(like_pos, std::string::npos) << *plan;
+  ASSERT_NE(id_pos, std::string::npos) << *plan;
   EXPECT_LT(like_pos, id_pos);
+  EXPECT_EQ(plan->find("FILTER"), std::string::npos) << *plan;
   EXPECT_NE(plan->find("SORT by"), std::string::npos);
   EXPECT_NE(plan->find("LIMIT 3"), std::string::npos);
 
@@ -196,12 +213,25 @@ TEST_F(EngineTest, ExplainShowsPlanAndAdaptiveReordering) {
       "SELECT region FROM sales WHERE region LIKE 'n%' AND id < 5 "
       "ORDER BY region LIMIT 3");
   ASSERT_TRUE(adapted.ok());
-  size_t like2 = adapted->find("FILTER (region LIKE");
-  size_t id2 = adapted->find("FILTER (id < 5)");
-  ASSERT_NE(like2, std::string::npos);
-  ASSERT_NE(id2, std::string::npos);
+  size_t like2 = adapted->find("PUSHDOWN (region LIKE");
+  size_t id2 = adapted->find("PUSHDOWN (id < 5)");
+  ASSERT_NE(like2, std::string::npos) << *adapted;
+  ASSERT_NE(id2, std::string::npos) << *adapted;
   EXPECT_LT(id2, like2) << *adapted;
   EXPECT_NE(adapted->find("selectivity"), std::string::npos) << *adapted;
+
+  // With pushdown disabled the same conjuncts fall back to a filter
+  // cascade above the scan.
+  NoDbConfig no_push = SmallBlocks();
+  no_push.enable_pushdown = false;
+  NoDbEngine plain(catalog_, no_push);
+  auto filtered = plain.Explain(
+      "SELECT region FROM sales WHERE region LIKE 'n%' AND id < 5 "
+      "ORDER BY region LIMIT 3");
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_NE(filtered->find("FILTER (region LIKE"), std::string::npos)
+      << *filtered;
+  EXPECT_EQ(filtered->find("PUSHDOWN"), std::string::npos) << *filtered;
 }
 
 TEST_F(EngineTest, ExplainOnAggregateAndJoinPlans) {

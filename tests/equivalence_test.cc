@@ -560,6 +560,100 @@ TEST(ConcurrentEquivalence, RawExecutePathIsThreadSafeWithoutSessions) {
   EXPECT_EQ(mismatches.load(), 0);
 }
 
+/// Pushdown + zone maps under concurrency: 8 clients hammering one
+/// shared state with selective predicates over a *clustered* attribute
+/// must return byte-identical rows to the serial engines, and the
+/// per-query ScanMetrics must stay consistent — every row of every
+/// full scan is either examined or zone-skipped, never lost.
+class PushdownConcurrentStress : public ::testing::TestWithParam<uint32_t> {
+};
+
+TEST_P(PushdownConcurrentStress, SkippedBlockCountersStayConsistent) {
+  const uint32_t clients = GetParam();
+  auto dir = TempDir::Create("nodb-pushdown-stress");
+  ASSERT_TRUE(dir.ok());
+
+  // id ascending (clustered), grp cyclic, x with NULL holes.
+  constexpr int kRows = 4096;
+  std::string content;
+  for (int i = 0; i < kRows; ++i) {
+    content += std::to_string(i) + "," + std::to_string(i % 17) + ",";
+    if (i % 11 != 0) content += std::to_string(i * 3);
+    content += "\n";
+  }
+  std::string path = dir->FilePath("t.csv");
+  ASSERT_TRUE(WriteStringToFile(path, content).ok());
+
+  Catalog catalog;
+  auto schema = Schema::Make({{"id", DataType::kInt64},
+                              {"grp", DataType::kInt64},
+                              {"x", DataType::kInt64}});
+  ASSERT_TRUE(
+      catalog.RegisterTable({"t", path, schema, CsvDialect()}).ok());
+
+  NoDbConfig config;
+  config.rows_per_block = 128;  // 32 blocks
+  LoadFirstEngine reference(catalog, LoadProfile::kPostgres);
+  ASSERT_TRUE(reference.Initialize().ok());
+  NoDbEngine serial(catalog, config);
+
+  // Full-scan aggregates (no LIMIT): rows_scanned + zone_skipped_rows
+  // must cover the whole table on every execution.
+  std::vector<std::string> batch;
+  for (int k = 1; k <= 6; ++k) {
+    batch.push_back("SELECT COUNT(*) AS n, SUM(x) AS s FROM t WHERE id < " +
+                    std::to_string(k * 300));
+    batch.push_back("SELECT COUNT(*) AS n FROM t WHERE id >= " +
+                    std::to_string(4096 - k * 250) + " AND grp = 3");
+  }
+  batch.push_back("SELECT COUNT(*) AS n FROM t WHERE x IS NULL");
+  batch.push_back("SELECT COUNT(*) AS n, MIN(id) AS lo FROM t");
+
+  std::vector<std::vector<std::string>> expected;
+  for (const auto& sql : batch) {
+    auto ref = reference.Execute(sql);
+    ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+    auto ser = serial.Execute(sql);
+    ASSERT_TRUE(ser.ok()) << ser.status().ToString();
+    ASSERT_EQ(ser->result.CanonicalRows(), ref->result.CanonicalRows())
+        << sql;
+    expected.push_back(ref->result.CanonicalRows());
+  }
+
+  NoDbEngine concurrent(catalog, config);
+  uint64_t total_skipped = 0;
+  for (int round = 0; round < 3; ++round) {  // cold, warm, store-warm
+    SCOPED_TRACE("round " + std::to_string(round));
+    ConcurrentBatchOutcome outcome =
+        concurrent.ExecuteConcurrent(batch, clients);
+    ASSERT_EQ(outcome.reports.size(), batch.size());
+    EXPECT_EQ(outcome.failures(), 0u);
+    for (size_t i = 0; i < outcome.reports.size(); ++i) {
+      const ConcurrentQueryReport& report = outcome.reports[i];
+      SCOPED_TRACE("query " + std::to_string(i) + ": " + batch[i]);
+      ASSERT_TRUE(report.status.ok()) << report.status.ToString();
+      EXPECT_EQ(report.result.CanonicalRows(), expected[i]);
+      const ScanMetrics& scan = report.metrics.scan;
+      // Full scans: every row examined or provably skipped.
+      EXPECT_EQ(scan.rows_scanned + scan.zone_skipped_rows,
+                static_cast<uint64_t>(kRows));
+      // A skipped block accounts for at least one and at most one
+      // block's worth of rows.
+      EXPECT_LE(scan.zone_skipped_rows,
+                scan.zone_skipped_blocks * config.rows_per_block);
+      EXPECT_GE(scan.zone_skipped_rows, scan.zone_skipped_blocks);
+      total_skipped += scan.zone_skipped_blocks;
+    }
+    concurrent.WaitForPromotions();
+  }
+  // Once the first round summarized the blocks, the clustered-id
+  // predicates really pruned.
+  EXPECT_GT(total_skipped, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ClientCounts, PushdownConcurrentStress,
+                         ::testing::Values(2u, 8u));
+
 TEST(EquivalenceJoinTest, JoinsMatchAcrossEngines) {
   auto dir = TempDir::Create("nodb-equiv-join");
   ASSERT_TRUE(dir.ok());

@@ -9,6 +9,7 @@
 
 #include "csv/csv_writer.h"
 #include "engines/csv_loader.h"
+#include "exec/filter.h"
 #include "exec/query_result.h"
 #include "io/file.h"
 #include "io/temp_dir.h"
@@ -657,6 +658,228 @@ TEST_F(RawScanTest, ParallelPrewarmSurfacesSerialErrorUntouched) {
   EXPECT_TRUE(short_stats.status().IsParseError());
   EXPECT_NE(short_stats.status().message().find("row 1"),
             std::string::npos);
+}
+
+// -------------------------------------------- pushdown and zone maps
+
+/// Drains `scan` into a QueryResult, asserting success.
+QueryResult MustDrain(RawScanOperator* scan) {
+  auto result = QueryResult::Drain(scan);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? std::move(*result) : QueryResult();
+}
+
+ExprPtr LessThan(size_t slot, const std::string& name, int64_t lit) {
+  return std::make_shared<CompareExpr>(
+      CompareOp::kLt,
+      std::make_shared<ColumnRefExpr>(slot, name, DataType::kInt64),
+      std::make_shared<LiteralExpr>(Value::Int64(lit), DataType::kInt64));
+}
+
+TEST_F(RawScanTest, PushdownMatchesFilterOperatorAndSkipsBlocks) {
+  // Fixture values are r * 100 + c: attribute c1 is clustered
+  // ascending, so zone maps can prune whole blocks once warm.
+  auto info = WriteFixture("t", 500, 6);
+  NoDbConfig config = SmallBlocks(true, true, true);
+  RawTableState state(info, config);
+  ASSERT_TRUE(state.Open().ok());
+
+  // Reference: the unfiltered scan under a FilterOperator — over its
+  // own state, so the pushdown scan below starts genuinely cold.
+  std::vector<std::string> expected;
+  {
+    RawTableState ref_state(info, config);
+    ASSERT_TRUE(ref_state.Open().ok());
+    auto scan = std::make_unique<RawScanOperator>(&ref_state,
+        std::vector<uint32_t>{1, 3}, nullptr);
+    FilterOperator filter(std::move(scan), LessThan(0, "c1", 10000));
+    auto result = QueryResult::Drain(&filter);
+    ASSERT_TRUE(result.ok());
+    expected = result->CanonicalRows();
+    ASSERT_EQ(expected.size(), 100u);  // rows 0..99: r*100+1 < 10000
+  }
+
+  // Cold pushdown: phase 1 parses c1 for every row, phase 2 parses c3
+  // only for the 100 qualifying rows.
+  {
+    ScanMetrics metrics;
+    RawScanOperator scan(&state, {1, 3}, &metrics);
+    scan.SetPushdownPredicates({LessThan(0, "c1", 10000)});
+    QueryResult result = MustDrain(&scan);
+    EXPECT_EQ(result.CanonicalRows(), expected);
+    EXPECT_EQ(metrics.rows_scanned, 500u);
+    EXPECT_EQ(metrics.pushdown_rows_pruned, 400u);
+    EXPECT_EQ(metrics.pushdown_phase1_fields, 500u);
+    EXPECT_EQ(metrics.pushdown_phase2_fields, 100u);
+    EXPECT_EQ(metrics.zone_skipped_blocks, 0u);  // no summaries yet
+  }
+
+  // Warm: the first scan summarized every block; disjoint blocks are
+  // now skipped without locating a single row.
+  {
+    ScanMetrics metrics;
+    RawScanOperator scan(&state, {1, 3}, &metrics);
+    scan.SetPushdownPredicates({LessThan(0, "c1", 10000)});
+    QueryResult result = MustDrain(&scan);
+    EXPECT_EQ(result.CanonicalRows(), expected);
+    // Blocks of 64 rows: c1 spans [6400b + 1, 6400b + 6301]; blocks
+    // 2..7 have min >= 10000 and vanish (6 of 8, tail included).
+    EXPECT_EQ(metrics.zone_skipped_blocks, 6u);
+    EXPECT_EQ(metrics.rows_scanned + metrics.zone_skipped_rows, 500u);
+    EXPECT_EQ(metrics.pushdown_phase1_fields, 0u);  // cache-served
+  }
+
+  // Pushdown off the same way the planner would leave it: identical.
+  {
+    RawScanOperator scan(&state, {1, 3}, nullptr);
+    QueryResult all = MustDrain(&scan);
+    EXPECT_EQ(all.num_rows(), 500u);
+  }
+}
+
+TEST_F(RawScanTest, PushdownNullSemanticsMatchFilterOperator) {
+  // Empty CSV fields parse as NULL. c1 is NULL on every third row and
+  // otherwise >= 100, so `c1 < 50` matches nothing — and NULL-bearing
+  // blocks must never be zone-skipped, the rows are dropped row by
+  // row exactly like FilterOperator drops them.
+  std::string content;
+  for (int r = 0; r < 200; ++r) {
+    content += std::to_string(r) + ",";
+    if (r % 3 != 0) content += std::to_string(100 + r);
+    content += "," + std::to_string(r * 2) + "\n";
+  }
+  std::string path = dir_->FilePath("nulls.csv");
+  ASSERT_TRUE(WriteStringToFile(path, content).ok());
+  RawTableInfo info{"nulls", path,
+                    Schema::Make({{"c0", DataType::kInt64},
+                                  {"c1", DataType::kInt64},
+                                  {"c2", DataType::kInt64}}),
+                    CsvDialect()};
+  RawTableState state(info, SmallBlocks(true, true, true));
+  ASSERT_TRUE(state.Open().ok());
+
+  ExprPtr pred = LessThan(1, "c1", 50);
+  std::vector<std::string> expected;
+  {
+    auto scan = std::make_unique<RawScanOperator>(
+        &state, std::vector<uint32_t>{0, 1, 2}, nullptr);
+    FilterOperator filter(std::move(scan), pred);
+    auto result = QueryResult::Drain(&filter);
+    ASSERT_TRUE(result.ok());
+    expected = result->CanonicalRows();
+    EXPECT_TRUE(expected.empty());
+  }
+  for (int round = 0; round < 2; ++round) {  // cold, then warm zones
+    ScanMetrics metrics;
+    RawScanOperator scan(&state, {0, 1, 2}, &metrics);
+    scan.SetPushdownPredicates({pred});
+    QueryResult result = MustDrain(&scan);
+    EXPECT_EQ(result.CanonicalRows(), expected);
+    // Every block holds NULLs: conservatively non-skippable.
+    EXPECT_EQ(metrics.zone_skipped_blocks, 0u);
+    EXPECT_EQ(metrics.rows_scanned, 200u);
+  }
+
+  // IS NULL rides the pushdown path too (never zone-checked).
+  auto is_null = std::make_shared<IsNullExpr>(
+      std::make_shared<ColumnRefExpr>(1, "c1", DataType::kInt64), false);
+  {
+    auto scan = std::make_unique<RawScanOperator>(
+        &state, std::vector<uint32_t>{0, 1}, nullptr);
+    FilterOperator filter(std::move(scan), is_null);
+    auto ref = QueryResult::Drain(&filter);
+    ASSERT_TRUE(ref.ok());
+    ScanMetrics metrics;
+    RawScanOperator pushed(&state, {0, 1}, &metrics);
+    pushed.SetPushdownPredicates({is_null});
+    QueryResult result = MustDrain(&pushed);
+    EXPECT_EQ(result.CanonicalRows(), ref->CanonicalRows());
+    EXPECT_EQ(result.num_rows(), 67u);  // rows 0, 3, 6, ... 198
+  }
+}
+
+TEST_F(RawScanTest, ZoneMapsDropOnAppendAndClearOnRewrite) {
+  auto info = WriteFixture("zt", 200, 3);
+  NoDbConfig config = SmallBlocks(true, true, true);
+  RawTableState state(info, config);
+  ASSERT_TRUE(state.Open().ok());
+  VerifyScan(&state, {0, 1}, 200);
+  ASSERT_GT(state.zones().num_entries(), 0u);
+  uint64_t generation = state.zones().generation();
+
+  // Clean append: the frontier block's summaries vanish (block 3 of
+  // 64-row blocks holds rows 192..199), earlier full blocks stay.
+  size_t before = state.zones().num_entries();
+  auto app = OpenAppendableFile(info.path);
+  ASSERT_TRUE(app.ok());
+  ASSERT_TRUE((*app)->Append("20000,20001,20002\n").ok());
+  ASSERT_TRUE((*app)->Close().ok());
+  auto change = state.CheckForUpdates();
+  ASSERT_TRUE(change.ok());
+  EXPECT_EQ(*change, FileChange::kAppended);
+  EXPECT_LT(state.zones().num_entries(), before);
+  EXPECT_GT(state.zones().num_entries(), 0u);
+  EXPECT_EQ(state.zones().generation(), generation);
+  ScanMetrics metrics;
+  RawScanOperator scan(&state, {0}, &metrics);
+  QueryResult result = MustDrain(&scan);
+  EXPECT_EQ(result.num_rows(), 201u);
+
+  // Rewrite: everything drops, generation advances, and a stale
+  // observation against the old generation is rejected.
+  ASSERT_TRUE(WriteStringToFile(info.path, "1,2,3\n4,5,6\n").ok());
+  auto rewritten = state.CheckForUpdates();
+  ASSERT_TRUE(rewritten.ok());
+  EXPECT_EQ(*rewritten, FileChange::kRewritten);
+  EXPECT_EQ(state.zones().num_entries(), 0u);
+  EXPECT_GT(state.zones().generation(), generation);
+  ColumnVector stale(DataType::kInt64);
+  stale.AppendInt64(7);
+  state.zones().Observe(0, 0, stale, generation);  // old generation
+  EXPECT_EQ(state.zones().num_entries(), 0u);
+}
+
+TEST_F(RawScanTest, PushdownServesFromShadowStoreWithZoneSkips) {
+  auto info = WriteFixture("st", 400, 4);
+  NoDbConfig config = SmallBlocks(true, true, true);
+  config.enable_store = true;
+  config.promote_after_accesses = 1;  // first touch promotes
+  RawTableState state(info, config);
+  ASSERT_TRUE(state.Open().ok());
+
+  // Touch both columns so the piggyback promotes them block by block.
+  VerifyScan(&state, {0, 2}, 400);
+  ASSERT_GT(state.store().num_segments(), 0u);
+
+  // The pushed scan now serves from the store — and zone maps prune
+  // store blocks too: only qualifying blocks are even probed.
+  ScanMetrics metrics;
+  RawScanOperator scan(&state, {0, 2}, &metrics);
+  scan.SetPushdownPredicates({LessThan(0, "c0", 10000)});
+  QueryResult result = MustDrain(&scan);
+  EXPECT_EQ(result.num_rows(), 100u);  // rows 0..99
+  EXPECT_GT(metrics.zone_skipped_blocks, 0u);
+  EXPECT_GT(metrics.rows_from_store, 0u);
+  EXPECT_EQ(metrics.rows_from_raw, 0u);
+  EXPECT_EQ(metrics.fields_converted, 0u);
+  EXPECT_EQ(metrics.rows_scanned + metrics.zone_skipped_rows, 400u);
+}
+
+TEST_F(RawScanTest, ParallelPrewarmBuildsZoneMaps) {
+  auto info = WriteFixture("pz", 300, 4);
+  RawTableState state(info, SmallBlocks(true, true, true));
+  ASSERT_TRUE(state.Open().ok());
+  ASSERT_TRUE(ParallelChunkedScan(&state, {0, 2}, 4).ok());
+  EXPECT_GT(state.zones().num_entries(), 0u);
+
+  // The first post-prewarm query already zone-skips.
+  ScanMetrics metrics;
+  RawScanOperator scan(&state, {0, 2}, &metrics);
+  scan.SetPushdownPredicates({LessThan(0, "c0", 5000)});
+  QueryResult result = MustDrain(&scan);
+  EXPECT_EQ(result.num_rows(), 50u);
+  EXPECT_GT(metrics.zone_skipped_blocks, 0u);
+  EXPECT_EQ(metrics.rows_scanned + metrics.zone_skipped_rows, 300u);
 }
 
 TEST_F(RawScanTest, ParallelPrewarmKnobSubsets) {

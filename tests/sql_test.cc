@@ -436,6 +436,89 @@ TEST_F(PlannerTest, HavingAggregatePresentInSelectWorks) {
   EXPECT_EQ(result->Row(0)[0], Value::Int64(25));
 }
 
+TEST_F(PlannerTest, JoinSplitsSingleTableConjunctsToTheirSide) {
+  // Regression: join queries used to evaluate *every* WHERE conjunct
+  // above the HashJoin. Single-table conjuncts must run on their own
+  // side, below the join; only the genuinely cross-table conjunct may
+  // see joined rows.
+  std::string explain;
+  PlannerOptions options;
+  options.explain = &explain;
+  auto plan = PlanSql(
+      "SELECT p.name, q.pet FROM people p JOIN pets q ON p.id = q.owner "
+      "WHERE p.age >= 30 AND q.pet LIKE '%o%' AND p.id + q.owner > 0",
+      this, options);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto result = QueryResult::Drain(plan->get());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Pairs: ada-cat, ada-dog, carol-fish; LIKE '%o%' keeps only dog.
+  ASSERT_EQ(result->num_rows(), 1u);
+  EXPECT_EQ(result->Row(0)[0], Value::String("ada"));
+  EXPECT_EQ(result->Row(0)[1], Value::String("dog"));
+
+  size_t join_pos = explain.find("HASH JOIN");
+  size_t age_pos = explain.find("FILTER (p.age >= 30)");
+  size_t pet_pos = explain.find("FILTER (q.pet LIKE '%o%')");
+  size_t cross_pos = explain.find("FILTER ((p.id + q.owner) > 0)");
+  ASSERT_NE(join_pos, std::string::npos) << explain;
+  ASSERT_NE(age_pos, std::string::npos) << explain;
+  ASSERT_NE(pet_pos, std::string::npos) << explain;
+  ASSERT_NE(cross_pos, std::string::npos) << explain;
+  EXPECT_LT(age_pos, join_pos) << explain;
+  EXPECT_LT(pet_pos, join_pos) << explain;
+  EXPECT_GT(cross_pos, join_pos) << explain;
+}
+
+TEST_F(PlannerTest, JoinBuildSideConjunctRebasesCorrectly) {
+  // A conjunct purely over the build (right) table must survive the
+  // index rebase onto the build scan's own schema.
+  auto result = Run(
+      "SELECT p.name, q.pet FROM people p JOIN pets q ON p.id = q.owner "
+      "WHERE q.pet = 'dog'");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 1u);
+  EXPECT_EQ(result->Row(0)[0], Value::String("ada"));
+
+  auto agg = Run(
+      "SELECT COUNT(*) AS n FROM people p JOIN pets q ON p.id = q.owner "
+      "WHERE p.age >= 30 AND q.pet <> 'fish'");
+  ASSERT_TRUE(agg.ok()) << agg.status().ToString();
+  EXPECT_EQ(agg->Row(0)[0], Value::Int64(2));  // ada-cat, ada-dog
+}
+
+TEST_F(PlannerTest, JoinSideConjunctsReorderBySelectivity) {
+  // Regression: join queries used to bypass predicate reordering
+  // entirely. Side conjuncts now reorder by the stats oracle.
+  class FakeStats : public SelectivityEstimator {
+   public:
+    std::optional<double> EstimateSelectivity(
+        const std::string&, const Expr& pred) const override {
+      return pred.ToString().find("age") != std::string::npos
+                 ? std::optional<double>(0.01)
+                 : std::optional<double>(0.9);
+    }
+  };
+  FakeStats stats;
+  std::string explain;
+  PlannerOptions options;
+  options.stats = &stats;
+  options.explain = &explain;
+  auto plan = PlanSql(
+      "SELECT p.name, q.pet FROM people p JOIN pets q ON p.id = q.owner "
+      "WHERE p.id > 0 AND p.age >= 30",
+      this, options);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  size_t age_pos = explain.find("FILTER (p.age >= 30)");
+  size_t id_pos = explain.find("FILTER (p.id > 0)");
+  ASSERT_NE(age_pos, std::string::npos) << explain;
+  ASSERT_NE(id_pos, std::string::npos) << explain;
+  EXPECT_LT(age_pos, id_pos) << explain;  // selective first
+
+  auto result = QueryResult::Drain(plan->get());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 3u);  // ada-cat, ada-dog, carol-fish
+}
+
 TEST_F(PlannerTest, StatsReorderingPreservesSemantics) {
   /// A fake estimator claiming age predicates are highly selective.
   class FakeStats : public SelectivityEstimator {
