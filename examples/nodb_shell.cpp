@@ -10,6 +10,8 @@
 //   \panel [TABLE]                  show the monitoring panel
 //   \tiers [TABLE]                  per-table storage-tier report
 //   \explain SQL                    show the (adaptive) query plan
+//   \save [TABLE]                   persist adaptive state (.nodbmeta)
+//   \restore [TABLE]                recover adaptive state from sidecar
 //   \baseline on|off                toggle map+cache+stats+store
 //   \timing on|off                  per-query breakdown line
 //   \help  \quit
@@ -58,6 +60,8 @@ void PrintHelp() {
       "\"id:int,name:string\" ,\n"
       "  \\tables    \\panel [TABLE]    \\tiers [TABLE]    \\explain SQL\n"
       "  \\export FILE SQL                 run SQL, write result as CSV\n"
+      "  \\save [TABLE]    \\restore [TABLE]   persist / recover adaptive "
+      "state\n"
       "  \\baseline on|off    \\timing on|off    \\help    \\quit\n"
       "anything else runs as SQL. Omit SCHEMA in \\open to infer it.\n");
 }
@@ -211,6 +215,44 @@ int main(int argc, char** argv) {
                                    " rows to " + out_path)
                                       .c_str()
                                 : st.ToString().c_str());
+      } else if (cmd == "\\save" || cmd == "\\restore") {
+        std::string table;
+        iss >> table;
+        std::vector<std::string> tables;
+        if (!table.empty()) {
+          tables.push_back(table);
+        } else {
+          tables = engine.catalog().TableNames();
+        }
+        for (const auto& name : tables) {
+          if (cmd == "\\save") {
+            Status st = engine.SaveSnapshot(name);
+            std::printf("%-12s %s\n", name.c_str(),
+                        st.ok() ? "snapshot saved" : st.ToString().c_str());
+            continue;
+          }
+          auto report = engine.LoadSnapshot(name);
+          if (!report.ok()) {
+            std::printf("%-12s %s\n", name.c_str(),
+                        report.status().ToString().c_str());
+          } else if (report->any_recovered()) {
+            std::printf(
+                "%-12s recovered %llu rows, %llu chunks, %llu zone "
+                "entries, %llu store segments%s\n",
+                name.c_str(),
+                static_cast<unsigned long long>(report->rows_recovered),
+                static_cast<unsigned long long>(
+                    report->chunks_recovered),
+                static_cast<unsigned long long>(
+                    report->zone_entries_recovered),
+                static_cast<unsigned long long>(
+                    report->store_segments_recovered),
+                report->stats_recovered ? ", stats" : "");
+          } else {
+            std::printf("%-12s nothing recovered (%s)\n", name.c_str(),
+                        report->detail.c_str());
+          }
+        }
       } else if (cmd == "\\baseline") {
         std::string mode;
         iss >> mode;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "persist/snapshot.h"
 #include "raw/parallel_scan.h"
 #include "raw/raw_scan.h"
 #include "raw/stats_collector.h"
@@ -62,7 +63,15 @@ NoDbEngine::NoDbEngine(Catalog catalog, NoDbConfig config, std::string name)
       catalog_(std::move(catalog)),
       config_(config) {}
 
-NoDbEngine::~NoDbEngine() { WaitForPromotions(); }
+NoDbEngine::~NoDbEngine() {
+  WaitForPromotions();
+  if (config_.snapshot_mode == SnapshotMode::kAuto) {
+    // Best effort: teardown must not fail, and a torn save is
+    // impossible (WriteFileAtomic) — at worst the previous sidecar
+    // survives.
+    (void)SaveAllSnapshots();
+  }
+}
 
 Result<int64_t> NoDbEngine::Initialize() {
   // The NoDB philosophy: there is no initialization step. A pointer to
@@ -93,6 +102,15 @@ Result<RawTableState*> NoDbEngine::GetOrCreateState(
   auto fresh = std::make_unique<RawTableState>(std::move(info),
                                                config_snapshot);
   NODB_RETURN_NOT_OK(fresh->Open());
+  if (config_snapshot.snapshot_mode == SnapshotMode::kAuto) {
+    // Recover before publishing the state so the first query already
+    // sees the thawed structures. Degradation is silent by design —
+    // the report is retained on the state for the monitoring panel.
+    (void)persist::LoadSnapshot(
+        fresh.get(),
+        persist::SnapshotPathFor(fresh->info(),
+                                 config_snapshot.snapshot_path));
+  }
   std::lock_guard<std::mutex> lock(states_mu_);
   auto [it, inserted] = states_.emplace(table, std::move(fresh));
   // A concurrent first query may have inserted meanwhile (its state
@@ -331,6 +349,92 @@ void NoDbEngine::SetStoreEnabled(bool enabled) {
   std::lock_guard<std::mutex> lock(states_mu_);
   config_.enable_store = enabled;
   ApplyComponentFlagsLocked();
+}
+
+namespace {
+
+/// True when `state` holds anything a snapshot could usefully persist.
+/// Cold states must never be saved: freezing empty structures would
+/// atomically clobber a previous process's populated sidecar — e.g.
+/// under kAuto when recovery degraded for a transient reason (raw file
+/// briefly unreadable, newer-version sidecar) and no queries ran
+/// before teardown.
+bool HasAdaptiveState(const RawTableState& state) {
+  return state.map().known_rows() > 0 || state.map().rows_complete() ||
+         state.store().num_segments() > 0 ||
+         state.zones().num_entries() > 0 ||
+         !state.stats().CoveredAttributes().empty() ||
+         state.recovery().any_recovered();
+}
+
+}  // namespace
+
+Status NoDbEngine::SaveSnapshot(const std::string& table) {
+  if (config_.snapshot_mode == SnapshotMode::kOff) {
+    return Status::InvalidArgument(
+        "snapshots disabled (NoDbConfig::snapshot_mode = kOff)");
+  }
+  // Only a table with live adaptive state is saved: creating a cold
+  // state here would freeze empty structures and clobber a previous,
+  // fully populated sidecar from an earlier process.
+  RawTableState* state = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(states_mu_);
+    auto it = states_.find(table);
+    if (it != states_.end()) state = it->second.get();
+  }
+  if (state == nullptr || !HasAdaptiveState(*state)) {
+    return Status::NotFound("no adaptive state for '" + table +
+                            "' to snapshot; query it first");
+  }
+  // Let in-flight background promotions land: the saved store should
+  // be the one the next query would have seen.
+  WaitForPromotions();
+  return persist::WriteSnapshot(
+      *state, persist::SnapshotPathFor(state->info(),
+                                       config_.snapshot_path));
+}
+
+Status NoDbEngine::SaveAllSnapshots() {
+  if (config_.snapshot_mode == SnapshotMode::kOff) {
+    return Status::InvalidArgument(
+        "snapshots disabled (NoDbConfig::snapshot_mode = kOff)");
+  }
+  WaitForPromotions();
+  std::vector<RawTableState*> states;
+  {
+    std::lock_guard<std::mutex> lock(states_mu_);
+    states.reserve(states_.size());
+    for (auto& [table, state] : states_) states.push_back(state.get());
+  }
+  Status first_error = Status::OK();
+  for (RawTableState* state : states) {
+    if (!HasAdaptiveState(*state)) continue;  // nothing worth saving
+    Status s = persist::WriteSnapshot(
+        *state, persist::SnapshotPathFor(state->info(),
+                                         config_.snapshot_path));
+    if (!s.ok() && first_error.ok()) first_error = s;
+  }
+  return first_error;
+}
+
+Result<persist::RecoveryReport> NoDbEngine::LoadSnapshot(
+    const std::string& table) {
+  if (config_.snapshot_mode == SnapshotMode::kOff) {
+    return Status::InvalidArgument(
+        "snapshots disabled (NoDbConfig::snapshot_mode = kOff)");
+  }
+  NODB_ASSIGN_OR_RETURN(RawTableState * state, GetOrCreateState(table));
+  persist::RecoveryReport prior = state->recovery();
+  if (prior.any_recovered()) {
+    // The live structures already came from a snapshot (a kAuto open,
+    // or an earlier explicit load): re-reading the sidecar would only
+    // be refused by them. Report the recovery that actually happened.
+    return prior;
+  }
+  return persist::LoadSnapshot(
+      state,
+      persist::SnapshotPathFor(state->info(), config_.snapshot_path));
 }
 
 const RawTableState* NoDbEngine::table_state(

@@ -12,6 +12,7 @@
 #include "catalog/catalog.h"
 #include "engines/engine.h"
 #include "engines/query_session.h"
+#include "persist/image.h"
 #include "raw/nodb_config.h"
 #include "raw/table_state.h"
 #include "util/thread_pool.h"
@@ -90,6 +91,30 @@ class NoDbEngine final : public Engine {
   /// Points `table` at a different raw file, dropping adaptive state.
   /// Requires no queries in flight on that table.
   Status ReplaceTable(const RawTableInfo& info);
+
+  /// Freezes `table`'s adaptive state (positional map, statistics,
+  /// zone maps, shadow store) into its crash-safe sidecar
+  /// (persist/snapshot.h; placement governed by
+  /// NoDbConfig::snapshot_path). Settles in-flight background
+  /// promotions first so the saved store matches what the next query
+  /// would have seen. Refused when snapshot_mode is kOff, and when the
+  /// table has no adaptive state yet (freezing a cold table would
+  /// clobber a previous process's populated sidecar with an empty
+  /// one).
+  Status SaveSnapshot(const std::string& table);
+
+  /// Saves every table that has adaptive state (kAuto teardown path;
+  /// also handy before a planned shutdown). Best effort: returns the
+  /// first error but attempts every table.
+  Status SaveAllSnapshots();
+
+  /// Validates `table`'s sidecar against the live raw file and thaws
+  /// every intact section into the (cold) table state. Degradation is
+  /// graceful: missing/stale/corrupt state is simply rebuilt by
+  /// queries, reported in the returned RecoveryReport — an error
+  /// Status means only that snapshots are off. A warm table recovers
+  /// nothing (live structures always win).
+  Result<persist::RecoveryReport> LoadSnapshot(const std::string& table);
 
   const NoDbConfig& config() const { return config_; }
   Catalog& catalog() { return catalog_; }

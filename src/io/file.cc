@@ -7,6 +7,8 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <atomic>
+
 namespace nodb {
 
 namespace {
@@ -143,6 +145,58 @@ Status WriteStringToFile(const std::string& path, Slice contents) {
   NODB_ASSIGN_OR_RETURN(auto file, OpenWritableFile(path));
   NODB_RETURN_NOT_OK(file->Append(contents));
   return file->Close();
+}
+
+Status WriteFileAtomic(const std::string& path, Slice contents) {
+  // Same-directory temp name, unique per process *and* per call (the
+  // counter): concurrent savers — other processes or other threads of
+  // this one — each write their own complete temp file and race only
+  // at the rename, where last one wins.
+  static std::atomic<uint64_t> serial{0};
+  std::string tmp = path + ".tmp." +
+                    std::to_string(static_cast<long>(::getpid())) + "." +
+                    std::to_string(serial.fetch_add(1));
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IOError(ErrnoMessage("open " + tmp));
+  const char* p = contents.data();
+  size_t left = contents.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status s = Status::IOError(ErrnoMessage("write " + tmp));
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return s;
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    Status s = Status::IOError(ErrnoMessage("fsync " + tmp));
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IOError(ErrnoMessage("close " + tmp));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status s = Status::IOError(ErrnoMessage("rename " + tmp));
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  // Durably record the rename itself. Best-effort: some filesystems
+  // refuse O_RDONLY directory fsync; the data file above is synced.
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    (void)::fsync(dfd);
+    ::close(dfd);
+  }
+  return Status::OK();
 }
 
 Result<uint64_t> GetFileSize(const std::string& path) {

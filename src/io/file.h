@@ -59,6 +59,13 @@ Result<std::string> ReadFileToString(const std::string& path);
 /// Writes `contents` to `path`, truncating.
 Status WriteStringToFile(const std::string& path, Slice contents);
 
+/// Crash-safe whole-file replace: writes `contents` to a temp file in
+/// the same directory, fsyncs it, atomically renames it over `path`,
+/// then fsyncs the directory. A crash at any point leaves either the
+/// old file or the new one — never a torn mix (the persistence
+/// subsystem's durability primitive).
+Status WriteFileAtomic(const std::string& path, Slice contents);
+
 /// Returns the file size without opening it.
 Result<uint64_t> GetFileSize(const std::string& path);
 

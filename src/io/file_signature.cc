@@ -46,10 +46,23 @@ Result<FileSignature> FileSignature::Capture(const std::string& path) {
   return sig;
 }
 
-Result<FileChange> FileSignature::Compare() const {
+FileSignature FileSignature::FromParts(std::string path, uint64_t size,
+                                       int64_t mtime_nanos,
+                                       uint64_t head_hash,
+                                       uint64_t tail_hash) {
+  FileSignature sig;
+  sig.path_ = std::move(path);
+  sig.size_ = size;
+  sig.mtime_nanos_ = mtime_nanos;
+  sig.head_hash_ = head_hash;
+  sig.tail_hash_ = tail_hash;
+  return sig;
+}
+
+Result<FileChange> FileSignature::Compare(bool verify_content) const {
   NODB_ASSIGN_OR_RETURN(uint64_t now_size, GetFileSize(path_));
   NODB_ASSIGN_OR_RETURN(int64_t now_mtime, GetFileMtimeNanos(path_));
-  if (now_size == size_ && now_mtime == mtime_nanos_) {
+  if (!verify_content && now_size == size_ && now_mtime == mtime_nanos_) {
     return FileChange::kUnchanged;
   }
   if (now_size < size_) return FileChange::kRewritten;

@@ -23,7 +23,9 @@ enum class FileChange {
 std::string_view FileChangeToString(FileChange change);
 
 /// Compact fingerprint of a raw file: size, mtime, and checksums of the
-/// head block and of the block ending at the recorded size.
+/// head block and of the block ending at the recorded size — a bounded
+/// content-prefix/suffix hash, so classification never reads more than
+/// 2 × kProbeBytes no matter how large the file is.
 ///
 /// Checksums cover at most kProbeBytes each, so capture and comparison
 /// cost O(1) regardless of file size — cheap enough to run before every
@@ -37,11 +39,31 @@ class FileSignature {
   /// Fingerprints `path` as it exists now.
   static Result<FileSignature> Capture(const std::string& path);
 
+  /// Reconstructs a previously captured signature from its stored
+  /// fields (the persisted-snapshot loader's entry point).
+  static FileSignature FromParts(std::string path, uint64_t size,
+                                 int64_t mtime_nanos, uint64_t head_hash,
+                                 uint64_t tail_hash);
+
   /// Classifies how the file at `path` relates to this signature.
-  Result<FileChange> Compare() const;
+  ///
+  /// By default a matching (size, mtime) pair short-circuits to
+  /// kUnchanged — the right trade for the per-query update check. With
+  /// `verify_content` the prefix/suffix hashes are always re-read, so
+  /// an in-place rewrite that preserves both size and mtime (restored
+  /// timestamps, mmap'ed edits, clock games) is still classified as
+  /// kRewritten whenever the edit touches the probed head/tail
+  /// regions — required before trusting persisted adaptive state. The
+  /// probes stay bounded (kProbeBytes each): a same-size mtime-
+  /// restored edit strictly between them is beyond what any O(1)
+  /// signature can see, the same bound the live per-query update
+  /// check already accepts.
+  Result<FileChange> Compare(bool verify_content = false) const;
 
   uint64_t size() const { return size_; }
   int64_t mtime_nanos() const { return mtime_nanos_; }
+  uint64_t head_hash() const { return head_hash_; }
+  uint64_t tail_hash() const { return tail_hash_; }
   const std::string& path() const { return path_; }
 
  private:

@@ -127,6 +127,29 @@ std::string MonitorPanel::RenderStorageTiers(const RawTableState& state) {
   out += "zone maps       " + std::to_string(state.zones().num_entries()) +
          " (attribute, block) summaries\n";
 
+  // Recovered-vs-rebuilt: what a persisted snapshot restored at open
+  // vs what queries in this process built from the raw file.
+  const persist::RecoveryReport recovery = state.recovery();
+  if (recovery.attempted && recovery.any_recovered()) {
+    char line[256];
+    std::snprintf(
+        line, sizeof(line),
+        "recovered       %llu rows, %llu map chunks, %llu zone entries, "
+        "%llu store segments%s [%s]\n",
+        static_cast<unsigned long long>(recovery.rows_recovered),
+        static_cast<unsigned long long>(recovery.chunks_recovered),
+        static_cast<unsigned long long>(recovery.zone_entries_recovered),
+        static_cast<unsigned long long>(
+            recovery.store_segments_recovered),
+        recovery.stats_recovered ? ", stats" : "",
+        recovery.detail.c_str());
+    out += line;
+  } else if (!recovery.detail.empty()) {
+    out += "recovered       nothing (" + recovery.detail + ")\n";
+  } else {
+    out += "recovered       nothing (built by queries this process)\n";
+  }
+
   const std::vector<uint32_t> promoted = store.MaterializedAttributes();
   const std::vector<uint64_t> heat = state.stats().access_heat_counts();
   out += "promoted columns (" + std::to_string(promoted.size()) + "):\n";
@@ -180,7 +203,8 @@ std::string MonitorPanel::BreakdownCsvHeader() {
          "tokenize_ns,nodb_ns,rows,bytes_read,cache_hits,cache_misses,"
          "map_exact,map_anchor,map_blind,store_hits,rows_store,"
          "rows_cache,rows_raw,zone_skipped_blocks,zone_skipped_rows,"
-         "pushdown_pruned,pushdown_p1_fields,pushdown_p2_fields";
+         "pushdown_pruned,pushdown_p1_fields,pushdown_p2_fields,"
+         "scans_recovered_map,scans_recovered_store";
 }
 
 std::string MonitorPanel::BreakdownCsvRow(const std::string& label,
@@ -190,7 +214,7 @@ std::string MonitorPanel::BreakdownCsvRow(const std::string& label,
   std::snprintf(line, sizeof(line),
                 "%s,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%llu,%llu,%llu,"
                 "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
-                "%llu,%llu",
+                "%llu,%llu,%llu,%llu",
                 label.c_str(), static_cast<long long>(metrics.total_ns),
                 static_cast<long long>(metrics.processing_ns()),
                 static_cast<long long>(s.io_ns),
@@ -213,7 +237,11 @@ std::string MonitorPanel::BreakdownCsvRow(const std::string& label,
                 static_cast<unsigned long long>(s.zone_skipped_rows),
                 static_cast<unsigned long long>(s.pushdown_rows_pruned),
                 static_cast<unsigned long long>(s.pushdown_phase1_fields),
-                static_cast<unsigned long long>(s.pushdown_phase2_fields));
+                static_cast<unsigned long long>(s.pushdown_phase2_fields),
+                static_cast<unsigned long long>(
+                    s.scans_using_recovered_map),
+                static_cast<unsigned long long>(
+                    s.scans_using_recovered_store));
   return line;
 }
 

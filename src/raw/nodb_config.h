@@ -3,8 +3,16 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace nodb {
+
+/// Snapshot persistence policy (persist/snapshot.h).
+enum class SnapshotMode {
+  kOff,     ///< no persistence; Save/LoadSnapshot refuse
+  kManual,  ///< explicit NoDbEngine::SaveSnapshot / LoadSnapshot only
+  kAuto,    ///< also recover on table open and save on engine teardown
+};
 
 /// Runtime knobs of the NoDB layer — the parameters the demo GUI
 /// exposes ("the user can enable or disable the NoDB components of
@@ -63,6 +71,23 @@ struct NoDbConfig {
   /// would need more than this many existing chunks.
   uint32_t max_covering_chunks = 1;
 
+  /// Persistent adaptive-state snapshots (persist/snapshot.h): the
+  /// positional map, statistics, zone maps and shadow store of a table
+  /// can be frozen into a crash-safe sidecar (`<data>.nodbmeta`) and
+  /// recovered on a later process start, so a restart skips the
+  /// first-touch tokenize/parse cost instead of re-paying it. kManual
+  /// enables the explicit engine entry points; kAuto additionally
+  /// recovers at table open and saves at engine teardown. Recovery
+  /// validates the sidecar against the raw file's content signature
+  /// and degrades per section — stale or corrupt state is rebuilt
+  /// cold, never trusted.
+  SnapshotMode snapshot_mode = SnapshotMode::kManual;
+
+  /// Where sidecars live: empty = next to each raw file; otherwise a
+  /// directory receiving `<basename>.nodbmeta` files (raw data on
+  /// read-only media).
+  std::string snapshot_path;
+
   /// I/O buffer for the raw-file reader.
   size_t read_buffer_bytes = 1u << 20;
 
@@ -84,6 +109,7 @@ struct NoDbConfig {
     config.enable_store = false;
     config.enable_pushdown = false;
     config.enable_zone_maps = false;
+    config.snapshot_mode = SnapshotMode::kOff;
     return config;
   }
 

@@ -382,6 +382,73 @@ double PositionalMap::CoverageFraction(uint32_t attr) const {
          static_cast<double>(row_starts_.size());
 }
 
+PositionalMap::Image PositionalMap::ExportImage() const {
+  ReadLock lock(mu_);
+  Image image;
+  image.row_starts = row_starts_;
+  image.rows_complete = rows_complete_;
+  image.indexed_file_size = indexed_file_size_;
+  image.next_discovery_offset = next_discovery_offset_;
+  image.chunks.reserve(num_chunks_);
+  // LRU order, most recent first: if the importing map's budget is
+  // smaller, the hottest chunks survive admission.
+  for (const Chunk* chunk : lru_) {
+    Image::ChunkImage ci;
+    ci.first_row = chunk->first_row;
+    ci.attrs = chunk->attrs;
+    ci.data = chunk->data;
+    image.chunks.push_back(std::move(ci));
+  }
+  return image;
+}
+
+bool PositionalMap::ImportImage(Image image) {
+  WriteLock lock(mu_);
+  if (!row_starts_.empty() || rows_complete_ || !blocks_.empty()) {
+    return false;  // no longer cold: live state wins
+  }
+  // Sanity: the row index must be strictly ascending and the discovery
+  // cursor past the last known row, or lookups would misbehave. A
+  // checksummed section should never fail this; reject defensively.
+  for (size_t i = 1; i < image.row_starts.size(); ++i) {
+    if (image.row_starts[i] <= image.row_starts[i - 1]) return false;
+  }
+  if (!image.row_starts.empty() &&
+      image.next_discovery_offset <= image.row_starts.back()) {
+    return false;
+  }
+  row_starts_ = std::move(image.row_starts);
+  rows_complete_ = image.rows_complete;
+  indexed_file_size_ = image.indexed_file_size;
+  next_discovery_offset_ = image.next_discovery_offset;
+
+  // Oldest first so LRU push_front reproduces the exported recency.
+  for (auto it = image.chunks.rbegin(); it != image.chunks.rend(); ++it) {
+    Image::ChunkImage& ci = *it;
+    if (ci.attrs.empty() || ci.first_row % rows_per_block_ != 0) continue;
+    size_t stride = ci.attrs.size() * 2;
+    if (ci.data.empty() || ci.data.size() % stride != 0) continue;
+    size_t rows = ci.data.size() / stride;
+    if (rows > rows_per_block_) continue;
+    if (!std::is_sorted(ci.attrs.begin(), ci.attrs.end())) continue;
+    auto chunk = std::make_shared<Chunk>();
+    chunk->first_row = ci.first_row;
+    chunk->attrs = std::move(ci.attrs);
+    chunk->data = std::move(ci.data);
+    chunk->rows = rows;
+    chunk->bytes = chunk->data.capacity() * sizeof(uint32_t) +
+                   chunk->attrs.capacity() * sizeof(uint32_t) +
+                   sizeof(Chunk);
+    bytes_used_ += chunk->bytes;
+    ++num_chunks_;
+    lru_.push_front(chunk.get());
+    chunk->lru_pos = lru_.begin();
+    blocks_[BlockIndex(chunk->first_row)].push_back(std::move(chunk));
+  }
+  EvictOverBudget();
+  return true;
+}
+
 void PositionalMap::Clear() {
   WriteLock lock(mu_);
   row_starts_.clear();

@@ -249,6 +249,37 @@ class PositionalMap {
   /// Drops every chunk and the row index (file rewritten).
   void Clear();
 
+  // ---------------------------------------------------- freeze / thaw
+  /// A serializable copy of the map's published state (persist/):
+  /// the row index plus every committed chunk. Chunk data is spans
+  /// relative to row starts, so an image stays valid for exactly the
+  /// file generation it was exported from — validity is the snapshot
+  /// subsystem's job (signature check), not the image's.
+  struct Image {
+    struct ChunkImage {
+      uint64_t first_row = 0;
+      std::vector<uint32_t> attrs;  // sorted combination
+      std::vector<uint32_t> data;   // rows × attrs × {start,end}
+    };
+    std::vector<uint64_t> row_starts;
+    bool rows_complete = false;
+    uint64_t indexed_file_size = 0;
+    uint64_t next_discovery_offset = 0;
+    std::vector<ChunkImage> chunks;
+  };
+
+  /// Copies the published state into an Image (one shared lock; no
+  /// I/O). Safe to call while scans are in flight — the image is a
+  /// consistent cut of the row index and chunk set.
+  Image ExportImage() const;
+
+  /// Restores an exported image into a *cold* map: returns false (and
+  /// imports nothing) when rows or chunks already exist, when the
+  /// image's row index is not strictly ascending, or when a chunk is
+  /// malformed for this map's rows_per_block. Chunks are admitted
+  /// newest-first under the normal byte budget.
+  bool ImportImage(Image image);
+
  private:
   /// One (block × attribute-combination) unit; the LRU element.
   /// Immutable once committed (only LRU position mutates, under mu_).

@@ -106,6 +106,16 @@ Status RawScanOperator::Open() {
       config.enable_zone_maps && use_map_ && !predicates_.empty();
   zone_generation_ = state_->zones().generation();
 
+  // Recovered-vs-rebuilt provenance: this scan runs over structures a
+  // snapshot restored, not ones this process built (persist/).
+  persist::RecoveryReport recovery = state_->recovery();
+  if (use_map_ && recovery.map_recovered) {
+    ++metrics_->scans_using_recovered_map;
+  }
+  if (serve_store_ && recovery.store_recovered) {
+    ++metrics_->scans_using_recovered_store;
+  }
+
   // Pushdown analysis: which projection slots feed a predicate
   // (phase 1), and which conjuncts are zone-checkable `col op lit`.
   pred_slot_.assign(projection_.size(), false);

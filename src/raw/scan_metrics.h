@@ -65,6 +65,14 @@ struct ScanMetrics {
   uint64_t pushdown_phase1_fields = 0;
   uint64_t pushdown_phase2_fields = 0;
 
+  /// Recovered-vs-rebuilt provenance (persist/): scans that opened
+  /// over a positional map / shadow store restored from a persisted
+  /// snapshot rather than built by queries in this process. Lets
+  /// benches prove a warm restart served from recovered state (e.g.
+  /// recovered store + zero tokenized fields = no phase-1 parsing).
+  uint64_t scans_using_recovered_map = 0;
+  uint64_t scans_using_recovered_store = 0;
+
   void Add(const ScanMetrics& other) {
     io_ns += other.io_ns;
     parsing_ns += other.parsing_ns;
@@ -89,6 +97,8 @@ struct ScanMetrics {
     pushdown_rows_pruned += other.pushdown_rows_pruned;
     pushdown_phase1_fields += other.pushdown_phase1_fields;
     pushdown_phase2_fields += other.pushdown_phase2_fields;
+    scans_using_recovered_map += other.scans_using_recovered_map;
+    scans_using_recovered_store += other.scans_using_recovered_store;
   }
 
   int64_t TotalScanNs() const {

@@ -98,6 +98,44 @@ double AttributeStats::EstimateDistinctLocked() const {
   return estimate;
 }
 
+AttributeStats::Image AttributeStats::ExportImage() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Image image;
+  image.count = count_;
+  image.nulls = nulls_;
+  image.has_min = min_.has_value();
+  image.min = min_.value_or(0);
+  image.has_max = max_.has_value();
+  image.max = max_.value_or(0);
+  image.kmv.assign(kmv_.begin(), kmv_.end());
+  image.numeric_sample = numeric_sample_;
+  image.string_sample = string_sample_;
+  image.sampled_stream = sampled_stream_;
+  return image;
+}
+
+bool AttributeStats::ImportImage(Image image) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ != 0) return false;  // observed since: live wins
+  count_ = image.count;
+  nulls_ = image.nulls;
+  if (image.has_min) min_ = image.min;
+  if (image.has_max) max_ = image.max;
+  kmv_.clear();
+  kmv_.insert(image.kmv.begin(), image.kmv.end());
+  while (kmv_.size() > kKmvSize) kmv_.erase(std::prev(kmv_.end()));
+  numeric_sample_ = std::move(image.numeric_sample);
+  if (numeric_sample_.size() > kReservoirSize) {
+    numeric_sample_.resize(kReservoirSize);
+  }
+  string_sample_ = std::move(image.string_sample);
+  if (string_sample_.size() > kReservoirSize) {
+    string_sample_.resize(kReservoirSize);
+  }
+  sampled_stream_ = image.sampled_stream;
+  return true;
+}
+
 std::optional<double> AttributeStats::EstimateCompareSelectivity(
     CompareOp op, const Value& literal) const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -273,6 +311,47 @@ void StatsCollector::Clear() {
   observed_.clear();
 }
 
+StatsCollector::Image StatsCollector::ExportImage() const {
+  // Collect the slot pointers under the collector lock, then export
+  // each sketch under its own lock (the ObserveBlock discipline).
+  std::vector<AttributeStats*> slots;
+  Image image;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    slots.reserve(attrs_.size());
+    for (const auto& a : attrs_) slots.push_back(a.get());
+    image.heat = heat_;
+    image.observed.assign(observed_.begin(), observed_.end());
+  }
+  image.attrs.resize(slots.size());
+  for (size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i] != nullptr && slots[i]->row_count() > 0) {
+      image.attrs[i] = slots[i]->ExportImage();
+    }
+  }
+  return image;
+}
+
+bool StatsCollector::ImportImage(Image image) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (image.attrs.size() != attrs_.size()) return false;  // wrong schema
+  if (!observed_.empty()) return false;  // already learning: live wins
+  for (uint64_t h : heat_) {
+    if (h != 0) return false;
+  }
+  for (size_t i = 0; i < image.attrs.size(); ++i) {
+    if (!image.attrs[i].has_value()) continue;
+    if (attrs_[i] == nullptr) {
+      attrs_[i] =
+          std::make_unique<AttributeStats>(schema_->field(i).type);
+    }
+    attrs_[i]->ImportImage(std::move(*image.attrs[i]));
+  }
+  if (image.heat.size() == heat_.size()) heat_ = std::move(image.heat);
+  observed_.insert(image.observed.begin(), image.observed.end());
+  return true;
+}
+
 void ZoneMaps::Observe(uint32_t attr, uint64_t block,
                        const ColumnVector& column, uint64_t generation) {
   if (column.type() == DataType::kString) return;
@@ -343,6 +422,29 @@ void ZoneMaps::Clear() {
 size_t ZoneMaps::num_entries() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();
+}
+
+ZoneMaps::Image ZoneMaps::ExportImage() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Image image;
+  image.entries.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    Image::EntryImage ei;
+    ei.attr = static_cast<uint32_t>(key >> 40);
+    ei.block = key & ((uint64_t{1} << 40) - 1);
+    ei.entry = entry;
+    image.entries.push_back(ei);
+  }
+  return image;
+}
+
+bool ZoneMaps::ImportImage(Image image) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!entries_.empty()) return false;  // already summarizing: live wins
+  for (const Image::EntryImage& ei : image.entries) {
+    entries_.emplace(KeyOf(ei.attr, ei.block), ei.entry);
+  }
+  return true;
 }
 
 void StatsSelectivityEstimator::Register(const std::string& table,

@@ -84,6 +84,30 @@ class AttributeStats {
   /// Equi-width histogram over the sample (numeric attributes).
   std::vector<uint64_t> SampleHistogram(size_t buckets) const;
 
+  /// Serializable copy of the sketch state (persist/). The reservoir
+  /// RNG is not part of the image: a thawed reservoir resumes with a
+  /// fresh stream, which is just another valid sample order (the
+  /// sketches are order-dependent by design; estimates, never results,
+  /// depend on them).
+  struct Image {
+    uint64_t count = 0;
+    uint64_t nulls = 0;
+    bool has_min = false;
+    double min = 0;
+    bool has_max = false;
+    double max = 0;
+    std::vector<uint64_t> kmv;
+    std::vector<double> numeric_sample;
+    std::vector<std::string> string_sample;
+    uint64_t sampled_stream = 0;
+  };
+
+  Image ExportImage() const;
+
+  /// Restores an image into untouched stats; false (no-op) once any
+  /// value has been observed.
+  bool ImportImage(Image image);
+
   DataType type() const { return type_; }
 
  private:
@@ -139,6 +163,22 @@ class StatsCollector {
   std::vector<uint64_t> access_heat_counts() const;
 
   void Clear();
+
+  /// Serializable copy of the whole collector (persist/): per-attribute
+  /// sketches (absent for never-observed attributes), access heat and
+  /// the observed-(attr, block) dedup set.
+  struct Image {
+    std::vector<std::optional<AttributeStats::Image>> attrs;
+    std::vector<uint64_t> heat;
+    std::vector<uint64_t> observed;  // (attr<<40)|block keys
+  };
+
+  Image ExportImage() const;
+
+  /// Restores an image into a cold collector (nothing observed, no
+  /// heat); false and no-op otherwise, or when the image's attribute
+  /// count does not match this table's schema.
+  bool ImportImage(Image image);
 
  private:
   std::shared_ptr<Schema> schema_;
@@ -215,6 +255,24 @@ class ZoneMaps {
   void Clear();
 
   size_t num_entries() const;
+
+  /// Serializable copy of the summaries (persist/). The generation is
+  /// deliberately not part of the image — it is a process-local
+  /// in-flight-scan fence, meaningless across restarts.
+  struct Image {
+    struct EntryImage {
+      uint32_t attr = 0;
+      uint64_t block = 0;
+      Entry entry;
+    };
+    std::vector<EntryImage> entries;
+  };
+
+  Image ExportImage() const;
+
+  /// Restores an image into empty zone maps; false and no-op once any
+  /// entry exists.
+  bool ImportImage(Image image);
 
  private:
   static uint64_t KeyOf(uint32_t attr, uint64_t block) {

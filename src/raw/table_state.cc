@@ -155,6 +155,108 @@ bool RawTableState::promotion_in_flight() const {
   return promotion_in_flight_;
 }
 
+FileSignature RawTableState::signature() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return signature_;
+}
+
+persist::AdaptiveImage RawTableState::Freeze() const {
+  persist::AdaptiveImage image;
+  image.map = map_.ExportImage();
+  image.stats = stats_.ExportImage();
+  image.zones = zones_.ExportImage();
+  image.store = store_.ExportImage();
+  return image;
+}
+
+persist::RecoveryReport RawTableState::Thaw(persist::AdaptiveImage image,
+                                            FileChange change,
+                                            std::string detail) {
+  persist::RecoveryReport report;
+  report.attempted = true;
+  report.change = change;
+  report.detail = std::move(detail);
+  const bool offered = image.map.has_value() || image.stats.has_value() ||
+                       image.zones.has_value() || image.store.has_value();
+
+  if (change == FileChange::kAppended && image.map.has_value()) {
+    // Import the prefix index already reopened for discovery: even a
+    // brief window where a complete-looking prefix-only index is
+    // published would let a concurrent scan terminate at the old
+    // frontier and silently miss every appended row.
+    image.map->rows_complete = false;
+  }
+  if (image.map.has_value() && map_.ImportImage(std::move(*image.map))) {
+    report.map_recovered = true;
+    report.rows_recovered = map_.known_rows();
+    report.chunks_recovered = map_.num_chunks();
+  }
+  if (image.stats.has_value() &&
+      stats_.ImportImage(std::move(*image.stats))) {
+    report.stats_recovered = true;
+  }
+  if (image.zones.has_value() &&
+      zones_.ImportImage(std::move(*image.zones))) {
+    report.zones_recovered = true;
+    report.zone_entries_recovered = zones_.num_entries();
+  }
+  if (image.store.has_value() && store_.ImportImage(*image.store)) {
+    report.store_recovered = true;
+    report.store_segments_recovered = store_.num_segments();
+  }
+
+  if (change == FileChange::kAppended && report.map_recovered) {
+    // Mirror CheckForUpdates' clean-append path: the index was already
+    // imported reopened (above), so only the frontier block — whose
+    // segments/summaries no longer cover it — is dropped. Earlier full
+    // blocks keep their recovered state.
+    //
+    // Gated on the map actually having been recovered: when the import
+    // was refused the live map already reflects the appended file, and
+    // running the drop against it would discard valid live tail state;
+    // when the map *section* was lost but store/zones recovered, the
+    // old frontier is unknowable — the serve-time tail re-validation
+    // (FetchStoreBlock / zone tail checks against the live row index)
+    // already rejects the one possibly-stale frontier-block entry.
+    uint64_t frontier = map_.known_rows() / config_.rows_per_block;
+    store_.DropBlocksFrom(frontier);
+    zones_.DropBlocksFrom(frontier);
+    if (report.store_recovered) {
+      report.store_segments_recovered = store_.num_segments();
+    }
+    if (report.zones_recovered) {
+      report.zone_entries_recovered = zones_.num_entries();
+    }
+  }
+
+  if (offered && !report.any_recovered()) {
+    // Every import refused: the structures are already live (queries
+    // beat the thaw to them) — live state always wins.
+    report.detail = "live adaptive state retained; snapshot ignored";
+  }
+
+  RecordRecovery(report);
+  return report;
+}
+
+persist::RecoveryReport RawTableState::recovery() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recovery_;
+}
+
+void RawTableState::RecordRecovery(persist::RecoveryReport report) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!report.any_recovered() && recovery_.any_recovered()) {
+    // A later attempt that recovered nothing (typically a re-load onto
+    // the now-warm structures) must not erase the truthful provenance
+    // of the recovery those structures actually came from — the panel
+    // line and the scans' recovered counters keep reporting it until
+    // the structures themselves are invalidated.
+    return;
+  }
+  recovery_ = std::move(report);
+}
+
 void RawTableState::InvalidateAllLocked() {
   map_.Clear();
   cache_.Clear();
@@ -164,6 +266,9 @@ void RawTableState::InvalidateAllLocked() {
   parallel_prewarmed_ = false;
   promoted_hot_.clear();
   promoted_rows_ = UINT64_MAX;
+  // Recovered state just got dropped with everything else; stop
+  // reporting it (scans over the new generation rebuild from cold).
+  recovery_ = persist::RecoveryReport{};
 }
 
 }  // namespace nodb

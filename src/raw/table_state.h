@@ -10,6 +10,7 @@
 #include "catalog/catalog.h"
 #include "io/file.h"
 #include "io/file_signature.h"
+#include "persist/image.h"
 #include "raw/nodb_config.h"
 #include "raw/positional_map.h"
 #include "raw/raw_cache.h"
@@ -119,6 +120,40 @@ class RawTableState {
   void EndPromotion(bool completed);
   bool promotion_in_flight() const;
 
+  // -------------------------------------------- persistence (persist/)
+  /// The signature the adaptive structures are valid for — captured at
+  /// Open / last CheckForUpdates, i.e. exactly the file generation the
+  /// structures describe. The snapshot writer records this (never a
+  /// fresh capture): if the raw file changed after the structures were
+  /// last validated, the stale signature makes the loader cold-start
+  /// rather than trust mismatched state.
+  FileSignature signature() const;
+
+  /// Freezes the four persistent structures into serializable images.
+  /// Safe while queries are in flight: each structure exports a
+  /// consistent cut under its own lock (the RawCache is deliberately
+  /// not persisted — it is a recency cache, cheaply re-earned, and its
+  /// hottest contents are promoted into the store anyway).
+  persist::AdaptiveImage Freeze() const;
+
+  /// Thaws images into the (cold) structures and records the recovery
+  /// report. Each structure imports independently and refuses if it
+  /// already has live state, composing with the generation-tagging
+  /// rules: imports target the current generation, so a concurrent
+  /// rewrite still invalidates recovered state like any other. With
+  /// `change == kAppended` the prefix is recovered and the structures
+  /// are re-opened exactly like CheckForUpdates' clean-append path —
+  /// discovery resumes at the old frontier and only the tail is
+  /// first-touched. `detail` annotates the stored report.
+  persist::RecoveryReport Thaw(persist::AdaptiveImage image,
+                               FileChange change, std::string detail = "");
+
+  /// The last recovery attempt's report (default-constructed before
+  /// any attempt): MonitorPanel's recovered-vs-rebuilt line and the
+  /// scan-metrics provenance counters read this.
+  persist::RecoveryReport recovery() const;
+  void RecordRecovery(persist::RecoveryReport report);
+
  private:
   Status OpenLocked();          // requires mu_ held
   void InvalidateAllLocked();   // requires mu_ held
@@ -138,6 +173,8 @@ class RawTableState {
   uint64_t staged_rows_ = 0;
   std::vector<uint32_t> promoted_hot_;  // last completed pass target
   uint64_t promoted_rows_ = UINT64_MAX;
+
+  persist::RecoveryReport recovery_;  // last snapshot-recovery attempt
 
   std::atomic<uint64_t> queries_executed_{0};
 

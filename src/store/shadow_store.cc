@@ -111,6 +111,33 @@ void ShadowStore::Clear() {
   ++generation_;
 }
 
+ShadowStore::Image ShadowStore::ExportImage() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Image image;
+  image.segments.reserve(entries_.size());
+  for (const Key& key : lru_) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) continue;
+    image.segments.push_back(
+        Image::SegmentImage{key.attr, key.block, it->second.segment});
+  }
+  return image;
+}
+
+bool ShadowStore::ImportImage(const Image& image) {
+  if (num_segments() != 0) return false;  // already promoting: live wins
+  uint64_t generation;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    generation = generation_;
+  }
+  for (auto it = image.segments.rbegin(); it != image.segments.rend();
+       ++it) {
+    Promote(it->attr, it->block, it->segment, generation);
+  }
+  return true;
+}
+
 uint64_t ShadowStore::rows_materialized(uint32_t attr) const {
   std::lock_guard<std::mutex> lock(mu_);
   return attr < rows_.size() ? rows_[attr] : 0;

@@ -129,6 +129,26 @@ class ShadowStore {
   /// Attributes with any resident segment, ascending (tier report).
   std::vector<uint32_t> MaterializedAttributes() const;
 
+  /// Serializable manifest of the store (persist/): every resident
+  /// (attr, block) with a shared reference to its immutable segment —
+  /// exporting copies no column data. LRU order, most recent first.
+  struct Image {
+    struct SegmentImage {
+      uint32_t attr = 0;
+      uint64_t block = 0;
+      std::shared_ptr<const ColumnVector> segment;
+    };
+    std::vector<SegmentImage> segments;
+  };
+
+  Image ExportImage() const;
+
+  /// Re-promotes an image's segments into an *empty* store (false and
+  /// no-op otherwise), oldest first so recency is reproduced; the
+  /// normal budget/admission rules apply, so a smaller budget keeps
+  /// the hottest tail.
+  bool ImportImage(const Image& image);
+
  private:
   struct Key {
     uint32_t attr;

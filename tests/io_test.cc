@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <string>
 
 #include "io/buffered_reader.h"
@@ -245,6 +246,41 @@ TEST_F(FileSignatureTest, ShrinkIsRewrite) {
   auto change = sig->Compare();
   ASSERT_TRUE(change.ok());
   EXPECT_EQ(*change, FileChange::kRewritten);
+}
+
+TEST_F(FileSignatureTest, ContentVerifyCatchesMtimePreservingRewrite) {
+  // An in-place rewrite that preserves size *and* mtime (editors and
+  // tools that restore timestamps) is invisible to the fast
+  // size+mtime short-circuit — only the bounded content prefix/suffix
+  // hashes can tell. The persisted-snapshot loader depends on this.
+  std::string path = Path("sig.csv");
+  ASSERT_TRUE(WriteStringToFile(path, "1,2\n3,4\n").ok());
+  auto sig = FileSignature::Capture(path);
+  ASSERT_TRUE(sig.ok());
+  auto old_time = std::filesystem::last_write_time(path);
+  ASSERT_TRUE(WriteStringToFile(path, "9,9\n9,9\n").ok());  // same size
+  std::filesystem::last_write_time(path, old_time);
+
+  auto fast = sig->Compare();
+  ASSERT_TRUE(fast.ok());
+  EXPECT_EQ(*fast, FileChange::kUnchanged);  // fooled, by design
+
+  auto verified = sig->Compare(/*verify_content=*/true);
+  ASSERT_TRUE(verified.ok());
+  EXPECT_EQ(*verified, FileChange::kRewritten);
+}
+
+TEST_F(FileSignatureTest, ContentVerifyRoundTripsThroughParts) {
+  std::string path = Path("sig.csv");
+  ASSERT_TRUE(WriteStringToFile(path, "1,2\n3,4\n").ok());
+  auto sig = FileSignature::Capture(path);
+  ASSERT_TRUE(sig.ok());
+  FileSignature rebuilt = FileSignature::FromParts(
+      path, sig->size(), sig->mtime_nanos(), sig->head_hash(),
+      sig->tail_hash());
+  auto change = rebuilt.Compare(/*verify_content=*/true);
+  ASSERT_TRUE(change.ok());
+  EXPECT_EQ(*change, FileChange::kUnchanged);
 }
 
 TEST_F(FileSignatureTest, PrefixEditDetectedEvenWithSameSizeTail) {

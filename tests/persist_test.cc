@@ -1,0 +1,463 @@
+// Tests for the persistent adaptive-state snapshot subsystem
+// (persist/): save/recover round trips across engine restarts,
+// signature validation (rewrite, same-size in-place rewrite with a
+// restored mtime, clean append), per-section degradation, and
+// corruption/truncation fuzzing at every section boundary — the engine
+// must cold-start cleanly and return byte-identical results no matter
+// what the sidecar contains.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engines/nodb_engine.h"
+#include "exec/query_result.h"
+#include "io/file.h"
+#include "io/temp_dir.h"
+#include "persist/snapshot.h"
+#include "raw/table_state.h"
+
+namespace nodb {
+namespace {
+
+class PersistTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = TempDir::Create("nodb-persist");
+    ASSERT_TRUE(dir.ok());
+    dir_ = std::make_unique<TempDir>(std::move(*dir));
+    path_ = dir_->FilePath("t.csv");
+    schema_ = Schema::Make({{"a", DataType::kInt64},
+                            {"b", DataType::kDouble},
+                            {"c", DataType::kString}});
+    ASSERT_TRUE(WriteStringToFile(path_, Rows(0, 200)).ok());
+  }
+
+  static std::string Rows(int64_t from, int64_t to) {
+    std::string out;
+    for (int64_t r = from; r < to; ++r) {
+      out += std::to_string(r) + "," + std::to_string(r) + ".5,s" +
+             std::to_string(r % 7) + "\n";
+    }
+    return out;
+  }
+
+  NoDbConfig Config() {
+    NoDbConfig config;
+    config.rows_per_block = 32;
+    return config;
+  }
+
+  Catalog MakeCatalog() {
+    Catalog catalog;
+    EXPECT_TRUE(
+        catalog.RegisterTable({"t", path_, schema_, CsvDialect()}).ok());
+    return catalog;
+  }
+
+  std::string SidecarPath() const {
+    return persist::DefaultSnapshotPath(path_);
+  }
+
+  std::vector<std::string> Run(NoDbEngine* engine,
+                               const std::string& sql) {
+    auto outcome = engine->Execute(sql);
+    EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+    if (!outcome.ok()) return {};
+    return outcome->result.CanonicalRows();
+  }
+
+  /// Runs the workload twice (crossing the promotion heat threshold),
+  /// settles background promotion and saves the sidecar.
+  void WarmAndSave(NoDbEngine* engine) {
+    Run(engine, kQuery);
+    Run(engine, kQuery);
+    ASSERT_TRUE(engine->SaveSnapshot("t").ok());
+  }
+
+  static constexpr const char* kQuery = "SELECT a, b, c FROM t";
+
+  std::unique_ptr<TempDir> dir_;
+  std::string path_;
+  std::shared_ptr<Schema> schema_;
+};
+
+TEST_F(PersistTest, SaveLoadRoundTripRecoversEveryStructure) {
+  std::vector<std::string> reference;
+  {
+    NoDbEngine engine(MakeCatalog(), Config());
+    reference = Run(&engine, kQuery);
+    WarmAndSave(&engine);
+  }
+  ASSERT_TRUE(FileExists(SidecarPath()));
+
+  NoDbEngine engine(MakeCatalog(), Config());
+  auto report = engine.LoadSnapshot("t");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->attempted);
+  EXPECT_EQ(report->change, FileChange::kUnchanged);
+  EXPECT_TRUE(report->map_recovered);
+  EXPECT_TRUE(report->stats_recovered);
+  EXPECT_TRUE(report->zones_recovered);
+  EXPECT_TRUE(report->store_recovered);
+  EXPECT_EQ(report->rows_recovered, 200u);
+  EXPECT_GT(report->chunks_recovered, 0u);
+  EXPECT_GT(report->zone_entries_recovered, 0u);
+  EXPECT_GT(report->store_segments_recovered, 0u);
+
+  const RawTableState* state = engine.table_state("t");
+  ASSERT_NE(state, nullptr);
+  EXPECT_EQ(state->map().known_rows(), 200u);
+  EXPECT_TRUE(state->map().rows_complete());
+  EXPECT_GT(state->stats().CoveredAttributes().size(), 0u);
+  EXPECT_GT(state->stats().access_heat(0), 0u);
+
+  // The recovered first query must be byte-identical to the cold one
+  // and skip phase-1 parsing entirely: every block is served from the
+  // recovered shadow store.
+  auto outcome = engine.Execute(kQuery);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->result.CanonicalRows(), reference);
+  EXPECT_EQ(outcome->metrics.scan.fields_tokenized, 0u);
+  EXPECT_EQ(outcome->metrics.scan.fields_converted, 0u);
+  EXPECT_EQ(outcome->metrics.scan.rows_from_raw, 0u);
+  EXPECT_EQ(outcome->metrics.scan.rows_from_store, 200u);
+  EXPECT_GE(outcome->metrics.scan.scans_using_recovered_map, 1u);
+  EXPECT_GE(outcome->metrics.scan.scans_using_recovered_store, 1u);
+}
+
+TEST_F(PersistTest, AutoModeRecoversOnOpenAndSavesOnTeardown) {
+  NoDbConfig config = Config();
+  config.snapshot_mode = SnapshotMode::kAuto;
+  std::vector<std::string> reference;
+  {
+    NoDbEngine engine(MakeCatalog(), config);
+    reference = Run(&engine, kQuery);
+    Run(&engine, kQuery);
+    engine.WaitForPromotions();
+    // Teardown saves automatically.
+  }
+  ASSERT_TRUE(FileExists(SidecarPath()));
+
+  NoDbEngine engine(MakeCatalog(), config);
+  auto outcome = engine.Execute(kQuery);  // open recovers automatically
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->result.CanonicalRows(), reference);
+  EXPECT_EQ(outcome->metrics.scan.rows_from_raw, 0u);
+  const RawTableState* state = engine.table_state("t");
+  ASSERT_NE(state, nullptr);
+  EXPECT_TRUE(state->recovery().attempted);
+  EXPECT_TRUE(state->recovery().any_recovered());
+}
+
+TEST_F(PersistTest, SnapshotModeOffRefusesExplicitCalls) {
+  NoDbConfig config = Config();
+  config.snapshot_mode = SnapshotMode::kOff;
+  NoDbEngine engine(MakeCatalog(), config);
+  Run(&engine, kQuery);
+  EXPECT_FALSE(engine.SaveSnapshot("t").ok());
+  EXPECT_FALSE(engine.LoadSnapshot("t").ok());
+  EXPECT_FALSE(FileExists(SidecarPath()));
+}
+
+TEST_F(PersistTest, SnapshotPathDirectoryPlacesSidecarThere) {
+  auto snaps = TempDir::Create("nodb-persist-snaps");
+  ASSERT_TRUE(snaps.ok());
+  NoDbConfig config = Config();
+  config.snapshot_path = snaps->path();
+  std::vector<std::string> reference;
+  {
+    NoDbEngine engine(MakeCatalog(), config);
+    reference = Run(&engine, kQuery);
+    WarmAndSave(&engine);
+  }
+  EXPECT_FALSE(FileExists(SidecarPath()));
+  // Directory placement keys the sidecar by basename + full-path
+  // fingerprint (so same-basename tables cannot clobber each other).
+  std::string placed = persist::SnapshotPathFor(
+      {"t", path_, schema_, CsvDialect()}, snaps->path());
+  EXPECT_EQ(placed.rfind(snaps->path() + "/t.csv.", 0), 0u);
+  EXPECT_TRUE(FileExists(placed));
+
+  NoDbEngine engine(MakeCatalog(), config);
+  auto report = engine.LoadSnapshot("t");
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->any_recovered());
+  EXPECT_EQ(Run(&engine, kQuery), reference);
+}
+
+TEST_F(PersistTest, SaveOnColdTableRefusesAndKeepsExistingSidecar) {
+  {
+    NoDbEngine engine(MakeCatalog(), Config());
+    WarmAndSave(&engine);
+  }
+  uint64_t good_size = *GetFileSize(SidecarPath());
+  ASSERT_GT(good_size, 0u);
+
+  // A fresh process that never queried the table must not freeze its
+  // cold (empty) state over the previous process's populated sidecar.
+  NoDbEngine engine(MakeCatalog(), Config());
+  Status st = engine.SaveSnapshot("t");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(*GetFileSize(SidecarPath()), good_size);
+
+  auto report = engine.LoadSnapshot("t");
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->any_recovered());  // the good sidecar survived
+}
+
+TEST_F(PersistTest, RestoreAfterAppendOnWarmTableKeepsLiveState) {
+  {
+    NoDbEngine engine(MakeCatalog(), Config());
+    WarmAndSave(&engine);
+  }
+  auto app = OpenAppendableFile(path_);
+  ASSERT_TRUE(app.ok());
+  std::string tail = Rows(200, 250);
+  ASSERT_TRUE((*app)->Append(Slice(tail.data(), tail.size())).ok());
+  ASSERT_TRUE((*app)->Close().ok());
+
+  // Warm the engine *against the appended file*, then restore the
+  // pre-append snapshot: the map/stats imports refuse (live wins) and
+  // — critically — the append handling must not reopen discovery or
+  // truncate the live map the queries just built. (The still-empty
+  // store may legitimately adopt the snapshot's prefix segments; the
+  // serve-time tail re-validation rejects the one stale frontier
+  // segment.)
+  NoDbEngine engine(MakeCatalog(), Config());
+  std::vector<std::string> before = Run(&engine, kQuery);
+  const RawTableState* state = engine.table_state("t");
+  ASSERT_NE(state, nullptr);
+  ASSERT_TRUE(state->map().rows_complete());
+
+  auto report = engine.LoadSnapshot("t");
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->map_recovered);
+  EXPECT_FALSE(report->stats_recovered);
+  EXPECT_TRUE(state->map().rows_complete());  // live map untouched
+  EXPECT_EQ(state->map().known_rows(), 250u);
+  EXPECT_EQ(Run(&engine, kQuery), before);
+}
+
+TEST_F(PersistTest, LoadOnWarmTableRecoversNothingAndChangesNothing) {
+  {
+    NoDbEngine engine(MakeCatalog(), Config());
+    WarmAndSave(&engine);
+  }
+  NoDbEngine engine(MakeCatalog(), Config());
+  std::vector<std::string> before = Run(&engine, kQuery);  // warm state
+  auto report = engine.LoadSnapshot("t");
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->map_recovered);  // live structures win
+  EXPECT_EQ(Run(&engine, kQuery), before);
+}
+
+TEST_F(PersistTest, RewrittenFileColdStartsCleanly) {
+  {
+    NoDbEngine engine(MakeCatalog(), Config());
+    WarmAndSave(&engine);
+  }
+  // Rewrite with different content (and size): the snapshot is stale.
+  ASSERT_TRUE(WriteStringToFile(path_, Rows(1000, 1100)).ok());
+
+  NoDbEngine engine(MakeCatalog(), Config());
+  auto report = engine.LoadSnapshot("t");
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->attempted);
+  EXPECT_FALSE(report->any_recovered());
+  EXPECT_NE(report->detail.find("rewritten"), std::string::npos)
+      << report->detail;
+
+  NoDbEngine fresh(MakeCatalog(), Config());
+  EXPECT_EQ(Run(&engine, kQuery), Run(&fresh, kQuery));
+}
+
+TEST_F(PersistTest, SameSizeInPlaceRewritePreservingMtimeIsDetected) {
+  {
+    NoDbEngine engine(MakeCatalog(), Config());
+    WarmAndSave(&engine);
+  }
+  // Rewrite every row in place — identical byte length, different
+  // values — and restore the original mtime, simulating an editor or
+  // tool that preserves timestamps. Size+mtime alone cannot tell the
+  // difference; only the content hashes can.
+  auto old_time = std::filesystem::last_write_time(path_);
+  std::string original;
+  {
+    auto read = ReadFileToString(path_);
+    ASSERT_TRUE(read.ok());
+    original = *read;
+  }
+  std::string rewritten = original;
+  for (char& ch : rewritten) {
+    if (ch == '3') ch = '4';  // same length, different numbers
+  }
+  ASSERT_NE(rewritten, original);
+  ASSERT_EQ(rewritten.size(), original.size());
+  ASSERT_TRUE(
+      WriteStringToFile(path_, Slice(rewritten.data(), rewritten.size()))
+          .ok());
+  std::filesystem::last_write_time(path_, old_time);
+
+  NoDbEngine engine(MakeCatalog(), Config());
+  auto report = engine.LoadSnapshot("t");
+  ASSERT_TRUE(report.ok());
+  // The stale snapshot must be rejected: recovering the old positional
+  // map / store over the new bytes would return wrong answers.
+  EXPECT_FALSE(report->any_recovered());
+
+  NoDbEngine fresh(MakeCatalog(), Config());
+  EXPECT_EQ(Run(&engine, kQuery), Run(&fresh, kQuery));
+}
+
+TEST_F(PersistTest, CleanAppendRecoversPrefixAndFirstTouchesTail) {
+  {
+    NoDbEngine engine(MakeCatalog(), Config());
+    WarmAndSave(&engine);
+  }
+  auto app = OpenAppendableFile(path_);
+  ASSERT_TRUE(app.ok());
+  std::string tail = Rows(200, 250);
+  ASSERT_TRUE((*app)->Append(Slice(tail.data(), tail.size())).ok());
+  ASSERT_TRUE((*app)->Close().ok());
+
+  NoDbEngine engine(MakeCatalog(), Config());
+  auto report = engine.LoadSnapshot("t");
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->attempted);
+  EXPECT_EQ(report->change, FileChange::kAppended);
+  EXPECT_TRUE(report->map_recovered);
+  EXPECT_EQ(report->rows_recovered, 200u);
+
+  const RawTableState* state = engine.table_state("t");
+  ASSERT_NE(state, nullptr);
+  EXPECT_FALSE(state->map().rows_complete());  // tail to discover
+
+  NoDbEngine fresh(MakeCatalog(), Config());
+  EXPECT_EQ(Run(&engine, kQuery), Run(&fresh, kQuery));
+  EXPECT_EQ(engine.table_state("t")->map().known_rows(), 250u);
+}
+
+TEST_F(PersistTest, CorruptSectionDegradesOnlyThatStructure) {
+  {
+    NoDbEngine engine(MakeCatalog(), Config());
+    WarmAndSave(&engine);
+  }
+  auto layout = persist::InspectSnapshot(SidecarPath());
+  ASSERT_TRUE(layout.ok());
+  auto bytes = ReadFileToString(SidecarPath());
+  ASSERT_TRUE(bytes.ok());
+  for (const persist::SectionInfo& section : layout->sections) {
+    if (section.id != persist::Snapshot::kSectionStore) continue;
+    ASSERT_GT(section.length, 0u);
+    std::string corrupt = *bytes;
+    corrupt[section.offset + section.length / 2] ^= 0x20;
+    ASSERT_TRUE(WriteFileAtomic(SidecarPath(),
+                                Slice(corrupt.data(), corrupt.size()))
+                    .ok());
+  }
+
+  NoDbEngine engine(MakeCatalog(), Config());
+  auto report = engine.LoadSnapshot("t");
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->map_recovered);    // intact sections recover
+  EXPECT_TRUE(report->stats_recovered);
+  EXPECT_FALSE(report->store_recovered);  // the corrupt one is cold
+  EXPECT_NE(report->detail.find("store"), std::string::npos);
+
+  NoDbEngine fresh(MakeCatalog(), Config());
+  EXPECT_EQ(Run(&engine, kQuery), Run(&fresh, kQuery));
+}
+
+/// Shared fuzz driver: mutates the sidecar, then requires a clean
+/// engine start and byte-identical results.
+class PersistFuzzTest : public PersistTest {
+ protected:
+  void SaveAndSnapshotBytes() {
+    {
+      NoDbEngine engine(MakeCatalog(), Config());
+      reference_ = Run(&engine, kQuery);
+      WarmAndSave(&engine);
+    }
+    auto layout = persist::InspectSnapshot(SidecarPath());
+    ASSERT_TRUE(layout.ok());
+    layout_ = *layout;
+    auto bytes = ReadFileToString(SidecarPath());
+    ASSERT_TRUE(bytes.ok());
+    bytes_ = *bytes;
+  }
+
+  void ExpectCleanStart(const std::string& label) {
+    NoDbEngine engine(MakeCatalog(), Config());
+    auto report = engine.LoadSnapshot("t");
+    ASSERT_TRUE(report.ok()) << label;
+    auto outcome = engine.Execute(kQuery);
+    ASSERT_TRUE(outcome.ok()) << label << ": "
+                              << outcome.status().ToString();
+    EXPECT_EQ(outcome->result.CanonicalRows(), reference_) << label;
+  }
+
+  std::vector<std::string> reference_;
+  persist::SnapshotLayout layout_;
+  std::string bytes_;
+};
+
+TEST_F(PersistFuzzTest, ByteFlipAtEverySectionBoundary) {
+  SaveAndSnapshotBytes();
+  // Offsets to attack: the header start, the directory region, and for
+  // every section its first, middle and last payload byte.
+  std::vector<size_t> offsets = {0, 8, 40};
+  for (const persist::SectionInfo& section : layout_.sections) {
+    if (section.length == 0) continue;
+    offsets.push_back(section.offset);
+    offsets.push_back(section.offset + section.length / 2);
+    offsets.push_back(section.offset + section.length - 1);
+  }
+  for (size_t offset : offsets) {
+    ASSERT_LT(offset, bytes_.size());
+    std::string corrupt = bytes_;
+    corrupt[offset] = static_cast<char>(corrupt[offset] ^ 0x01);
+    ASSERT_TRUE(WriteFileAtomic(SidecarPath(),
+                                Slice(corrupt.data(), corrupt.size()))
+                    .ok());
+    ExpectCleanStart("byte flip at offset " + std::to_string(offset));
+  }
+}
+
+TEST_F(PersistFuzzTest, TruncationAtEverySectionBoundary) {
+  SaveAndSnapshotBytes();
+  std::vector<size_t> cuts = {0, 4, 20};
+  for (const persist::SectionInfo& section : layout_.sections) {
+    cuts.push_back(section.offset);             // section fully missing
+    cuts.push_back(section.offset + section.length / 2);  // torn
+    cuts.push_back(section.offset + section.length);      // next missing
+  }
+  for (size_t cut : cuts) {
+    ASSERT_LE(cut, bytes_.size());
+    std::string truncated = bytes_.substr(0, cut);
+    ASSERT_TRUE(WriteFileAtomic(SidecarPath(),
+                                Slice(truncated.data(), truncated.size()))
+                    .ok());
+    ExpectCleanStart("truncated at " + std::to_string(cut));
+  }
+  // And the empty sidecar.
+  ASSERT_TRUE(WriteFileAtomic(SidecarPath(), Slice("", 0)).ok());
+  ExpectCleanStart("empty sidecar");
+}
+
+TEST_F(PersistFuzzTest, MissingSidecarIsAColdStart) {
+  SaveAndSnapshotBytes();
+  ASSERT_TRUE(RemoveFileIfExists(SidecarPath()).ok());
+  NoDbEngine engine(MakeCatalog(), Config());
+  auto report = engine.LoadSnapshot("t");
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->attempted);
+  EXPECT_NE(report->detail.find("no snapshot"), std::string::npos);
+  EXPECT_EQ(Run(&engine, kQuery), reference_);
+}
+
+}  // namespace
+}  // namespace nodb
