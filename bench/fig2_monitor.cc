@@ -11,8 +11,8 @@
 
 #include "bench/bench_util.h"
 #include "engines/nodb_engine.h"
-#include "util/stopwatch.h"
 #include "monitor/panel.h"
+#include "util/stopwatch.h"
 
 using namespace nodb;
 using namespace nodb::bench;

@@ -19,8 +19,9 @@
 // Every other line is executed as SQL. Runs fine non-interactively:
 // pipe SQL in, one statement per line.
 
-#include <cstdio>
 #include <unistd.h>
+
+#include <cstdio>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -117,6 +118,7 @@ int main(int argc, char** argv) {
     spec.dates_per_cycle = 1;
     std::string path = demo_dir->FilePath("demo.csv");
     if (!GenerateSyntheticCsv(path, spec, CsvDialect()).ok()) return 1;
+    // Cannot fail: the catalog is empty, so "demo" is never a duplicate.
     (void)catalog.RegisterTable(
         {"demo", path, spec.MakeSchema(), CsvDialect()});
     std::printf("no file given; created table 'demo' (%s)\n",

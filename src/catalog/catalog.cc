@@ -5,7 +5,7 @@
 namespace nodb {
 
 Catalog::Catalog(const Catalog& other) {
-  std::lock_guard<std::mutex> lock(other.mu_);
+  MutexLock lock(other.mu_);
   tables_ = other.tables_;
 }
 
@@ -13,10 +13,10 @@ Catalog& Catalog::operator=(const Catalog& other) {
   if (this == &other) return *this;
   std::unordered_map<std::string, RawTableInfo> copy;
   {
-    std::lock_guard<std::mutex> lock(other.mu_);
+    MutexLock lock(other.mu_);
     copy = other.tables_;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   tables_ = std::move(copy);
   return *this;
 }
@@ -26,7 +26,7 @@ Status Catalog::RegisterTable(RawTableInfo info) {
     return Status::InvalidArgument("table '" + info.name +
                                    "' registered without a schema");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto [it, inserted] = tables_.emplace(info.name, info);
   (void)it;
   if (!inserted) {
@@ -41,13 +41,13 @@ Status Catalog::ReplaceTable(RawTableInfo info) {
     return Status::InvalidArgument("table '" + info.name +
                                    "' registered without a schema");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   tables_[info.name] = std::move(info);
   return Status::OK();
 }
 
 Result<RawTableInfo> Catalog::GetTable(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("no table named '" + name + "'");
@@ -56,7 +56,7 @@ Result<RawTableInfo> Catalog::GetTable(const std::string& name) const {
 }
 
 std::vector<std::string> Catalog::TableNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, info] : tables_) names.push_back(name);

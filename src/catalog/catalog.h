@@ -2,15 +2,16 @@
 #define NODB_CATALOG_CATALOG_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "csv/dialect.h"
 #include "types/schema.h"
+#include "util/mutex.h"
 #include "util/result.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace nodb {
 
@@ -37,24 +38,25 @@ class Catalog {
   Catalog& operator=(const Catalog& other);
 
   /// Registers a raw CSV file as queryable table `name`.
-  Status RegisterTable(RawTableInfo info);
+  Status RegisterTable(RawTableInfo info) EXCLUDES(mu_);
 
   /// Replaces an existing registration (e.g. to point a table at a new
   /// file — the demo's second update scenario).
-  Status ReplaceTable(RawTableInfo info);
+  Status ReplaceTable(RawTableInfo info) EXCLUDES(mu_);
 
-  Result<RawTableInfo> GetTable(const std::string& name) const;
+  Result<RawTableInfo> GetTable(const std::string& name) const
+      EXCLUDES(mu_);
 
   bool HasTable(const std::string& name) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return tables_.count(name) > 0;
   }
 
-  std::vector<std::string> TableNames() const;
+  std::vector<std::string> TableNames() const EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, RawTableInfo> tables_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, RawTableInfo> tables_ GUARDED_BY(mu_);
 };
 
 }  // namespace nodb

@@ -11,10 +11,17 @@ namespace nodb {
 Result<std::shared_ptr<ColumnStoreTable>> LoadCsv(
     const std::string& path, std::shared_ptr<Schema> schema,
     const CsvDialect& dialect, LoadStats* stats) {
-  Stopwatch watch;
   NODB_ASSIGN_OR_RETURN(auto file, OpenRandomAccessFile(path));
-  BufferedReader reader(
-      std::shared_ptr<RandomAccessFile>(std::move(file)));
+  return LoadCsv(std::shared_ptr<RandomAccessFile>(std::move(file)), path,
+                 std::move(schema), dialect, stats);
+}
+
+Result<std::shared_ptr<ColumnStoreTable>> LoadCsv(
+    std::shared_ptr<RandomAccessFile> file, const std::string& path,
+    std::shared_ptr<Schema> schema, const CsvDialect& dialect,
+    LoadStats* stats) {
+  Stopwatch watch;
+  BufferedReader reader(std::move(file));
   CsvTokenizer tokenizer(dialect);
 
   auto table = std::make_shared<ColumnStoreTable>(schema);
@@ -27,7 +34,10 @@ Result<std::shared_ptr<ColumnStoreTable>> LoadCsv(
   if (dialect.has_header && reader.file_size() > 0) {
     uint64_t header_end = 0;
     Status s = reader.FindNewline(0, &header_end);
-    (void)s;
+    // OutOfRange is a header-only file (zero data rows); any other
+    // error leaves header_end unset and must not be swallowed — the
+    // loader would otherwise treat the header line as data.
+    if (!s.ok() && !s.IsOutOfRange()) return s;
     offset = header_end + 1;
   }
 

@@ -6,6 +6,7 @@
 
 #include "csv/dialect.h"
 #include "exec/column_store.h"
+#include "io/file.h"
 #include "types/schema.h"
 #include "util/result.h"
 
@@ -26,6 +27,13 @@ struct LoadStats {
 Result<std::shared_ptr<ColumnStoreTable>> LoadCsv(
     const std::string& path, std::shared_ptr<Schema> schema,
     const CsvDialect& dialect, LoadStats* stats = nullptr);
+
+/// Same, over an already-open file (tests inject failing files here;
+/// `path` is used only in error messages).
+Result<std::shared_ptr<ColumnStoreTable>> LoadCsv(
+    std::shared_ptr<RandomAccessFile> file, const std::string& path,
+    std::shared_ptr<Schema> schema, const CsvDialect& dialect,
+    LoadStats* stats = nullptr);
 
 }  // namespace nodb
 

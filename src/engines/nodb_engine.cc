@@ -61,7 +61,9 @@ class NoDbEngine::Factory final : public ScanFactory {
 NoDbEngine::NoDbEngine(Catalog catalog, NoDbConfig config, std::string name)
     : name_(std::move(name)),
       catalog_(std::move(catalog)),
-      config_(config) {}
+      config_(config),
+      flags_{config.enable_positional_map, config.enable_cache,
+             config.enable_statistics, config.enable_store} {}
 
 NoDbEngine::~NoDbEngine() {
   WaitForPromotions();
@@ -83,7 +85,7 @@ Result<RawTableState*> NoDbEngine::GetOrCreateState(
     const std::string& table) {
   RawTableState* state = nullptr;
   {
-    std::lock_guard<std::mutex> lock(states_mu_);
+    MutexLock lock(states_mu_);
     auto it = states_.find(table);
     if (it != states_.end()) state = it->second.get();
   }
@@ -94,10 +96,15 @@ Result<RawTableState*> NoDbEngine::GetOrCreateState(
     return state;
   }
   NODB_ASSIGN_OR_RETURN(RawTableInfo info, catalog_.GetTable(table));
-  NoDbConfig config_snapshot;
+  NoDbConfig config_snapshot = config_;
   {
-    std::lock_guard<std::mutex> lock(states_mu_);
-    config_snapshot = config_;  // component flags mutate under states_mu_
+    // The runtime toggles may have moved since construction; fold the
+    // current ones into the snapshot the fresh state is built from.
+    MutexLock lock(states_mu_);
+    config_snapshot.enable_positional_map = flags_.map;
+    config_snapshot.enable_cache = flags_.cache;
+    config_snapshot.enable_statistics = flags_.stats;
+    config_snapshot.enable_store = flags_.store;
   }
   auto fresh = std::make_unique<RawTableState>(std::move(info),
                                                config_snapshot);
@@ -111,16 +118,14 @@ Result<RawTableState*> NoDbEngine::GetOrCreateState(
         persist::SnapshotPathFor(fresh->info(),
                                  config_snapshot.snapshot_path));
   }
-  std::lock_guard<std::mutex> lock(states_mu_);
+  MutexLock lock(states_mu_);
   auto [it, inserted] = states_.emplace(table, std::move(fresh));
   // A concurrent first query may have inserted meanwhile (its state
   // wins, ours is discarded), and the component toggles may have moved
   // since the snapshot — re-apply them while we hold their lock.
   if (inserted) {
-    it->second->SetComponentFlags(config_.enable_positional_map,
-                                  config_.enable_cache,
-                                  config_.enable_statistics,
-                                  config_.enable_store);
+    it->second->SetComponentFlags(flags_.map, flags_.cache, flags_.stats,
+                                  flags_.store);
   }
   return it->second.get();
 }
@@ -166,8 +171,8 @@ Result<QueryOutcome> NoDbEngine::Execute(std::string_view sql) {
   StatsSelectivityEstimator estimator;
   bool use_stats;
   {
-    std::lock_guard<std::mutex> lock(states_mu_);
-    use_stats = config_.enable_statistics;
+    MutexLock lock(states_mu_);
+    use_stats = flags_.stats;
     if (use_stats) {
       for (const auto& [table, state] : states_) {
         estimator.Register(table, &state->stats(), state->info().schema);
@@ -183,11 +188,11 @@ Result<QueryOutcome> NoDbEngine::Execute(std::string_view sql) {
 
   outcome.metrics.total_ns = watch.ElapsedNanos();
   {
-    std::lock_guard<std::mutex> lock(totals_mu_);
+    MutexLock lock(totals_mu_);
     totals_.AddQuery(outcome.metrics);
   }
   {
-    std::lock_guard<std::mutex> lock(states_mu_);
+    MutexLock lock(states_mu_);
     for (auto& [table, state] : states_) state->IncrementQueryCount();
   }
   // Paper-style adaptive loading: once the query is answered, promote
@@ -199,8 +204,8 @@ Result<QueryOutcome> NoDbEngine::Execute(std::string_view sql) {
 void NoDbEngine::SchedulePromotions() {
   std::vector<RawTableState*> states;
   {
-    std::lock_guard<std::mutex> lock(states_mu_);
-    if (!config_.enable_store) return;
+    MutexLock lock(states_mu_);
+    if (!flags_.store) return;
     states.reserve(states_.size());
     for (auto& [table, state] : states_) states.push_back(state.get());
   }
@@ -215,7 +220,7 @@ void NoDbEngine::SchedulePromotions() {
       continue;  // a pass is in flight, or this target is already done
     }
     {
-      std::lock_guard<std::mutex> lock(promo_mu_);
+      MutexLock lock(promo_mu_);
       ++promo_pending_;
     }
     // The task deliberately does not keep the pool alive: the engine
@@ -227,7 +232,7 @@ void NoDbEngine::SchedulePromotions() {
       // the claim re-armed; the next query retries against the new
       // generation.
       state->EndPromotion(status.ok());
-      std::lock_guard<std::mutex> lock(promo_mu_);
+      MutexLock lock(promo_mu_);
       --promo_pending_;
       promo_cv_.notify_all();
     });
@@ -235,12 +240,12 @@ void NoDbEngine::SchedulePromotions() {
 }
 
 void NoDbEngine::WaitForPromotions() {
-  std::unique_lock<std::mutex> lock(promo_mu_);
-  promo_cv_.wait(lock, [&] { return promo_pending_ == 0; });
+  MutexLock lock(promo_mu_);
+  while (promo_pending_ != 0) lock.Wait(promo_cv_);
 }
 
 std::shared_ptr<ThreadPool> NoDbEngine::ClientPool(uint32_t threads) {
-  std::lock_guard<std::mutex> lock(pool_mu_);
+  MutexLock lock(pool_mu_);
   if (client_pool_ == nullptr || client_pool_->num_threads() < threads) {
     // Replace rather than grow: a batch still running on the old pool
     // keeps it alive through its own shared_ptr.
@@ -300,8 +305,8 @@ Result<std::string> NoDbEngine::Explain(std::string_view sql) {
   StatsSelectivityEstimator estimator;
   bool use_stats;
   {
-    std::lock_guard<std::mutex> lock(states_mu_);
-    use_stats = config_.enable_statistics;
+    MutexLock lock(states_mu_);
+    use_stats = flags_.stats;
     if (use_stats) {
       for (const auto& [table, state] : states_) {
         estimator.Register(table, &state->stats(), state->info().schema);
@@ -320,34 +325,32 @@ Result<std::string> NoDbEngine::Explain(std::string_view sql) {
 
 void NoDbEngine::ApplyComponentFlagsLocked() {
   for (auto& [name, state] : states_) {
-    state->SetComponentFlags(config_.enable_positional_map,
-                             config_.enable_cache,
-                             config_.enable_statistics,
-                             config_.enable_store);
+    state->SetComponentFlags(flags_.map, flags_.cache, flags_.stats,
+                             flags_.store);
   }
 }
 
 void NoDbEngine::SetPositionalMapEnabled(bool enabled) {
-  std::lock_guard<std::mutex> lock(states_mu_);
-  config_.enable_positional_map = enabled;
+  MutexLock lock(states_mu_);
+  flags_.map = enabled;
   ApplyComponentFlagsLocked();
 }
 
 void NoDbEngine::SetCacheEnabled(bool enabled) {
-  std::lock_guard<std::mutex> lock(states_mu_);
-  config_.enable_cache = enabled;
+  MutexLock lock(states_mu_);
+  flags_.cache = enabled;
   ApplyComponentFlagsLocked();
 }
 
 void NoDbEngine::SetStatisticsEnabled(bool enabled) {
-  std::lock_guard<std::mutex> lock(states_mu_);
-  config_.enable_statistics = enabled;
+  MutexLock lock(states_mu_);
+  flags_.stats = enabled;
   ApplyComponentFlagsLocked();
 }
 
 void NoDbEngine::SetStoreEnabled(bool enabled) {
-  std::lock_guard<std::mutex> lock(states_mu_);
-  config_.enable_store = enabled;
+  MutexLock lock(states_mu_);
+  flags_.store = enabled;
   ApplyComponentFlagsLocked();
 }
 
@@ -379,7 +382,7 @@ Status NoDbEngine::SaveSnapshot(const std::string& table) {
   // fully populated sidecar from an earlier process.
   RawTableState* state = nullptr;
   {
-    std::lock_guard<std::mutex> lock(states_mu_);
+    MutexLock lock(states_mu_);
     auto it = states_.find(table);
     if (it != states_.end()) state = it->second.get();
   }
@@ -403,7 +406,7 @@ Status NoDbEngine::SaveAllSnapshots() {
   WaitForPromotions();
   std::vector<RawTableState*> states;
   {
-    std::lock_guard<std::mutex> lock(states_mu_);
+    MutexLock lock(states_mu_);
     states.reserve(states_.size());
     for (auto& [table, state] : states_) states.push_back(state.get());
   }
@@ -439,7 +442,7 @@ Result<persist::RecoveryReport> NoDbEngine::LoadSnapshot(
 
 const RawTableState* NoDbEngine::table_state(
     const std::string& table) const {
-  std::lock_guard<std::mutex> lock(states_mu_);
+  MutexLock lock(states_mu_);
   auto it = states_.find(table);
   return it == states_.end() ? nullptr : it->second.get();
 }
@@ -447,7 +450,7 @@ const RawTableState* NoDbEngine::table_state(
 Result<FileChange> NoDbEngine::RefreshTable(const std::string& table) {
   RawTableState* state = nullptr;
   {
-    std::lock_guard<std::mutex> lock(states_mu_);
+    MutexLock lock(states_mu_);
     auto it = states_.find(table);
     if (it != states_.end()) state = it->second.get();
   }
@@ -463,7 +466,7 @@ Status NoDbEngine::ReplaceTable(const RawTableInfo& info) {
   NODB_RETURN_NOT_OK(catalog_.ReplaceTable(info));
   RawTableState* state = nullptr;
   {
-    std::lock_guard<std::mutex> lock(states_mu_);
+    MutexLock lock(states_mu_);
     auto it = states_.find(info.name);
     if (it != states_.end()) state = it->second.get();
   }

@@ -1,13 +1,11 @@
 #ifndef NODB_ENGINES_NODB_ENGINE_H_
 #define NODB_ENGINES_NODB_ENGINE_H_
 
+#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
-
-#include <condition_variable>
 
 #include "catalog/catalog.h"
 #include "engines/engine.h"
@@ -15,6 +13,8 @@
 #include "persist/image.h"
 #include "raw/nodb_config.h"
 #include "raw/table_state.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace nodb {
@@ -50,7 +50,8 @@ class NoDbEngine final : public Engine {
   /// In-situ: nothing to do. Registers no I/O, returns ~0.
   Result<int64_t> Initialize() override;
 
-  Result<QueryOutcome> Execute(std::string_view sql) override;
+  Result<QueryOutcome> Execute(std::string_view sql) override
+      EXCLUDES(states_mu_, totals_mu_);
 
   /// Runs every query of `sqls` against the shared adaptive state from
   /// a pool of `clients` concurrent sessions (0 = one per hardware
@@ -62,35 +63,43 @@ class NoDbEngine final : public Engine {
   ConcurrentBatchOutcome ExecuteConcurrent(
       const std::vector<std::string>& sqls, uint32_t clients = 0);
 
-  Result<std::string> Explain(std::string_view sql) override;
+  Result<std::string> Explain(std::string_view sql) override
+      EXCLUDES(states_mu_);
 
   /// Cumulative race accounting. The reference is unsynchronized —
   /// read it between batches, not while queries are in flight.
-  const EngineTotals& totals() const override { return totals_; }
+  /// NO_THREAD_SAFETY_ANALYSIS: deliberately hands out an unguarded
+  /// reference to a totals_mu_-guarded member; the quiescence contract
+  /// above is the synchronization.
+  const EngineTotals& totals() const override NO_THREAD_SAFETY_ANALYSIS {
+    return totals_;
+  }
 
   /// Runtime component toggles (the demo GUI's switches). Applies to
   /// future queries on all tables; existing structures are retained
   /// (disabled components are simply not consulted or populated).
-  void SetPositionalMapEnabled(bool enabled);
-  void SetCacheEnabled(bool enabled);
-  void SetStatisticsEnabled(bool enabled);
-  void SetStoreEnabled(bool enabled);
+  void SetPositionalMapEnabled(bool enabled) EXCLUDES(states_mu_);
+  void SetCacheEnabled(bool enabled) EXCLUDES(states_mu_);
+  void SetStatisticsEnabled(bool enabled) EXCLUDES(states_mu_);
+  void SetStoreEnabled(bool enabled) EXCLUDES(states_mu_);
 
   /// Blocks until every scheduled background promotion pass has
   /// finished (tests and benches that want a deterministic store).
-  void WaitForPromotions();
+  void WaitForPromotions() EXCLUDES(promo_mu_);
 
   /// Adaptive state of `table` (for the monitoring panel and tests);
   /// nullptr before the first query touches the table.
-  const RawTableState* table_state(const std::string& table) const;
+  const RawTableState* table_state(const std::string& table) const
+      EXCLUDES(states_mu_);
 
   /// Re-checks the raw file behind `table` right now (demo "Updates"
   /// scenario). Queries also run this check automatically.
-  Result<FileChange> RefreshTable(const std::string& table);
+  Result<FileChange> RefreshTable(const std::string& table)
+      EXCLUDES(states_mu_);
 
   /// Points `table` at a different raw file, dropping adaptive state.
   /// Requires no queries in flight on that table.
-  Status ReplaceTable(const RawTableInfo& info);
+  Status ReplaceTable(const RawTableInfo& info) EXCLUDES(states_mu_);
 
   /// Freezes `table`'s adaptive state (positional map, statistics,
   /// zone maps, shadow store) into its crash-safe sidecar
@@ -101,12 +110,13 @@ class NoDbEngine final : public Engine {
   /// table has no adaptive state yet (freezing a cold table would
   /// clobber a previous process's populated sidecar with an empty
   /// one).
-  Status SaveSnapshot(const std::string& table);
+  Status SaveSnapshot(const std::string& table)
+      EXCLUDES(states_mu_, promo_mu_);
 
   /// Saves every table that has adaptive state (kAuto teardown path;
   /// also handy before a planned shutdown). Best effort: returns the
   /// first error but attempts every table.
-  Status SaveAllSnapshots();
+  Status SaveAllSnapshots() EXCLUDES(states_mu_, promo_mu_);
 
   /// Validates `table`'s sidecar against the live raw file and thaws
   /// every intact section into the (cold) table state. Degradation is
@@ -114,15 +124,20 @@ class NoDbEngine final : public Engine {
   /// queries, reported in the returned RecoveryReport — an error
   /// Status means only that snapshots are off. A warm table recovers
   /// nothing (live structures always win).
-  Result<persist::RecoveryReport> LoadSnapshot(const std::string& table);
+  Result<persist::RecoveryReport> LoadSnapshot(const std::string& table)
+      EXCLUDES(states_mu_);
 
+  /// Boot-time configuration (immutable). The runtime component
+  /// toggles the Set*Enabled methods flip live on the engine and the
+  /// table states, not here.
   const NoDbConfig& config() const { return config_; }
   Catalog& catalog() { return catalog_; }
 
  private:
   class Factory;
 
-  Result<RawTableState*> GetOrCreateState(const std::string& table);
+  Result<RawTableState*> GetOrCreateState(const std::string& table)
+      EXCLUDES(states_mu_);
 
   /// Runs the parallel chunked first-touch scan (raw/parallel_scan.h)
   /// over `attrs` when the config asks for threads, the table is still
@@ -134,38 +149,47 @@ class NoDbEngine final : public Engine {
   /// The shared client pool, created on first concurrent batch and
   /// grown (replaced) when a batch asks for more workers; batches hold
   /// a shared_ptr so an in-flight batch keeps its pool alive.
-  std::shared_ptr<ThreadPool> ClientPool(uint32_t threads);
+  std::shared_ptr<ThreadPool> ClientPool(uint32_t threads)
+      EXCLUDES(pool_mu_);
 
   /// After a query completes: for every table whose hot attributes are
   /// not fully materialized, claims and submits one background
   /// promotion pass (store/promoter.h) to the shared pool.
-  void SchedulePromotions();
+  void SchedulePromotions() EXCLUDES(states_mu_, promo_mu_, pool_mu_);
 
   /// Pushes the engine-level component flags down to every table
-  /// state. Requires states_mu_ held.
-  void ApplyComponentFlagsLocked();
+  /// state.
+  void ApplyComponentFlagsLocked() REQUIRES(states_mu_);
 
   std::string name_;
   Catalog catalog_;
-  NoDbConfig config_;
+
+  /// Boot-time configuration, immutable after construction (the
+  /// runtime component toggles live in flags_ below, so reads of
+  /// config_ never need a lock).
+  const NoDbConfig config_;
 
   /// Guards states_ (lookup/insert; values have stable addresses and
-  /// are never erased) and the engine-level component flags.
-  mutable std::mutex states_mu_;
-  std::unordered_map<std::string, std::unique_ptr<RawTableState>> states_;
+  /// are never erased) and the engine-level component toggles.
+  mutable Mutex states_mu_;
+  std::unordered_map<std::string, std::unique_ptr<RawTableState>> states_
+      GUARDED_BY(states_mu_);
+  /// Engine-level component toggles (the demo GUI's switches), pushed
+  /// down to every table state whenever they change.
+  ComponentFlags flags_ GUARDED_BY(states_mu_);
 
-  std::mutex totals_mu_;
-  EngineTotals totals_;
+  Mutex totals_mu_;
+  EngineTotals totals_ GUARDED_BY(totals_mu_);
 
   /// Background-promotion accounting. Declared before the pool so a
   /// queued promotion task drained by the pool's destructor still
   /// finds these alive.
-  std::mutex promo_mu_;
+  Mutex promo_mu_;
   std::condition_variable promo_cv_;
-  size_t promo_pending_ = 0;
+  size_t promo_pending_ GUARDED_BY(promo_mu_) = 0;
 
-  std::mutex pool_mu_;
-  std::shared_ptr<ThreadPool> client_pool_;
+  Mutex pool_mu_;
+  std::shared_ptr<ThreadPool> client_pool_ GUARDED_BY(pool_mu_);
 };
 
 }  // namespace nodb

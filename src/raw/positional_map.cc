@@ -4,11 +4,6 @@
 
 namespace nodb {
 
-namespace {
-using ReadLock = std::shared_lock<std::shared_mutex>;
-using WriteLock = std::lock_guard<std::shared_mutex>;
-}  // namespace
-
 PositionalMap::PositionalMap(size_t budget_bytes, uint32_t rows_per_block,
                              uint32_t max_covering_chunks)
     : budget_bytes_(budget_bytes),
@@ -18,43 +13,43 @@ PositionalMap::PositionalMap(size_t budget_bytes, uint32_t rows_per_block,
 // -------------------------------------------------------- tuple index
 
 uint64_t PositionalMap::known_rows() const {
-  ReadLock lock(mu_);
+  ReaderLock lock(mu_);
   return row_starts_.size();
 }
 
 uint64_t PositionalMap::row_start(uint64_t row) const {
-  ReadLock lock(mu_);
+  ReaderLock lock(mu_);
   return row_starts_[row];
 }
 
 void PositionalMap::AddRowStart(uint64_t offset) {
-  WriteLock lock(mu_);
+  WriterLock lock(mu_);
   row_starts_.push_back(offset);
 }
 
 void PositionalMap::MarkRowsComplete(uint64_t file_size) {
-  WriteLock lock(mu_);
+  WriterLock lock(mu_);
   rows_complete_ = true;
   indexed_file_size_ = file_size;
 }
 
 bool PositionalMap::rows_complete() const {
-  ReadLock lock(mu_);
+  ReaderLock lock(mu_);
   return rows_complete_;
 }
 
 uint64_t PositionalMap::indexed_file_size() const {
-  ReadLock lock(mu_);
+  ReaderLock lock(mu_);
   return indexed_file_size_;
 }
 
 uint64_t PositionalMap::next_discovery_offset() const {
-  ReadLock lock(mu_);
+  ReaderLock lock(mu_);
   return next_discovery_offset_;
 }
 
 void PositionalMap::EnsureDiscoveryStartsAt(uint64_t offset) {
-  WriteLock lock(mu_);
+  WriterLock lock(mu_);
   if (row_starts_.empty() && !rows_complete_ &&
       next_discovery_offset_ < offset) {
     next_discovery_offset_ = offset;
@@ -63,7 +58,7 @@ void PositionalMap::EnsureDiscoveryStartsAt(uint64_t offset) {
 
 void PositionalMap::PublishRowIndex(std::vector<uint64_t> starts,
                                     uint64_t cursor, uint64_t file_size) {
-  WriteLock lock(mu_);
+  WriterLock lock(mu_);
   if (!row_starts_.empty() || rows_complete_) return;  // no longer cold
   row_starts_ = std::move(starts);
   next_discovery_offset_ = std::max(next_discovery_offset_, cursor);
@@ -72,14 +67,14 @@ void PositionalMap::PublishRowIndex(std::vector<uint64_t> starts,
 }
 
 void PositionalMap::ReopenForAppend() {
-  WriteLock lock(mu_);
+  WriterLock lock(mu_);
   rows_complete_ = false;
 }
 
 PositionalMap::RowSnapshot PositionalMap::SnapshotRows(
     uint64_t first_row, uint32_t count,
     std::vector<uint64_t>* bounds) const {
-  ReadLock lock(mu_);
+  ReaderLock lock(mu_);
   RowSnapshot snap;
   snap.known_rows = row_starts_.size();
   snap.complete = rows_complete_;
@@ -108,12 +103,15 @@ PositionalMap::RowSnapshot PositionalMap::SnapshotRows(
 
 // ---------------------------------------------------------- discovery
 
-PositionalMap::Discovery::Discovery(PositionalMap* map)
-    : map_(map), baton_(map->discovery_mu_) {}
+PositionalMap::Discovery::Discovery(PositionalMap* map) : map_(map) {
+  map_->discovery_mu_.Lock();
+}
+
+PositionalMap::Discovery::~Discovery() { map_->discovery_mu_.Unlock(); }
 
 bool PositionalMap::Discovery::NeedsRow(uint64_t row, uint64_t* resume,
                                         uint64_t* frontier_row) const {
-  ReadLock lock(map_->mu_);
+  ReaderLock lock(map_->mu_);
   const uint64_t known = map_->row_starts_.size();
   if (row < known) {
     if (row + 1 < known) return false;
@@ -129,7 +127,7 @@ bool PositionalMap::Discovery::NeedsRow(uint64_t row, uint64_t* resume,
 }
 
 void PositionalMap::Discovery::PublishRow(uint64_t start, uint64_t end) {
-  WriteLock lock(map_->mu_);
+  WriterLock lock(map_->mu_);
   if (map_->row_starts_.empty() || start > map_->row_starts_.back()) {
     map_->row_starts_.push_back(start);
   }
@@ -138,7 +136,7 @@ void PositionalMap::Discovery::PublishRow(uint64_t start, uint64_t end) {
 }
 
 void PositionalMap::Discovery::MarkComplete(uint64_t file_size) {
-  WriteLock lock(map_->mu_);
+  WriterLock lock(map_->mu_);
   map_->rows_complete_ = true;
   map_->indexed_file_size_ = file_size;
 }
@@ -171,7 +169,7 @@ PositionalMap::Probe PositionalMap::BlockPlan::Lookup(uint64_t row,
 
 PositionalMap::BlockPlan PositionalMap::PrepareBlock(
     uint64_t first_row, const std::vector<uint32_t>& attrs) {
-  WriteLock lock(mu_);
+  WriterLock lock(mu_);
   BlockPlan plan;
   plan.block_first_row_ = BlockIndex(first_row) * rows_per_block_;
   plan.sources_.resize(attrs.size());
@@ -282,7 +280,7 @@ PositionalMap::ChunkBuilder PositionalMap::StartChunk(
 
 void PositionalMap::CommitChunk(ChunkBuilder builder) {
   if (builder.rows_ == 0) return;
-  WriteLock lock(mu_);
+  WriterLock lock(mu_);
   // Concurrent queries over the same cold block race to index the same
   // combination; both parsed identical bytes, so the first equal (or
   // wider) chunk wins and the duplicate is dropped.
@@ -343,29 +341,29 @@ void PositionalMap::EvictOverBudget() {
 // -------------------------------------------------------------- stats
 
 size_t PositionalMap::bytes_used() const {
-  ReadLock lock(mu_);
+  ReaderLock lock(mu_);
   return bytes_used_;
 }
 
 double PositionalMap::utilization() const {
-  ReadLock lock(mu_);
+  ReaderLock lock(mu_);
   return budget_bytes_ == 0
              ? 0.0
              : static_cast<double>(bytes_used_) / budget_bytes_;
 }
 
 size_t PositionalMap::num_chunks() const {
-  ReadLock lock(mu_);
+  ReaderLock lock(mu_);
   return num_chunks_;
 }
 
 uint64_t PositionalMap::evictions() const {
-  ReadLock lock(mu_);
+  ReaderLock lock(mu_);
   return evictions_;
 }
 
 double PositionalMap::CoverageFraction(uint32_t attr) const {
-  ReadLock lock(mu_);
+  ReaderLock lock(mu_);
   if (row_starts_.empty()) return 0.0;
   uint64_t covered = 0;
   for (const auto& [block, chunks] : blocks_) {
@@ -383,7 +381,7 @@ double PositionalMap::CoverageFraction(uint32_t attr) const {
 }
 
 PositionalMap::Image PositionalMap::ExportImage() const {
-  ReadLock lock(mu_);
+  ReaderLock lock(mu_);
   Image image;
   image.row_starts = row_starts_;
   image.rows_complete = rows_complete_;
@@ -403,7 +401,7 @@ PositionalMap::Image PositionalMap::ExportImage() const {
 }
 
 bool PositionalMap::ImportImage(Image image) {
-  WriteLock lock(mu_);
+  WriterLock lock(mu_);
   if (!row_starts_.empty() || rows_complete_ || !blocks_.empty()) {
     return false;  // no longer cold: live state wins
   }
@@ -450,7 +448,7 @@ bool PositionalMap::ImportImage(Image image) {
 }
 
 void PositionalMap::Clear() {
-  WriteLock lock(mu_);
+  WriterLock lock(mu_);
   row_starts_.clear();
   rows_complete_ = false;
   indexed_file_size_ = 0;

@@ -5,12 +5,12 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <vector>
 
 #include "util/logging.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace nodb {
 
@@ -69,29 +69,29 @@ class PositionalMap {
 
   // ------------------------------------------------------ tuple index
   /// Rows whose start offsets are known (contiguous from row 0).
-  uint64_t known_rows() const;
+  uint64_t known_rows() const EXCLUDES(mu_);
 
   /// Byte offset where row `row` starts. Requires row < known_rows().
-  uint64_t row_start(uint64_t row) const;
+  uint64_t row_start(uint64_t row) const EXCLUDES(mu_);
 
   /// Records the start of row known_rows() (sequential discovery).
   /// Prefer Discovery::PublishRow, which also publishes the row's end;
   /// this remains for single-threaded index construction in tests.
-  void AddRowStart(uint64_t offset);
+  void AddRowStart(uint64_t offset) EXCLUDES(mu_);
 
   /// Marks that the discovery scan reached end of file: exactly
   /// known_rows() rows exist in `file_size` bytes.
-  void MarkRowsComplete(uint64_t file_size);
-  bool rows_complete() const;
-  uint64_t indexed_file_size() const;
+  void MarkRowsComplete(uint64_t file_size) EXCLUDES(mu_);
+  bool rows_complete() const EXCLUDES(mu_);
+  uint64_t indexed_file_size() const EXCLUDES(mu_);
 
   /// Offset where the next undiscovered row starts (the resume point
   /// of an interrupted or append-extended discovery scan).
-  uint64_t next_discovery_offset() const;
+  uint64_t next_discovery_offset() const EXCLUDES(mu_);
 
   /// Moves the discovery cursor forward to `offset` on a still-empty
   /// index (skipping a header line). No-op once rows are published.
-  void EnsureDiscoveryStartsAt(uint64_t offset);
+  void EnsureDiscoveryStartsAt(uint64_t offset) EXCLUDES(mu_);
 
   /// Replaces an *empty* row index in one publication: `starts` holds
   /// every row start in file order, `cursor` is one past the last
@@ -100,11 +100,11 @@ class PositionalMap {
   /// concurrent readers never observe a half-built index. No-op when
   /// rows were already published.
   void PublishRowIndex(std::vector<uint64_t> starts, uint64_t cursor,
-                       uint64_t file_size);
+                       uint64_t file_size) EXCLUDES(mu_);
 
   /// Reopens discovery after an append: the file grew but existing
   /// boundaries remain valid.
-  void ReopenForAppend();
+  void ReopenForAppend() EXCLUDES(mu_);
 
   /// Published-row snapshot of [first_row, first_row + count).
   struct RowSnapshot {
@@ -120,16 +120,19 @@ class PositionalMap {
   /// [bounds[i], bounds[i+1] - 1). The caller then locates rows with
   /// plain array indexing, without further locking.
   RowSnapshot SnapshotRows(uint64_t first_row, uint32_t count,
-                           std::vector<uint64_t>* bounds) const;
+                           std::vector<uint64_t>* bounds) const
+      EXCLUDES(mu_);
 
   /// The discovery baton: serializes frontier extension. Constructing
   /// one blocks until the calling thread holds the baton; destruction
   /// releases it. Holders alternate NeedsRow (re-check under the data
   /// lock — another holder may have published the row meanwhile) with
   /// their own newline I/O and PublishRow.
-  class Discovery {
+  class SCOPED_CAPABILITY Discovery {
    public:
-    explicit Discovery(PositionalMap* map);
+    /// Blocks until this thread holds the baton.
+    explicit Discovery(PositionalMap* map) ACQUIRE(map->discovery_mu_);
+    ~Discovery() RELEASE();
     Discovery(const Discovery&) = delete;
     Discovery& operator=(const Discovery&) = delete;
 
@@ -139,18 +142,17 @@ class PositionalMap {
     /// it equals `row`, the holder can serve the bounds it is about to
     /// publish directly, without re-reading the map.
     bool NeedsRow(uint64_t row, uint64_t* resume,
-                  uint64_t* frontier_row) const;
+                  uint64_t* frontier_row) const EXCLUDES(map_->mu_);
 
     /// Publishes the next row: content [start, end), terminator at
     /// `end`, discovery cursor moves to end + 1.
-    void PublishRow(uint64_t start, uint64_t end);
+    void PublishRow(uint64_t start, uint64_t end) EXCLUDES(map_->mu_);
 
     /// The resume offset reached end of file: the index is complete.
-    void MarkComplete(uint64_t file_size);
+    void MarkComplete(uint64_t file_size) EXCLUDES(map_->mu_);
 
    private:
     PositionalMap* map_;
-    std::unique_lock<std::mutex> baton_;
   };
 
   // ------------------------------------------------------------ probe
@@ -199,7 +201,7 @@ class PositionalMap {
   /// Builds the lookup plan for `attrs` (sorted ascending) over the
   /// block containing `first_row` and touches used chunks' LRU state.
   BlockPlan PrepareBlock(uint64_t first_row,
-                         const std::vector<uint32_t>& attrs);
+                         const std::vector<uint32_t>& attrs) EXCLUDES(mu_);
 
   /// Distance policy: should the scan collect a new chunk for this
   /// combination in this block? True when the plan leaves attributes
@@ -233,21 +235,21 @@ class PositionalMap {
   /// a concurrent query already committed an equal-or-better chunk for
   /// the same (block, combination) — the two parsed identical bytes —
   /// the duplicate is dropped and the survivor's recency refreshed.
-  void CommitChunk(ChunkBuilder builder);
+  void CommitChunk(ChunkBuilder builder) EXCLUDES(mu_);
 
   // ------------------------------------------------------------ stats
-  size_t bytes_used() const;
+  size_t bytes_used() const EXCLUDES(mu_);
   size_t budget_bytes() const { return budget_bytes_; }
-  double utilization() const;
-  size_t num_chunks() const;
-  uint64_t evictions() const;
+  double utilization() const EXCLUDES(mu_);
+  size_t num_chunks() const EXCLUDES(mu_);
+  uint64_t evictions() const EXCLUDES(mu_);
   uint32_t rows_per_block() const { return rows_per_block_; }
 
   /// Fraction of known rows whose positions for `attr` are indexed.
-  double CoverageFraction(uint32_t attr) const;
+  double CoverageFraction(uint32_t attr) const EXCLUDES(mu_);
 
   /// Drops every chunk and the row index (file rewritten).
-  void Clear();
+  void Clear() EXCLUDES(mu_);
 
   // ---------------------------------------------------- freeze / thaw
   /// A serializable copy of the map's published state (persist/):
@@ -271,14 +273,14 @@ class PositionalMap {
   /// Copies the published state into an Image (one shared lock; no
   /// I/O). Safe to call while scans are in flight — the image is a
   /// consistent cut of the row index and chunk set.
-  Image ExportImage() const;
+  Image ExportImage() const EXCLUDES(mu_);
 
   /// Restores an exported image into a *cold* map: returns false (and
   /// imports nothing) when rows or chunks already exist, when the
   /// image's row index is not strictly ascending, or when a chunk is
   /// malformed for this map's rows_per_block. Chunks are admitted
   /// newest-first under the normal byte budget.
-  bool ImportImage(Image image);
+  bool ImportImage(Image image) EXCLUDES(mu_);
 
  private:
   /// One (block × attribute-combination) unit; the LRU element.
@@ -293,8 +295,8 @@ class PositionalMap {
   };
 
   uint64_t BlockIndex(uint64_t row) const { return row / rows_per_block_; }
-  void Touch(Chunk* chunk);          // requires mu_ held exclusively
-  void EvictOverBudget();            // requires mu_ held exclusively
+  void Touch(Chunk* chunk) REQUIRES(mu_);
+  void EvictOverBudget() REQUIRES(mu_);
 
   const size_t budget_bytes_;
   const uint32_t rows_per_block_;
@@ -302,23 +304,26 @@ class PositionalMap {
 
   /// Guards all published state below. Exclusive for mutation, shared
   /// for reads; never held across I/O or parsing.
-  mutable std::shared_mutex mu_;
+  mutable SharedMutex mu_;
 
   /// Serializes frontier discovery (see Discovery). Lock order: the
-  /// baton is always acquired before mu_, never the other way around.
-  std::mutex discovery_mu_;
+  /// baton is always acquired before mu_, never the other way around
+  /// (encoded in ACQUIRED_BEFORE; see table_state.h for the full
+  /// table-wide hierarchy).
+  Mutex discovery_mu_ ACQUIRED_BEFORE(mu_);
 
-  std::vector<uint64_t> row_starts_;
-  bool rows_complete_ = false;
-  uint64_t indexed_file_size_ = 0;
-  uint64_t next_discovery_offset_ = 0;
+  std::vector<uint64_t> row_starts_ GUARDED_BY(mu_);
+  bool rows_complete_ GUARDED_BY(mu_) = false;
+  uint64_t indexed_file_size_ GUARDED_BY(mu_) = 0;
+  uint64_t next_discovery_offset_ GUARDED_BY(mu_) = 0;
 
   /// block index -> chunks covering that block.
-  std::map<uint64_t, std::vector<std::shared_ptr<Chunk>>> blocks_;
-  std::list<Chunk*> lru_;  // front = most recent
-  size_t bytes_used_ = 0;
-  size_t num_chunks_ = 0;
-  uint64_t evictions_ = 0;
+  std::map<uint64_t, std::vector<std::shared_ptr<Chunk>>> blocks_
+      GUARDED_BY(mu_);
+  std::list<Chunk*> lru_ GUARDED_BY(mu_);  // front = most recent
+  size_t bytes_used_ GUARDED_BY(mu_) = 0;
+  size_t num_chunks_ GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace nodb

@@ -4,7 +4,7 @@ namespace nodb {
 
 std::shared_ptr<const ColumnVector> RawCache::Get(uint32_t attr,
                                                   uint64_t block) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(Key{attr, block});
   if (it == entries_.end()) {
     ++misses_;
@@ -18,13 +18,13 @@ std::shared_ptr<const ColumnVector> RawCache::Get(uint32_t attr,
 }
 
 bool RawCache::Contains(uint32_t attr, uint64_t block) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.count(Key{attr, block}) > 0;
 }
 
 void RawCache::Put(uint32_t attr, uint64_t block,
                    std::shared_ptr<const ColumnVector> segment) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Key key{attr, block};
   size_t bytes = segment->MemoryUsage() + sizeof(Entry) + sizeof(Key);
 
@@ -60,7 +60,7 @@ void RawCache::EvictOverBudget() {
 }
 
 void RawCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.clear();
   lru_.clear();
   bytes_used_ = 0;

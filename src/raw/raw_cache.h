@@ -4,11 +4,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "types/column_vector.h"
 #include "util/hash.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace nodb {
 
@@ -35,44 +36,45 @@ class RawCache {
 
   /// Returns the cached segment for (attr, block) or nullptr. Hits
   /// refresh LRU recency and are counted.
-  std::shared_ptr<const ColumnVector> Get(uint32_t attr, uint64_t block);
+  std::shared_ptr<const ColumnVector> Get(uint32_t attr, uint64_t block)
+      EXCLUDES(mu_);
 
   /// Peeks without touching LRU or counters (planning-time check).
-  bool Contains(uint32_t attr, uint64_t block) const;
+  bool Contains(uint32_t attr, uint64_t block) const EXCLUDES(mu_);
 
   /// Inserts a segment; evicts LRU entries over budget. Segments
   /// larger than the whole budget are rejected silently.
   void Put(uint32_t attr, uint64_t block,
-           std::shared_ptr<const ColumnVector> segment);
+           std::shared_ptr<const ColumnVector> segment) EXCLUDES(mu_);
 
   /// Drops everything (file rewritten / table replaced).
-  void Clear();
+  void Clear() EXCLUDES(mu_);
 
   size_t bytes_used() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return bytes_used_;
   }
   size_t budget_bytes() const { return budget_bytes_; }
   double utilization() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return budget_bytes_ == 0
                ? 0.0
                : static_cast<double>(bytes_used_) / budget_bytes_;
   }
   size_t num_segments() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return entries_.size();
   }
   uint64_t hits() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return hits_;
   }
   uint64_t misses() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return misses_;
   }
   uint64_t evictions() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return evictions_;
   }
 
@@ -96,16 +98,16 @@ class RawCache {
     std::list<Key>::iterator lru_pos;
   };
 
-  void EvictOverBudget();  // requires mu_ held
+  void EvictOverBudget() REQUIRES(mu_);
 
   const size_t budget_bytes_;
-  mutable std::mutex mu_;
-  std::unordered_map<Key, Entry, KeyHash> entries_;
-  std::list<Key> lru_;  // front = most recent
-  size_t bytes_used_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
+  mutable Mutex mu_;
+  std::unordered_map<Key, Entry, KeyHash> entries_ GUARDED_BY(mu_);
+  std::list<Key> lru_ GUARDED_BY(mu_);  // front = most recent
+  size_t bytes_used_ GUARDED_BY(mu_) = 0;
+  uint64_t hits_ GUARDED_BY(mu_) = 0;
+  uint64_t misses_ GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace nodb

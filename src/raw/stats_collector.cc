@@ -33,7 +33,7 @@ void AttributeStats::Sample(double numeric, const std::string* text) {
 }
 
 void AttributeStats::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   count_ = 0;
   nulls_ = 0;
   min_.reset();
@@ -45,7 +45,7 @@ void AttributeStats::Reset() {
 }
 
 void AttributeStats::Observe(const ColumnVector& column) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (size_t i = 0; i < column.size(); ++i) {
     ++count_;
     if (column.IsNull(i)) {
@@ -79,7 +79,7 @@ void AttributeStats::Observe(const ColumnVector& column) {
 }
 
 double AttributeStats::EstimateDistinct() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return EstimateDistinctLocked();
 }
 
@@ -99,7 +99,7 @@ double AttributeStats::EstimateDistinctLocked() const {
 }
 
 AttributeStats::Image AttributeStats::ExportImage() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Image image;
   image.count = count_;
   image.nulls = nulls_;
@@ -115,7 +115,7 @@ AttributeStats::Image AttributeStats::ExportImage() const {
 }
 
 bool AttributeStats::ImportImage(Image image) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (count_ != 0) return false;  // observed since: live wins
   count_ = image.count;
   nulls_ = image.nulls;
@@ -138,7 +138,7 @@ bool AttributeStats::ImportImage(Image image) {
 
 std::optional<double> AttributeStats::EstimateCompareSelectivity(
     CompareOp op, const Value& literal) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (type_ == DataType::kString) {
     if (!literal.is_string() || string_sample_.empty()) return std::nullopt;
     const std::string& lit = literal.str();
@@ -214,7 +214,7 @@ std::optional<double> AttributeStats::EstimateCompareSelectivity(
 
 std::optional<double> AttributeStats::EstimateLikeSelectivity(
     std::string_view pattern, bool negated) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (string_sample_.empty()) return std::nullopt;
   size_t pass = 0;
   for (const auto& s : string_sample_) {
@@ -224,7 +224,7 @@ std::optional<double> AttributeStats::EstimateLikeSelectivity(
 }
 
 std::vector<uint64_t> AttributeStats::SampleHistogram(size_t buckets) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<uint64_t> hist(buckets, 0);
   if (numeric_sample_.empty() || !min_ || !max_ || buckets == 0) {
     return hist;
@@ -250,19 +250,19 @@ StatsCollector::StatsCollector(std::shared_ptr<Schema> schema)
 }
 
 void StatsCollector::RecordAccessHeat(const std::vector<uint32_t>& attrs) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (uint32_t a : attrs) {
     if (a < heat_.size()) ++heat_[a];
   }
 }
 
 uint64_t StatsCollector::access_heat(uint32_t attr) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return attr < heat_.size() ? heat_[attr] : 0;
 }
 
 std::vector<uint64_t> StatsCollector::access_heat_counts() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return heat_;
 }
 
@@ -271,7 +271,7 @@ void StatsCollector::ObserveBlock(uint32_t attr, uint64_t block,
   uint64_t key = (static_cast<uint64_t>(attr) << 40) | block;
   AttributeStats* stats;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!observed_.insert(key).second) return;  // already folded in
     if (attrs_[attr] == nullptr) {
       attrs_[attr] =
@@ -287,7 +287,7 @@ void StatsCollector::ObserveBlock(uint32_t attr, uint64_t block,
 bool StatsCollector::HasStats(uint32_t attr) const {
   AttributeStats* stats;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats = attrs_[attr].get();
   }
   return stats != nullptr && stats->row_count() > 0;
@@ -302,7 +302,7 @@ std::vector<uint32_t> StatsCollector::CoveredAttributes() const {
 }
 
 void StatsCollector::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Reset in place: estimators may still hold GetStats() pointers.
   for (auto& a : attrs_) {
     if (a != nullptr) a->Reset();
@@ -317,7 +317,7 @@ StatsCollector::Image StatsCollector::ExportImage() const {
   std::vector<AttributeStats*> slots;
   Image image;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     slots.reserve(attrs_.size());
     for (const auto& a : attrs_) slots.push_back(a.get());
     image.heat = heat_;
@@ -333,7 +333,7 @@ StatsCollector::Image StatsCollector::ExportImage() const {
 }
 
 bool StatsCollector::ImportImage(Image image) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (image.attrs.size() != attrs_.size()) return false;  // wrong schema
   if (!observed_.empty()) return false;  // already learning: live wins
   for (uint64_t h : heat_) {
@@ -379,31 +379,31 @@ void ZoneMaps::Observe(uint32_t attr, uint64_t block,
     if (first || d > entry.max_d) entry.max_d = d;
     first = false;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (generation != generation_) return;  // parsed a rewritten file
   entries_.emplace(KeyOf(attr, block), entry);  // first install wins
 }
 
 std::optional<ZoneMaps::Entry> ZoneMaps::Get(uint32_t attr,
                                              uint64_t block) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(KeyOf(attr, block));
   if (it == entries_.end()) return std::nullopt;
   return it->second;
 }
 
 bool ZoneMaps::Contains(uint32_t attr, uint64_t block) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.find(KeyOf(attr, block)) != entries_.end();
 }
 
 uint64_t ZoneMaps::generation() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return generation_;
 }
 
 void ZoneMaps::DropBlocksFrom(uint64_t first_block) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto it = entries_.begin(); it != entries_.end();) {
     if ((it->first & ((uint64_t{1} << 40) - 1)) >= first_block) {
       it = entries_.erase(it);
@@ -414,18 +414,18 @@ void ZoneMaps::DropBlocksFrom(uint64_t first_block) {
 }
 
 void ZoneMaps::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.clear();
   ++generation_;
 }
 
 size_t ZoneMaps::num_entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 
 ZoneMaps::Image ZoneMaps::ExportImage() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Image image;
   image.entries.reserve(entries_.size());
   for (const auto& [key, entry] : entries_) {
@@ -439,7 +439,7 @@ ZoneMaps::Image ZoneMaps::ExportImage() const {
 }
 
 bool ZoneMaps::ImportImage(Image image) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!entries_.empty()) return false;  // already summarizing: live wins
   for (const Image::EntryImage& ei : image.entries) {
     entries_.emplace(KeyOf(ei.attr, ei.block), ei.entry);

@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -15,7 +14,9 @@
 #include "sql/planner.h"
 #include "types/column_vector.h"
 #include "types/schema.h"
+#include "util/mutex.h"
 #include "util/random.h"
+#include "util/thread_annotations.h"
 
 namespace nodb {
 
@@ -39,50 +40,53 @@ class AttributeStats {
   explicit AttributeStats(DataType type);
 
   /// Folds a parsed column segment into the stats.
-  void Observe(const ColumnVector& column);
+  void Observe(const ColumnVector& column) EXCLUDES(mu_);
 
   /// Forgets everything observed (file rewritten) without destroying
   /// the object, so pointers handed to planners stay valid.
-  void Reset();
+  void Reset() EXCLUDES(mu_);
 
   uint64_t row_count() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return count_;
   }
   uint64_t null_count() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return nulls_;
   }
   double null_fraction() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return count_ == 0 ? 0.0
                        : static_cast<double>(nulls_) /
                              static_cast<double>(count_);
   }
   std::optional<double> numeric_min() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return min_;
   }
   std::optional<double> numeric_max() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return max_;
   }
 
   /// KMV (k minimum values) distinct-count estimate.
-  double EstimateDistinct() const;
+  double EstimateDistinct() const EXCLUDES(mu_);
 
   /// Fraction of non-null values satisfying `op` against `literal`,
   /// estimated from the reservoir sample. nullopt when the sample is
   /// empty or types are incompatible.
   std::optional<double> EstimateCompareSelectivity(CompareOp op,
-                                                   const Value& literal) const;
+                                                   const Value& literal) const
+      EXCLUDES(mu_);
 
   /// Fraction of sampled strings matching a LIKE pattern.
   std::optional<double> EstimateLikeSelectivity(std::string_view pattern,
-                                                bool negated) const;
+                                                bool negated) const
+      EXCLUDES(mu_);
 
   /// Equi-width histogram over the sample (numeric attributes).
-  std::vector<uint64_t> SampleHistogram(size_t buckets) const;
+  std::vector<uint64_t> SampleHistogram(size_t buckets) const
+      EXCLUDES(mu_);
 
   /// Serializable copy of the sketch state (persist/). The reservoir
   /// RNG is not part of the image: a thawed reservoir resumes with a
@@ -111,20 +115,20 @@ class AttributeStats {
   DataType type() const { return type_; }
 
  private:
-  void Sample(double numeric, const std::string* text);  // mu_ held
-  double EstimateDistinctLocked() const;                 // mu_ held
+  void Sample(double numeric, const std::string* text) REQUIRES(mu_);
+  double EstimateDistinctLocked() const REQUIRES(mu_);
 
   const DataType type_;
-  mutable std::mutex mu_;
-  uint64_t count_ = 0;
-  uint64_t nulls_ = 0;
-  std::optional<double> min_;
-  std::optional<double> max_;
-  std::set<uint64_t> kmv_;  // k smallest value hashes
-  std::vector<double> numeric_sample_;
-  std::vector<std::string> string_sample_;
-  uint64_t sampled_stream_ = 0;  // non-null values seen (reservoir index)
-  Random rng_{0x5747u};
+  mutable Mutex mu_;
+  uint64_t count_ GUARDED_BY(mu_) = 0;
+  uint64_t nulls_ GUARDED_BY(mu_) = 0;
+  std::optional<double> min_ GUARDED_BY(mu_);
+  std::optional<double> max_ GUARDED_BY(mu_);
+  std::set<uint64_t> kmv_ GUARDED_BY(mu_);  // k smallest value hashes
+  std::vector<double> numeric_sample_ GUARDED_BY(mu_);
+  std::vector<std::string> string_sample_ GUARDED_BY(mu_);
+  uint64_t sampled_stream_ GUARDED_BY(mu_) = 0;  // reservoir index
+  Random rng_ GUARDED_BY(mu_){0x5747u};
 };
 
 /// All attributes of one raw table. Blocks already folded in are
@@ -141,28 +145,28 @@ class StatsCollector {
   /// Folds `column` (the parsed values of `attr` for row-block `block`)
   /// into the table stats, once per (attr, block).
   void ObserveBlock(uint32_t attr, uint64_t block,
-                    const ColumnVector& column);
+                    const ColumnVector& column) EXCLUDES(mu_);
 
-  bool HasStats(uint32_t attr) const;
+  bool HasStats(uint32_t attr) const EXCLUDES(mu_);
 
   const AttributeStats* GetStats(uint32_t attr) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return attrs_[attr].get();
   }
 
   /// Attributes with any statistics (for the monitoring panel).
-  std::vector<uint32_t> CoveredAttributes() const;
+  std::vector<uint32_t> CoveredAttributes() const EXCLUDES(mu_);
 
   /// Access heat: how many scans requested each attribute. Recorded
   /// unconditionally (cheap counters, independent of the statistics
   /// toggle) — this is what drives shadow-store promotion. Heat is
   /// dropped together with the statistics on Clear(): a rewritten file
   /// restarts the adaptive-loading cycle from scratch.
-  void RecordAccessHeat(const std::vector<uint32_t>& attrs);
-  uint64_t access_heat(uint32_t attr) const;
-  std::vector<uint64_t> access_heat_counts() const;
+  void RecordAccessHeat(const std::vector<uint32_t>& attrs) EXCLUDES(mu_);
+  uint64_t access_heat(uint32_t attr) const EXCLUDES(mu_);
+  std::vector<uint64_t> access_heat_counts() const EXCLUDES(mu_);
 
-  void Clear();
+  void Clear() EXCLUDES(mu_);
 
   /// Serializable copy of the whole collector (persist/): per-attribute
   /// sketches (absent for never-observed attributes), access heat and
@@ -182,10 +186,11 @@ class StatsCollector {
 
  private:
   std::shared_ptr<Schema> schema_;
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<AttributeStats>> attrs_;
-  std::vector<uint64_t> heat_;             // per-attr scan requests
-  std::unordered_set<uint64_t> observed_;  // (attr<<40)|block keys
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<AttributeStats>> attrs_ GUARDED_BY(mu_);
+  std::vector<uint64_t> heat_ GUARDED_BY(mu_);  // per-attr scan requests
+  std::unordered_set<uint64_t> observed_
+      GUARDED_BY(mu_);  // (attr<<40)|block keys
 };
 
 /// Per-(attribute, row-block) min/max summaries — zone maps — collected
@@ -238,23 +243,24 @@ class ZoneMaps {
   /// or the attribute is a string. The caller guarantees the column
   /// covers the entire block.
   void Observe(uint32_t attr, uint64_t block, const ColumnVector& column,
-               uint64_t generation);
+               uint64_t generation) EXCLUDES(mu_);
 
-  std::optional<Entry> Get(uint32_t attr, uint64_t block) const;
-  bool Contains(uint32_t attr, uint64_t block) const;
+  std::optional<Entry> Get(uint32_t attr, uint64_t block) const
+      EXCLUDES(mu_);
+  bool Contains(uint32_t attr, uint64_t block) const EXCLUDES(mu_);
 
   /// The current file generation; snapshot before opening the file a
   /// scan will parse from, pass back to Observe.
-  uint64_t generation() const;
+  uint64_t generation() const EXCLUDES(mu_);
 
   /// Drops every entry of block >= `first_block` (append: the block
   /// containing the old frontier is about to gain rows).
-  void DropBlocksFrom(uint64_t first_block);
+  void DropBlocksFrom(uint64_t first_block) EXCLUDES(mu_);
 
   /// Drops everything and advances the generation (file rewritten).
-  void Clear();
+  void Clear() EXCLUDES(mu_);
 
-  size_t num_entries() const;
+  size_t num_entries() const EXCLUDES(mu_);
 
   /// Serializable copy of the summaries (persist/). The generation is
   /// deliberately not part of the image — it is a process-local
@@ -279,9 +285,9 @@ class ZoneMaps {
     return (static_cast<uint64_t>(attr) << 40) | block;
   }
 
-  mutable std::mutex mu_;
-  std::unordered_map<uint64_t, Entry> entries_;
-  uint64_t generation_ = 0;
+  mutable Mutex mu_;
+  std::unordered_map<uint64_t, Entry> entries_ GUARDED_BY(mu_);
+  uint64_t generation_ GUARDED_BY(mu_) = 0;
 };
 
 /// Bridges table statistics into the planner's SelectivityEstimator

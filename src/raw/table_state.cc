@@ -15,7 +15,7 @@ RawTableState::RawTableState(RawTableInfo info, const NoDbConfig& config)
       store_(config.store_budget) {}
 
 Status RawTableState::Open() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return OpenLocked();
 }
 
@@ -27,7 +27,7 @@ Status RawTableState::OpenLocked() {
 }
 
 Result<FileChange> RawTableState::CheckForUpdates() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (file_ == nullptr) {
     NODB_RETURN_NOT_OK(OpenLocked());
     return FileChange::kUnchanged;
@@ -55,9 +55,13 @@ Result<FileChange> RawTableState::CheckForUpdates() {
       // tail admission requires a complete row index, so a concurrent
       // scan cannot re-promote the stale tail after the drop.
       map_.ReopenForAppend();
+      // No generation bump: surviving blocks stay valid, and stale
+      // producers racing the drop are fenced by serve-time tail
+      // re-validation against the live row index.
       store_.DropBlocksFrom(map_.known_rows() / config_.rows_per_block);
       // The zone maps truncate exactly like the store: the frontier
-      // block's summary no longer covers it, earlier full blocks stay.
+      // block's summary no longer covers it, earlier full blocks stay
+      // (fenced the same way — tail re-validation, not generations).
       zones_.DropBlocksFrom(map_.known_rows() / config_.rows_per_block);
       promoted_rows_ = UINT64_MAX;  // re-arm the background promoter
     } else {
@@ -75,7 +79,7 @@ Result<FileChange> RawTableState::CheckForUpdates() {
 }
 
 Status RawTableState::ReplaceFile(const RawTableInfo& info) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   info_ = info;
   InvalidateAllLocked();
   access_counts_.assign(info_.schema->num_fields(), 0);
@@ -84,24 +88,24 @@ Status RawTableState::ReplaceFile(const RawTableInfo& info) {
 
 void RawTableState::SetComponentFlags(bool map, bool cache, bool stats,
                                       bool store) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   flags_ = ComponentFlags{map, cache, stats, store};
 }
 
 ComponentFlags RawTableState::component_flags() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return flags_;
 }
 
 std::shared_ptr<RandomAccessFile> RawTableState::file() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return file_;
 }
 
 void RawTableState::RecordAttributeAccess(
     const std::vector<uint32_t>& attrs) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (uint32_t a : attrs) {
       if (a < access_counts_.size()) ++access_counts_[a];
     }
@@ -111,25 +115,25 @@ void RawTableState::RecordAttributeAccess(
 }
 
 std::vector<uint64_t> RawTableState::attribute_access_counts() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return access_counts_;
 }
 
 bool RawTableState::TryClaimParallelPrewarm() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (parallel_prewarmed_) return false;
   parallel_prewarmed_ = true;
   return true;
 }
 
 bool RawTableState::parallel_prewarmed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return parallel_prewarmed_;
 }
 
 bool RawTableState::TryBeginPromotion(std::vector<uint32_t> hot_attrs,
                                       uint64_t known_rows) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (promotion_in_flight_) return false;
   if (promoted_rows_ == known_rows && promoted_hot_ == hot_attrs) {
     return false;  // the last completed pass already covered this
@@ -141,7 +145,7 @@ bool RawTableState::TryBeginPromotion(std::vector<uint32_t> hot_attrs,
 }
 
 void RawTableState::EndPromotion(bool completed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   promotion_in_flight_ = false;
   if (completed) {
     promoted_hot_ = std::move(staged_hot_);
@@ -151,12 +155,12 @@ void RawTableState::EndPromotion(bool completed) {
 }
 
 bool RawTableState::promotion_in_flight() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return promotion_in_flight_;
 }
 
 FileSignature RawTableState::signature() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return signature_;
 }
 
@@ -219,6 +223,9 @@ persist::RecoveryReport RawTableState::Thaw(persist::AdaptiveImage image,
     // (FetchStoreBlock / zone tail checks against the live row index)
     // already rejects the one possibly-stale frontier-block entry.
     uint64_t frontier = map_.known_rows() / config_.rows_per_block;
+    // No generation bump here either: the thawed blocks below the
+    // frontier are valid, and the serve-time tail re-validation fences
+    // the one possibly-stale frontier block (see comment above).
     store_.DropBlocksFrom(frontier);
     zones_.DropBlocksFrom(frontier);
     if (report.store_recovered) {
@@ -240,12 +247,12 @@ persist::RecoveryReport RawTableState::Thaw(persist::AdaptiveImage image,
 }
 
 persist::RecoveryReport RawTableState::recovery() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return recovery_;
 }
 
 void RawTableState::RecordRecovery(persist::RecoveryReport report) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!report.any_recovered() && recovery_.any_recovered()) {
     // A later attempt that recovered nothing (typically a re-load onto
     // the now-warm structures) must not erase the truthful provenance
@@ -258,6 +265,9 @@ void RawTableState::RecordRecovery(persist::RecoveryReport report) {
 }
 
 void RawTableState::InvalidateAllLocked() {
+  // Each Clear() bumps the component's generation tag, so an in-flight
+  // scan that parsed the *old* file cannot inject stale blocks into the
+  // rebuilt structures (Promote/Observe compare tags and drop).
   map_.Clear();
   cache_.Clear();
   stats_.Clear();

@@ -3,7 +3,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -16,7 +15,9 @@
 #include "raw/raw_cache.h"
 #include "raw/stats_collector.h"
 #include "store/shadow_store.h"
+#include "util/mutex.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace nodb {
 
@@ -49,18 +50,18 @@ class RawTableState {
   RawTableState(RawTableInfo info, const NoDbConfig& config);
 
   /// Opens the raw file and captures the initial signature.
-  Status Open();
+  Status Open() EXCLUDES(mu_);
 
   /// Re-checks the raw file (demo §4.2 "Updates"):
   ///  - unchanged: no-op;
   ///  - appended (and the old content ended with a newline): keep all
   ///    structures, reopen row discovery for the tail;
   ///  - rewritten: drop map, cache and statistics.
-  Result<FileChange> CheckForUpdates();
+  Result<FileChange> CheckForUpdates() EXCLUDES(mu_);
 
   /// Points the state at a different file (the demo's "new data file"
   /// scenario); drops all structures.
-  Status ReplaceFile(const RawTableInfo& info);
+  Status ReplaceFile(const RawTableInfo& info) EXCLUDES(mu_);
 
   const RawTableInfo& info() const { return info_; }
   const NoDbConfig& config() const { return config_; }
@@ -69,14 +70,15 @@ class RawTableState {
   /// Budgets and block granularity stay fixed; retained structures are
   /// simply ignored while their component is off. Scans snapshot the
   /// flags at Open, so a flip applies to subsequent queries.
-  void SetComponentFlags(bool map, bool cache, bool stats, bool store);
-  ComponentFlags component_flags() const;
+  void SetComponentFlags(bool map, bool cache, bool stats, bool store)
+      EXCLUDES(mu_);
+  ComponentFlags component_flags() const EXCLUDES(mu_);
 
   /// The shared raw-file handle (positional reads are thread-safe);
   /// nullptr before Open. Callers keep the returned handle for the
   /// whole scan so a concurrent reopen cannot pull it out from under
   /// them.
-  std::shared_ptr<RandomAccessFile> file() const;
+  std::shared_ptr<RandomAccessFile> file() const EXCLUDES(mu_);
 
   PositionalMap& map() { return map_; }
   const PositionalMap& map() const { return map_; }
@@ -90,8 +92,9 @@ class RawTableState {
   const ZoneMaps& zones() const { return zones_; }
 
   /// Per-attribute access counts (monitoring panel usage statistics).
-  void RecordAttributeAccess(const std::vector<uint32_t>& attrs);
-  std::vector<uint64_t> attribute_access_counts() const;
+  void RecordAttributeAccess(const std::vector<uint32_t>& attrs)
+      EXCLUDES(mu_);
+  std::vector<uint64_t> attribute_access_counts() const EXCLUDES(mu_);
 
   uint64_t queries_executed() const {
     return queries_executed_.load(std::memory_order_relaxed);
@@ -104,8 +107,8 @@ class RawTableState {
   /// generation: true exactly once until the file is rewritten or
   /// replaced. Concurrent first queries race here; the loser proceeds
   /// with the serial adaptive path.
-  bool TryClaimParallelPrewarm();
-  bool parallel_prewarmed() const;
+  bool TryClaimParallelPrewarm() EXCLUDES(mu_);
+  bool parallel_prewarmed() const EXCLUDES(mu_);
 
   /// Claims a background shadow-store promotion pass for the given
   /// (hot-attribute set, known-row count) target. Returns false while
@@ -113,12 +116,12 @@ class RawTableState {
   /// already covered the same target — a budget-bound store is not
   /// re-promoted in a loop; only new heat or new rows re-arm it.
   bool TryBeginPromotion(std::vector<uint32_t> hot_attrs,
-                         uint64_t known_rows);
+                         uint64_t known_rows) EXCLUDES(mu_);
 
   /// Releases the promotion claim. `completed` records the staged
   /// target as done; a failed pass leaves it re-armed.
-  void EndPromotion(bool completed);
-  bool promotion_in_flight() const;
+  void EndPromotion(bool completed) EXCLUDES(mu_);
+  bool promotion_in_flight() const EXCLUDES(mu_);
 
   // -------------------------------------------- persistence (persist/)
   /// The signature the adaptive structures are valid for — captured at
@@ -127,7 +130,7 @@ class RawTableState {
   /// fresh capture): if the raw file changed after the structures were
   /// last validated, the stale signature makes the loader cold-start
   /// rather than trust mismatched state.
-  FileSignature signature() const;
+  FileSignature signature() const EXCLUDES(mu_);
 
   /// Freezes the four persistent structures into serializable images.
   /// Safe while queries are in flight: each structure exports a
@@ -151,30 +154,53 @@ class RawTableState {
   /// The last recovery attempt's report (default-constructed before
   /// any attempt): MonitorPanel's recovered-vs-rebuilt line and the
   /// scan-metrics provenance counters read this.
-  persist::RecoveryReport recovery() const;
-  void RecordRecovery(persist::RecoveryReport report);
+  persist::RecoveryReport recovery() const EXCLUDES(mu_);
+  void RecordRecovery(persist::RecoveryReport report) EXCLUDES(mu_);
 
  private:
-  Status OpenLocked();          // requires mu_ held
-  void InvalidateAllLocked();   // requires mu_ held
+  Status OpenLocked() REQUIRES(mu_);
+  void InvalidateAllLocked() REQUIRES(mu_);
 
+  /// Mutated only by ReplaceFile, which the API contract requires to
+  /// run with no queries in flight; scans read it lock-free through
+  /// info(). Deliberately not GUARDED_BY(mu_) for that reason.
   RawTableInfo info_;
   const NoDbConfig config_;
 
-  mutable std::mutex mu_;
-  ComponentFlags flags_;
-  std::shared_ptr<RandomAccessFile> file_;
-  FileSignature signature_;
-  std::vector<uint64_t> access_counts_;
-  bool parallel_prewarmed_ = false;
+  // ------------------------------------------------- lock discipline
+  /// Canonical acquisition order for everything reachable from one
+  /// table (outermost first); every path through the engine acquires
+  /// along this order, never against it:
+  ///
+  ///   1. RawTableState::mu_        (this lock: handle/flags/claims)
+  ///   2. PositionalMap::discovery_mu_  then  PositionalMap::mu_
+  ///   3. ShadowStore::mu_
+  ///   4. RawCache::mu_
+  ///   5. StatsCollector / AttributeStats / ZoneMaps mu_
+  ///
+  /// The component structures never call back up the stack (a map
+  /// operation cannot touch the store, a store operation cannot touch
+  /// the cache, ...), so holding an outer lock while entering an inner
+  /// structure is safe and the reverse never happens. ACQUIRED_BEFORE
+  /// on PositionalMap::discovery_mu_ encodes the one intra-structure
+  /// edge; NoDbEngine's locks (states_mu_, promo_mu_, pool_mu_,
+  /// totals_mu_) sit above level 1 and are leaf-only among themselves.
+  mutable Mutex mu_;
+  ComponentFlags flags_ GUARDED_BY(mu_);
+  std::shared_ptr<RandomAccessFile> file_ GUARDED_BY(mu_);
+  FileSignature signature_ GUARDED_BY(mu_);
+  std::vector<uint64_t> access_counts_ GUARDED_BY(mu_);
+  bool parallel_prewarmed_ GUARDED_BY(mu_) = false;
 
-  bool promotion_in_flight_ = false;
-  std::vector<uint32_t> staged_hot_;  // target of the in-flight pass
-  uint64_t staged_rows_ = 0;
-  std::vector<uint32_t> promoted_hot_;  // last completed pass target
-  uint64_t promoted_rows_ = UINT64_MAX;
+  bool promotion_in_flight_ GUARDED_BY(mu_) = false;
+  std::vector<uint32_t> staged_hot_ GUARDED_BY(mu_);  // in-flight target
+  uint64_t staged_rows_ GUARDED_BY(mu_) = 0;
+  std::vector<uint32_t> promoted_hot_
+      GUARDED_BY(mu_);  // last completed pass target
+  uint64_t promoted_rows_ GUARDED_BY(mu_) = UINT64_MAX;
 
-  persist::RecoveryReport recovery_;  // last snapshot-recovery attempt
+  persist::RecoveryReport recovery_
+      GUARDED_BY(mu_);  // last snapshot-recovery attempt
 
   std::atomic<uint64_t> queries_executed_{0};
 

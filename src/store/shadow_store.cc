@@ -6,7 +6,7 @@ namespace nodb {
 
 std::shared_ptr<const ColumnVector> ShadowStore::Get(uint32_t attr,
                                                      uint64_t block) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(Key{attr, block});
   if (it == entries_.end()) return nullptr;
   lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
@@ -14,7 +14,7 @@ std::shared_ptr<const ColumnVector> ShadowStore::Get(uint32_t attr,
 }
 
 bool ShadowStore::Contains(uint32_t attr, uint64_t block) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.find(Key{attr, block}) != entries_.end();
 }
 
@@ -22,7 +22,7 @@ bool ShadowStore::GetBlock(
     const std::vector<uint32_t>& attrs, uint64_t block,
     std::vector<std::shared_ptr<const ColumnVector>>* out) {
   out->clear();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   out->reserve(attrs.size());
   std::vector<std::list<Key>::iterator> found;
   found.reserve(attrs.size());
@@ -47,7 +47,7 @@ void ShadowStore::Promote(uint32_t attr, uint64_t block,
                           uint64_t generation) {
   if (segment == nullptr) return;
   size_t bytes = segment->MemoryUsage();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (generation != generation_) return;  // parsed a rewritten file
   if (bytes > budget_bytes_) return;      // could never fit
   Key key{attr, block};
@@ -85,7 +85,7 @@ void ShadowStore::EvictOverBudget() {
 }
 
 void ShadowStore::DropBlocksFrom(uint64_t first_block) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<Key> doomed;
   for (const auto& [key, entry] : entries_) {
     if (key.block >= first_block) doomed.push_back(key);
@@ -94,7 +94,7 @@ void ShadowStore::DropBlocksFrom(uint64_t first_block) {
 }
 
 void ShadowStore::DropBlock(uint64_t block) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<Key> doomed;
   for (const auto& [key, entry] : entries_) {
     if (key.block == block) doomed.push_back(key);
@@ -103,7 +103,7 @@ void ShadowStore::DropBlock(uint64_t block) {
 }
 
 void ShadowStore::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.clear();
   lru_.clear();
   rows_.assign(rows_.size(), 0);
@@ -112,7 +112,7 @@ void ShadowStore::Clear() {
 }
 
 ShadowStore::Image ShadowStore::ExportImage() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Image image;
   image.segments.reserve(entries_.size());
   for (const Key& key : lru_) {
@@ -128,7 +128,7 @@ bool ShadowStore::ImportImage(const Image& image) {
   if (num_segments() != 0) return false;  // already promoting: live wins
   uint64_t generation;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     generation = generation_;
   }
   for (auto it = image.segments.rbegin(); it != image.segments.rend();
@@ -139,12 +139,12 @@ bool ShadowStore::ImportImage(const Image& image) {
 }
 
 uint64_t ShadowStore::rows_materialized(uint32_t attr) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return attr < rows_.size() ? rows_[attr] : 0;
 }
 
 std::vector<uint32_t> ShadowStore::MaterializedAttributes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<uint32_t> out;
   for (uint32_t a = 0; a < rows_.size(); ++a) {
     if (rows_[a] > 0) out.push_back(a);

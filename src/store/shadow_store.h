@@ -4,12 +4,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "types/column_vector.h"
 #include "util/hash.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace nodb {
 
@@ -45,10 +46,11 @@ class ShadowStore {
   /// Returns the promoted segment for (attr, block) or nullptr. Hits
   /// refresh LRU recency; per-segment lookups are not counted (block
   /// probes are — see GetBlock).
-  std::shared_ptr<const ColumnVector> Get(uint32_t attr, uint64_t block);
+  std::shared_ptr<const ColumnVector> Get(uint32_t attr, uint64_t block)
+      EXCLUDES(mu_);
 
   /// Peeks without touching LRU or counters.
-  bool Contains(uint32_t attr, uint64_t block) const;
+  bool Contains(uint32_t attr, uint64_t block) const EXCLUDES(mu_);
 
   /// All-or-nothing block probe: fills `out` with the segment of every
   /// attribute of `attrs` for `block` and refreshes their recency
@@ -56,7 +58,8 @@ class ShadowStore {
   /// false (one miss counted). This is the scan's fast-path check for
   /// "serve this block straight from the store".
   bool GetBlock(const std::vector<uint32_t>& attrs, uint64_t block,
-                std::vector<std::shared_ptr<const ColumnVector>>* out);
+                std::vector<std::shared_ptr<const ColumnVector>>* out)
+      EXCLUDES(mu_);
 
   /// Installs a promoted segment; a no-op when (attr, block) is
   /// already resident (the existing segment parsed identical bytes)
@@ -68,66 +71,66 @@ class ShadowStore {
   /// block.
   void Promote(uint32_t attr, uint64_t block,
                std::shared_ptr<const ColumnVector> segment,
-               uint64_t generation);
+               uint64_t generation) EXCLUDES(mu_);
 
   /// The current file generation; snapshot it before opening the file
   /// handle a scan will parse from, and pass it back to Promote.
   uint64_t generation() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return generation_;
   }
 
   /// Drops every segment of block >= `first_block` (append: the block
   /// containing the old frontier is about to gain rows).
-  void DropBlocksFrom(uint64_t first_block);
+  void DropBlocksFrom(uint64_t first_block) EXCLUDES(mu_);
 
   /// Drops every attribute's segment of exactly `block` (serve-time
   /// invalidation of one stale block).
-  void DropBlock(uint64_t block);
+  void DropBlock(uint64_t block) EXCLUDES(mu_);
 
   /// Drops everything and advances the generation (file rewritten /
   /// table replaced): in-flight promotions of the old file are
   /// rejected from here on.
-  void Clear();
+  void Clear() EXCLUDES(mu_);
 
   size_t bytes_used() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return bytes_used_;
   }
   size_t budget_bytes() const { return budget_bytes_; }
   double utilization() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return budget_bytes_ == 0
                ? 0.0
                : static_cast<double>(bytes_used_) / budget_bytes_;
   }
   size_t num_segments() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return entries_.size();
   }
   uint64_t hits() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return hits_;
   }
   uint64_t misses() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return misses_;
   }
   uint64_t evictions() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return evictions_;
   }
   uint64_t promotions() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return promotions_;
   }
 
   /// Rows of `attr` currently materialized (sum of resident segment
   /// sizes) — the promoter's coverage check.
-  uint64_t rows_materialized(uint32_t attr) const;
+  uint64_t rows_materialized(uint32_t attr) const EXCLUDES(mu_);
 
   /// Attributes with any resident segment, ascending (tier report).
-  std::vector<uint32_t> MaterializedAttributes() const;
+  std::vector<uint32_t> MaterializedAttributes() const EXCLUDES(mu_);
 
   /// Serializable manifest of the store (persist/): every resident
   /// (attr, block) with a shared reference to its immutable segment —
@@ -141,13 +144,13 @@ class ShadowStore {
     std::vector<SegmentImage> segments;
   };
 
-  Image ExportImage() const;
+  Image ExportImage() const EXCLUDES(mu_);
 
   /// Re-promotes an image's segments into an *empty* store (false and
   /// no-op otherwise), oldest first so recency is reproduced; the
   /// normal budget/admission rules apply, so a smaller budget keeps
   /// the hottest tail.
-  bool ImportImage(const Image& image);
+  bool ImportImage(const Image& image) EXCLUDES(mu_);
 
  private:
   struct Key {
@@ -169,20 +172,20 @@ class ShadowStore {
     std::list<Key>::iterator lru_pos;
   };
 
-  void RemoveLocked(const Key& key);  // requires mu_ held
-  void EvictOverBudget();             // requires mu_ held
+  void RemoveLocked(const Key& key) REQUIRES(mu_);
+  void EvictOverBudget() REQUIRES(mu_);
 
   const size_t budget_bytes_;
-  mutable std::mutex mu_;
-  std::unordered_map<Key, Entry, KeyHash> entries_;
-  std::list<Key> lru_;  // front = most recent
-  std::vector<uint64_t> rows_;  // per-attr materialized rows
-  uint64_t generation_ = 0;
-  size_t bytes_used_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
-  uint64_t promotions_ = 0;
+  mutable Mutex mu_;
+  std::unordered_map<Key, Entry, KeyHash> entries_ GUARDED_BY(mu_);
+  std::list<Key> lru_ GUARDED_BY(mu_);  // front = most recent
+  std::vector<uint64_t> rows_ GUARDED_BY(mu_);  // per-attr rows
+  uint64_t generation_ GUARDED_BY(mu_) = 0;
+  size_t bytes_used_ GUARDED_BY(mu_) = 0;
+  uint64_t hits_ GUARDED_BY(mu_) = 0;
+  uint64_t misses_ GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ GUARDED_BY(mu_) = 0;
+  uint64_t promotions_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace nodb

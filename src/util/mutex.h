@@ -1,0 +1,134 @@
+#ifndef NODB_UTIL_MUTEX_H_
+#define NODB_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.h"
+
+namespace nodb {
+
+/// `std::mutex` wrapped as a Clang thread-safety CAPABILITY.
+///
+/// Every mutex in the tree is one of these (or a SharedMutex) so the
+/// static analysis can see which lock guards which data. Lock/Unlock
+/// are public for the RAII guards below; calling them directly is
+/// banned by tools/nodb_lint.py — use MutexLock.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Static assertion-only hand-off marker: tells the analysis the
+  /// calling thread holds this mutex when the fact cannot be proven
+  /// structurally (e.g. a baton passed between threads). No runtime
+  /// cost; std::mutex cannot check ownership.
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
+
+  /// The wrapped handle, for condition-variable adoption in MutexLock.
+  std::mutex& native_handle() { return mu_; }
+
+ private:
+  mutable std::mutex mu_;
+};
+
+/// RAII exclusive lock over a Mutex (the std::lock_guard of this
+/// codebase), with relock/unlock support for hand-off patterns and
+/// condition-variable waits.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(&mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() {
+    if (held_) mu_->Unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases early (e.g. before rethrowing an exception or running a
+  /// task outside the critical section).
+  void Unlock() RELEASE() {
+    mu_->Unlock();
+    held_ = false;
+  }
+
+  /// Re-acquires after an early Unlock().
+  void Lock() ACQUIRE() {
+    mu_->Lock();
+    held_ = true;
+  }
+
+  /// Blocks on `cv` with this lock (which must be held) released for
+  /// the duration of the wait, exactly like
+  /// std::condition_variable::wait. The capability is held again when
+  /// this returns, so the analysis view — held throughout — is sound.
+  void Wait(std::condition_variable& cv) {
+    std::unique_lock<std::mutex> adopted(mu_->native_handle(),
+                                         std::adopt_lock);
+    cv.wait(adopted);
+    adopted.release();  // ownership stays with this MutexLock
+  }
+
+ private:
+  Mutex* mu_;
+  bool held_ = true;
+};
+
+/// `std::shared_mutex` wrapped as a Clang thread-safety CAPABILITY.
+/// Use WriterLock / ReaderLock; direct Lock calls are banned by
+/// tools/nodb_lint.py.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
+
+ private:
+  mutable std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock over a SharedMutex (mutations).
+class SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) ACQUIRE(mu) : mu_(&mu) {
+    mu_->Lock();
+  }
+  ~WriterLock() RELEASE() { mu_->Unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
+/// RAII shared lock over a SharedMutex (concurrent readers).
+class SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(&mu) {
+    mu_->LockShared();
+  }
+  ~ReaderLock() RELEASE_GENERIC() { mu_->UnlockShared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
+}  // namespace nodb
+
+#endif  // NODB_UTIL_MUTEX_H_

@@ -13,16 +13,21 @@ namespace nodb {
 ///
 /// Result<T> holds either a T (status is OK) or a non-OK Status. Access
 /// to the value when !ok() is a programming error checked by assert.
+///
+/// [[nodiscard]] for the same reason as Status: a dropped Result is a
+/// dropped error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit so functions can `return value;`.
-  Result(T value)  // NOLINT(google-explicit-constructor)
-      : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design —
+  // the ergonomic `return value;` at every success path depends on it.
+  Result(T value) : value_(std::move(value)) {}
 
   /// Implicit so functions can `return Status::...(...)`. Must be non-OK.
-  Result(Status status)  // NOLINT(google-explicit-constructor)
-      : status_(std::move(status)) {
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design —
+  // the ergonomic `return Status::...()` on error paths depends on it.
+  Result(Status status) : status_(std::move(status)) {
     assert(!status_.ok() && "Result constructed from OK Status");
   }
 

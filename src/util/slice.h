@@ -17,10 +17,12 @@ class Slice {
  public:
   Slice() : data_(""), size_(0) {}
   Slice(const char* data, size_t size) : data_(data), size_(size) {}
-  Slice(const std::string& s)  // NOLINT(google-explicit-constructor)
-      : data_(s.data()), size_(s.size()) {}
-  Slice(std::string_view s)  // NOLINT(google-explicit-constructor)
-      : data_(s.data()), size_(s.size()) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design —
+  // Slice stands in for any contiguous string argument.
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design —
+  // Slice stands in for any contiguous string argument.
+  Slice(std::string_view s) : data_(s.data()), size_(s.size()) {}
   Slice(const char* s) : data_(s), size_(std::strlen(s)) {}
 
   const char* data() const { return data_; }
@@ -44,9 +46,9 @@ class Slice {
 
   std::string ToString() const { return std::string(data_, size_); }
   std::string_view view() const { return std::string_view(data_, size_); }
-  operator std::string_view() const {  // NOLINT
-    return view();
-  }
+  // NOLINTNEXTLINE(google-explicit-constructor): symmetric with the
+  // implicit string_view constructor above.
+  operator std::string_view() const { return view(); }
 
   bool operator==(const Slice& other) const {
     return size_ == other.size_ &&

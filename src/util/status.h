@@ -29,7 +29,12 @@ std::string_view StatusCodeToString(StatusCode code);
 /// or carries a code plus a human-readable message. Functions on hot
 /// paths return Status instead of throwing; callers either handle the
 /// failure or propagate it with NODB_RETURN_NOT_OK.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status swallows an error. Every
+/// call site must propagate, handle, or explicitly discard with
+/// `(void)` plus a comment saying why dropping is correct (the
+/// `(void)` form is lint-checked for that comment).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;

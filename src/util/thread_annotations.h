@@ -1,0 +1,105 @@
+#ifndef NODB_UTIL_THREAD_ANNOTATIONS_H_
+#define NODB_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis attribute macros.
+///
+/// These expand to Clang's `__attribute__((...))` thread-safety
+/// attributes when compiling with Clang and to nothing everywhere
+/// else, so the annotations are pure compile-time documentation that
+/// the `clang -Wthread-safety -Werror` CI job turns into hard errors.
+/// They have zero runtime cost on every compiler.
+///
+/// Usage follows the Abseil/Clang convention:
+///
+///   - Annotate shared data with the lock that protects it:
+///       std::vector<T> items_ GUARDED_BY(mu_);
+///   - Annotate internal helpers that assume the lock is already held:
+///       void EvictOverBudget() REQUIRES(mu_);
+///   - Annotate public entry points that must NOT be called with the
+///     lock held (non-reentrancy / deadlock documentation):
+///       void Clear() EXCLUDES(mu_);
+///
+/// The annotated `Mutex` / `SharedMutex` wrappers and their RAII
+/// guards live in util/mutex.h; naked std::mutex members and naked
+/// .lock()/.unlock() calls are banned by tools/nodb_lint.py so every
+/// lock in the tree is visible to the analysis.
+
+#if defined(__clang__)
+#define NODB_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define NODB_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op on GCC/MSVC
+#endif
+
+/// Marks a class as a lockable capability (e.g. a mutex wrapper).
+#define CAPABILITY(x) NODB_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+/// Marks a class as an RAII object that acquires a capability in its
+/// constructor and releases it in its destructor.
+#define SCOPED_CAPABILITY NODB_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+/// Declares that a data member is protected by the given capability.
+#define GUARDED_BY(x) NODB_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+/// Declares that the data *pointed to* by a pointer member is
+/// protected by the given capability (the pointer itself is not).
+#define PT_GUARDED_BY(x) NODB_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+/// Lock-ordering declarations: this capability must be acquired
+/// before/after the listed ones (checked under -Wthread-safety-beta;
+/// documentation of the canonical hierarchy otherwise).
+#define ACQUIRED_BEFORE(...) \
+  NODB_THREAD_ANNOTATION_ATTRIBUTE_(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  NODB_THREAD_ANNOTATION_ATTRIBUTE_(acquired_after(__VA_ARGS__))
+
+/// The function must be called with the listed capabilities held
+/// (exclusively / at least shared) and does not release them.
+#define REQUIRES(...) \
+  NODB_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  NODB_THREAD_ANNOTATION_ATTRIBUTE_(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability (exclusively / shared) and
+/// holds it on return.
+#define ACQUIRE(...) \
+  NODB_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  NODB_THREAD_ANNOTATION_ATTRIBUTE_(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the capability (exclusive / shared / either).
+#define RELEASE(...) \
+  NODB_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  NODB_THREAD_ANNOTATION_ATTRIBUTE_(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  NODB_THREAD_ANNOTATION_ATTRIBUTE_(release_generic_capability(__VA_ARGS__))
+
+/// The function attempts to acquire the capability and returns the
+/// given value on success.
+#define TRY_ACQUIRE(...) \
+  NODB_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  NODB_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_shared_capability(__VA_ARGS__))
+
+/// The function must NOT be called with the listed capabilities held
+/// (it acquires them itself; calling it re-entrantly would deadlock).
+#define EXCLUDES(...) \
+  NODB_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the calling thread holds the capability;
+/// the analysis treats it as held from here on.
+#define ASSERT_CAPABILITY(x) \
+  NODB_THREAD_ANNOTATION_ATTRIBUTE_(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  NODB_THREAD_ANNOTATION_ATTRIBUTE_(assert_shared_capability(x))
+
+/// The function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) \
+  NODB_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+/// Escape hatch: the function body is not analyzed. Every use must
+/// carry a justification comment (enforced by tools/nodb_lint.py).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  NODB_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // NODB_UTIL_THREAD_ANNOTATIONS_H_

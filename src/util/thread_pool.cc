@@ -15,7 +15,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -24,38 +24,38 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
   work_cv_.notify_one();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mu_);
+  while (!queue_.empty() || active_ != 0) lock.Wait(idle_cv_);
   if (first_error_ != nullptr) {
     std::exception_ptr error = std::exchange(first_error_, nullptr);
-    lock.unlock();
+    lock.Unlock();
     std::rethrow_exception(error);
   }
 }
 
 void ThreadPool::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (true) {
-    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    while (!stop_ && queue_.empty()) lock.Wait(work_cv_);
     if (queue_.empty()) return;  // stop_ and nothing left to run
     std::function<void()> task = std::move(queue_.front());
     queue_.pop_front();
     ++active_;
-    lock.unlock();
+    lock.Unlock();
     std::exception_ptr error;
     try {
       task();
     } catch (...) {
       error = std::current_exception();
     }
-    lock.lock();
+    lock.Lock();
     if (error != nullptr && first_error_ == nullptr) {
       first_error_ = error;
     }
@@ -70,13 +70,13 @@ size_t ThreadPool::DefaultThreadCount() {
 }
 
 TaskGroup::~TaskGroup() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(mu_);
+  while (pending_ != 0) lock.Wait(done_cv_);
 }
 
 void TaskGroup::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++pending_;
   }
   pool_->Submit([this, task = std::move(task)] {
@@ -86,7 +86,7 @@ void TaskGroup::Submit(std::function<void()> task) {
     } catch (...) {
       error = std::current_exception();
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (error != nullptr && first_error_ == nullptr) {
       first_error_ = error;
     }
@@ -95,11 +95,11 @@ void TaskGroup::Submit(std::function<void()> task) {
 }
 
 void TaskGroup::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(mu_);
+  while (pending_ != 0) lock.Wait(done_cv_);
   if (first_error_ != nullptr) {
     std::exception_ptr error = std::exchange(first_error_, nullptr);
-    lock.unlock();
+    lock.Unlock();
     std::rethrow_exception(error);
   }
 }

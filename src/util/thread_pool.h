@@ -6,9 +6,11 @@
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace nodb {
 
@@ -35,12 +37,12 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues `task` for execution on some worker.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Blocks until the queue is empty and no task is running, then
   /// rethrows the first exception any directly-submitted task threw
   /// since the last Wait().
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
   size_t num_threads() const { return threads_.size(); }
 
@@ -48,16 +50,16 @@ class ThreadPool {
   static size_t DefaultThreadCount();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  std::mutex mu_;
+  Mutex mu_;
   std::condition_variable work_cv_;  // signals workers: task or stop
   std::condition_variable idle_cv_;  // signals Wait(): all drained
-  std::deque<std::function<void()>> queue_;
-  std::exception_ptr first_error_;  // from directly-submitted tasks
-  size_t active_ = 0;
-  bool stop_ = false;
-  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  std::exception_ptr first_error_ GUARDED_BY(mu_);  // from direct submits
+  size_t active_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
+  std::vector<std::thread> threads_;  // immutable after construction
 };
 
 /// A batch of tasks on a *shared* pool: Wait() returns when this
@@ -77,18 +79,18 @@ class TaskGroup {
 
   /// Enqueues `task`; an exception it throws is captured and rethrown
   /// by this group's Wait().
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Blocks until every task submitted to *this group* finished, then
   /// rethrows the first captured exception.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
  private:
   ThreadPool* pool_;
-  std::mutex mu_;
+  Mutex mu_;
   std::condition_variable done_cv_;
-  size_t pending_ = 0;
-  std::exception_ptr first_error_;
+  size_t pending_ GUARDED_BY(mu_) = 0;
+  std::exception_ptr first_error_ GUARDED_BY(mu_);
 };
 
 /// Runs fn(0) .. fn(n-1) on `pool` and blocks until all complete; the

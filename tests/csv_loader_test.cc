@@ -45,6 +45,61 @@ TEST_F(CsvLoaderTest, LoadsAllTypesAndNulls) {
   EXPECT_EQ((*table)->column(3).GetValue(2).ToString(), "1999-12-31");
 }
 
+/// RandomAccessFile whose first `failures` reads fail with IOError and
+/// later reads succeed against the backing file — the shape of a
+/// transient medium error.
+class FlakyFile : public RandomAccessFile {
+ public:
+  FlakyFile(std::shared_ptr<RandomAccessFile> base, int failures)
+      : base_(std::move(base)), failures_left_(failures) {}
+
+  Status Read(uint64_t offset, size_t length, char* scratch,
+              Slice* out) const override {
+    if (failures_left_ > 0) {
+      --failures_left_;
+      return Status::IOError("injected transient read failure");
+    }
+    return base_->Read(offset, length, scratch, out);
+  }
+  Result<uint64_t> Size() const override { return base_->Size(); }
+  const std::string& path() const override { return base_->path(); }
+
+ private:
+  std::shared_ptr<RandomAccessFile> base_;
+  mutable int failures_left_;
+};
+
+// Regression: the header-skip used to swallow FindNewline's status, so
+// a transient read error at offset 0 left header_end unset and the
+// loader parsed the *header line* as data. The error must surface.
+TEST_F(CsvLoaderTest, HeaderReadFailureSurfacesInsteadOfEatingHeader) {
+  std::string path = dir_->FilePath("flaky.csv");
+  ASSERT_TRUE(WriteStringToFile(path, "a,b\n1,2\n3,4\n").ok());
+  auto schema =
+      Schema::Make({{"a", DataType::kInt64}, {"b", DataType::kInt64}});
+  CsvDialect dialect;
+  dialect.has_header = true;
+
+  auto base = OpenRandomAccessFile(path);
+  ASSERT_TRUE(base.ok());
+  auto flaky = std::make_shared<FlakyFile>(
+      std::shared_ptr<RandomAccessFile>(std::move(*base)), 1);
+  auto table = LoadCsv(flaky, path, schema, dialect);
+  ASSERT_FALSE(table.ok());
+  EXPECT_TRUE(table.status().IsIOError()) << table.status().ToString();
+
+  // Control: with no injected failure the same file loads two rows and
+  // the header line is not among them.
+  auto ok_base = OpenRandomAccessFile(path);
+  ASSERT_TRUE(ok_base.ok());
+  auto ok_table = LoadCsv(
+      std::shared_ptr<RandomAccessFile>(std::move(*ok_base)), path,
+      schema, dialect);
+  ASSERT_TRUE(ok_table.ok()) << ok_table.status().ToString();
+  EXPECT_EQ((*ok_table)->num_rows(), 2u);
+  EXPECT_EQ((*ok_table)->column(0).GetInt64(0), 1);
+}
+
 TEST_F(CsvLoaderTest, HeaderSkippedAndPipeDialect) {
   std::string path = dir_->FilePath("h.csv");
   ASSERT_TRUE(WriteStringToFile(path, "a|b\n1|2\n3|4\n").ok());

@@ -1,0 +1,18 @@
+// Positive control: the corrected twin of dropped_status.cc. Checking
+// the Status (or explicitly voiding it with a documented reason) must
+// compile clean under the exact flags that reject the negative.
+
+#include "util/status.h"
+
+namespace {
+
+nodb::Status MightFail() {
+  return nodb::Status::IOError("synthetic failure");
+}
+
+}  // namespace
+
+int main() {
+  nodb::Status s = MightFail();
+  return s.ok() ? 0 : 1;
+}

@@ -1,0 +1,18 @@
+// Negative case: discards a [[nodiscard]] Status. Any compiler with
+// -Werror=unused-result (gcc and clang both) must refuse to compile
+// this file; the corrected twin is cases/checked_status.cc.
+
+#include "util/status.h"
+
+namespace {
+
+nodb::Status MightFail() {
+  return nodb::Status::IOError("synthetic failure");
+}
+
+}  // namespace
+
+int main() {
+  MightFail();  // BUG (seeded): error silently dropped
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Positive control: the corrected twin of unlocked_guarded_read.cc and
+// missing_requires.cc. Must compile clean under the exact flags that
+// reject the negatives, proving those failures come from the seeded
+// bugs and not from the harness or the annotation headers.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() {
+    nodb::MutexLock lock(mu_);
+    BumpLocked();
+  }
+
+  int Get() const {
+    nodb::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  void BumpLocked() REQUIRES(mu_) { ++value_; }
+
+  mutable nodb::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  return c.Get();
+}

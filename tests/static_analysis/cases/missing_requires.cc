@@ -1,0 +1,28 @@
+// Negative case: calls a REQUIRES(mu_) helper without holding mu_.
+// clang -Wthread-safety -Werror must refuse to compile this file; the
+// corrected call pattern appears in cases/locked_guarded_read.cc.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  // BUG (seeded): the REQUIRES precondition is not established.
+  void Bump() { BumpLocked(); }
+
+ private:
+  void BumpLocked() REQUIRES(mu_) { ++value_; }
+
+  nodb::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Negative case: reads a GUARDED_BY member without holding its mutex.
+// clang -Wthread-safety -Werror must refuse to compile this file; the
+// corrected twin is cases/locked_guarded_read.cc.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() {
+    nodb::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  // BUG (seeded): unguarded read of a mu_-guarded member.
+  int Get() const { return value_; }
+
+ private:
+  mutable nodb::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  return c.Get();
+}

@@ -1,13 +1,13 @@
 // Tests for the util/thread_pool fork/join primitive backing the
 // parallel chunked raw scan.
 
+#include "util/mutex.h"
 #include "util/thread_pool.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
-#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -69,10 +69,10 @@ TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
 
 TEST(ThreadPoolTest, ParallelForCoversExactlyTheRange) {
   ThreadPool pool(4);
-  std::mutex mu;
+  Mutex mu;
   std::set<size_t> seen;
   ParallelFor(&pool, 257, [&](size_t i) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     seen.insert(i);
   });
   ASSERT_EQ(seen.size(), 257u);

@@ -1,0 +1,350 @@
+#!/usr/bin/env python3
+"""Project-invariant linter for the whole tree (hard CI gate).
+
+Grown from the old check_style.py whitespace gate into the enforcement
+point for the project's C++ invariants — the ones a formatter or a
+generic linter cannot know:
+
+  style            no tabs, no CRLF, no trailing whitespace, exactly
+                   one trailing newline
+  naked-lock       .lock()/.unlock()/.try_lock() calls outside the
+                   RAII guards in src/util/mutex.h; every acquisition
+                   must be a guard object the thread-safety analysis
+                   can see
+  std-mutex        std::mutex / std::lock_guard / std::unique_lock and
+                   friends outside src/util/mutex.h; all locking goes
+                   through the CAPABILITY-annotated wrappers
+  raw-new          owning `new` not immediately handed to a smart
+                   pointer (the function-local static leak idiom is
+                   allowed), and any `delete` expression
+  banned-fn        sprintf / rand / strtok (unbounded, non-reentrant,
+                   or statistically unsound — snprintf, util/random.h
+                   and manual tokenizing replace them)
+  mutex-guard      a Mutex/SharedMutex member in a src/ header whose
+                   name never appears in a GUARDED_BY/REQUIRES/ACQUIRE
+                   cluster in that header guards nothing the analysis
+                   can check
+  nolint-form      NOLINT must name the check and give a reason:
+                   `NOLINT(check): reason` / `NOLINTNEXTLINE(check): reason`
+  ntsa-reason      NO_THREAD_SAFETY_ANALYSIS needs a nearby
+                   `NO_THREAD_SAFETY_ANALYSIS: <why>` comment
+  void-discard     `(void)Call(...)` discards need a nearby comment
+                   saying why dropping the result is correct
+  header-guard     headers carry a NODB_*_H_ include guard (or
+                   #pragma once)
+  include-order    contiguous runs of same-kind #include lines are
+                   sorted
+  generation-tag   DropBlocksFrom / component Clear() call sites must
+                   say, in a nearby comment, how stale producers are
+                   fenced (the generation-tag story)
+
+Exit code 0 when clean; 1 with one line per violation otherwise.
+"""
+
+import glob
+import os
+import re
+import sys
+
+PATTERNS = [
+    "src/**/*.cc",
+    "src/**/*.h",
+    "tests/**/*.cc",
+    "bench/*.cc",
+    "bench/*.h",
+    "examples/*.cpp",
+]
+
+# Files implementing the RAII guards themselves: the one place raw
+# std primitives and .lock()/.unlock() calls are legitimate.
+MUTEX_IMPL_FILES = {"src/util/mutex.h"}
+
+NAKED_LOCK_RE = re.compile(
+    r"\.\s*(?:lock|unlock|try_lock|lock_shared|unlock_shared)\s*\(")
+STD_MUTEX_RE = re.compile(
+    r"std::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock)\b")
+NEW_RE = re.compile(r"\bnew\b")
+DELETE_RE = re.compile(r"\bdelete\b")
+BANNED_FN_RE = re.compile(r"\b(sprintf|strtok|rand)\s*\(")
+MUTEX_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:nodb::)?(?:Mutex|SharedMutex)\s+"
+    r"([A-Za-z_]\w*)\s*(?:ACQUIRED_(?:BEFORE|AFTER)\([^)]*\)\s*)?;")
+NOLINT_RE = re.compile(r"NOLINT\w*")
+NOLINT_FORM_RE = re.compile(r"NOLINT(?:NEXTLINE)?\([\w\-,. ]+\): \S")
+VOID_DISCARD_RE = re.compile(r"^\s*\(void\)\s*[\w:]+(?:\.\w+|->\w+)*\s*\(")
+DROP_CALL_RE = re.compile(r"\.\s*DropBlocksFrom\s*\(|\w+_\.\s*Clear\s*\(")
+INCLUDE_RE = re.compile(r'^#include\s+(["<])([^">]+)[">]')
+
+
+def strip_comments_and_strings(lines):
+    """Returns a per-line copy with comments and literals blanked."""
+    out = []
+    in_block = False
+    for line in lines:
+        res = []
+        i = 0
+        n = len(line)
+        while i < n:
+            if in_block:
+                end = line.find("*/", i)
+                if end < 0:
+                    i = n
+                else:
+                    in_block = False
+                    i = end + 2
+                continue
+            c = line[i]
+            if c == "/" and i + 1 < n and line[i + 1] == "/":
+                break
+            if c == "/" and i + 1 < n and line[i + 1] == "*":
+                in_block = True
+                i += 2
+                continue
+            if c in "\"'":
+                quote = c
+                i += 1
+                while i < n:
+                    if line[i] == "\\":
+                        i += 2
+                        continue
+                    if line[i] == quote:
+                        i += 1
+                        break
+                    i += 1
+                res.append(quote + quote)
+                continue
+            res.append(c)
+            i += 1
+        out.append("".join(res))
+    return out
+
+
+def has_nearby_comment(lines, idx, needle=None, back=6):
+    """True if a comment (optionally containing `needle`) sits on the
+    line itself or within `back` lines above it."""
+    for j in range(idx, max(-1, idx - back - 1), -1):
+        line = lines[j]
+        pos = line.find("//")
+        if pos < 0 and j != idx:
+            # A non-comment line above the site ends the search unless
+            # it is the flagged line itself.
+            if j != idx and line.strip() and "*/" not in line and \
+                    not line.strip().startswith("*") and \
+                    not line.strip().startswith("/*"):
+                if j < idx:
+                    break
+            continue
+        comment = line[pos:] if pos >= 0 else line
+        if needle is None or needle in comment:
+            return True
+    return False
+
+
+def check_style(path, raw, problems):
+    if b"\r" in raw:
+        problems.append(f"{path}: [style] CRLF line endings")
+    if raw and not raw.endswith(b"\n"):
+        problems.append(f"{path}: [style] missing trailing newline")
+    if raw.endswith(b"\n\n"):
+        problems.append(f"{path}: [style] multiple trailing newlines")
+    for i, line in enumerate(raw.split(b"\n"), start=1):
+        if b"\t" in line:
+            problems.append(f"{path}:{i}: [style] tab character")
+        if line != line.rstrip():
+            problems.append(f"{path}:{i}: [style] trailing whitespace")
+
+
+def check_locking(path, code, problems):
+    if path in MUTEX_IMPL_FILES:
+        return
+    for i, line in enumerate(code, start=1):
+        if NAKED_LOCK_RE.search(line):
+            problems.append(
+                f"{path}:{i}: [naked-lock] direct lock()/unlock() call; "
+                "use the RAII guards in util/mutex.h")
+        if STD_MUTEX_RE.search(line):
+            problems.append(
+                f"{path}:{i}: [std-mutex] raw std locking primitive; "
+                "use the annotated wrappers in util/mutex.h")
+
+
+def check_new_delete(path, code, problems):
+    allow = ("unique_ptr", "shared_ptr", "OperatorPtr(", "static ",
+             "make_unique", "make_shared")
+    for i, line in enumerate(code, start=1):
+        if NEW_RE.search(line):
+            context = (code[i - 2] if i >= 2 else "") + line
+            if not any(tok in context for tok in allow):
+                problems.append(
+                    f"{path}:{i}: [raw-new] owning `new` outside a smart "
+                    "pointer; use std::make_unique/make_shared")
+        for m in DELETE_RE.finditer(line):
+            before = line[:m.start()].rstrip()
+            if before.endswith("="):
+                continue  # deleted special member
+            problems.append(
+                f"{path}:{i}: [raw-delete] `delete` expression; owning "
+                "pointers must be smart pointers")
+
+
+def check_banned_fns(path, code, problems):
+    for i, line in enumerate(code, start=1):
+        m = BANNED_FN_RE.search(line)
+        if m:
+            problems.append(
+                f"{path}:{i}: [banned-fn] {m.group(1)}() is banned "
+                "(use snprintf / util/random.h / manual tokenizing)")
+
+
+def check_mutex_members(path, code, problems):
+    if not path.startswith("src/") or not path.endswith(".h"):
+        return
+    if path in MUTEX_IMPL_FILES:
+        return
+    joined = "\n".join(code)
+    for i, line in enumerate(code, start=1):
+        m = MUTEX_MEMBER_RE.match(line)
+        if not m:
+            continue
+        name = m.group(1)
+        cluster = re.compile(
+            r"(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES|REQUIRES_SHARED|"
+            r"ACQUIRE|ACQUIRE_SHARED|EXCLUDES|RETURN_CAPABILITY)"
+            r"\([^)]*\b" + re.escape(name) + r"\b")
+        if not cluster.search(joined):
+            problems.append(
+                f"{path}:{i}: [mutex-guard] mutex member {name} has no "
+                "GUARDED_BY/REQUIRES cluster in this header")
+
+
+def check_nolint(path, lines, problems):
+    for i, line in enumerate(lines, start=1):
+        if NOLINT_RE.search(line) and not NOLINT_FORM_RE.search(line):
+            problems.append(
+                f"{path}:{i}: [nolint-form] NOLINT without check name "
+                "and reason; use NOLINT(check): reason")
+
+
+def check_ntsa(path, lines, problems):
+    if path.endswith("util/thread_annotations.h"):
+        return
+    for i, line in enumerate(lines, start=1):
+        if "NO_THREAD_SAFETY_ANALYSIS" not in line:
+            continue
+        if line.lstrip().startswith("//") or line.lstrip().startswith("*"):
+            continue
+        if not has_nearby_comment(lines, i - 1,
+                                  needle="NO_THREAD_SAFETY_ANALYSIS:"):
+            problems.append(
+                f"{path}:{i}: [ntsa-reason] NO_THREAD_SAFETY_ANALYSIS "
+                "without a nearby `NO_THREAD_SAFETY_ANALYSIS: <why>` "
+                "comment")
+
+
+def check_void_discards(path, lines, code, problems):
+    for i, line in enumerate(code, start=1):
+        if not VOID_DISCARD_RE.match(line):
+            continue
+        if not has_nearby_comment(lines, i - 1):
+            problems.append(
+                f"{path}:{i}: [void-discard] discarded call result "
+                "without a comment saying why dropping it is correct")
+
+
+def check_header_guard(path, lines, problems):
+    if not path.endswith(".h"):
+        return
+    text = "\n".join(lines)
+    if "#pragma once" in text:
+        return
+    if re.search(r"#ifndef NODB_\w+_H_", text) and \
+            re.search(r"#define NODB_\w+_H_", text):
+        return
+    problems.append(
+        f"{path}: [header-guard] missing NODB_*_H_ include guard "
+        "(or #pragma once)")
+
+
+def check_include_order(path, lines, problems):
+    run_kind = None
+    run = []
+    run_start = 0
+
+    def flush():
+        if len(run) > 1 and run != sorted(run):
+            problems.append(
+                f"{path}:{run_start}: [include-order] includes not "
+                "sorted within their block")
+
+    for i, line in enumerate(lines, start=1):
+        m = INCLUDE_RE.match(line)
+        if m:
+            kind = m.group(1)
+            if kind != run_kind:
+                flush()
+                run_kind, run, run_start = kind, [], i
+            run.append(m.group(2))
+        else:
+            flush()
+            run_kind, run = None, []
+    flush()
+
+
+def check_generation_tags(path, lines, code, problems):
+    if not path.startswith("src/"):
+        return
+    for i, line in enumerate(code, start=1):
+        if not DROP_CALL_RE.search(line):
+            continue
+        # Skip declarations/definitions of the methods themselves.
+        if re.search(r"(?:void|Status)\s+\w*(?:::)?(?:DropBlocksFrom|"
+                     r"Clear)\s*\(", line):
+            continue
+        lo = max(0, i - 11)
+        hi = min(len(lines), i + 4)
+        window = "\n".join(lines[lo:hi])
+        if "generation" not in window and "Generation" not in window:
+            problems.append(
+                f"{path}:{i}: [generation-tag] DropBlocksFrom/Clear "
+                "call without a nearby comment on how stale producers "
+                "are fenced (generation tags / re-validation)")
+
+
+def check_file(path):
+    problems = []
+    with open(path, "rb") as f:
+        raw = f.read()
+    check_style(path, raw, problems)
+    lines = raw.decode("utf-8", errors="replace").split("\n")
+    code = strip_comments_and_strings(lines)
+    check_locking(path, code, problems)
+    check_new_delete(path, code, problems)
+    check_banned_fns(path, code, problems)
+    check_mutex_members(path, code, problems)
+    check_nolint(path, lines, problems)
+    check_ntsa(path, lines, problems)
+    check_void_discards(path, lines, code, problems)
+    check_header_guard(path, lines, problems)
+    check_include_order(path, lines, problems)
+    check_generation_tags(path, lines, code, problems)
+    return problems
+
+
+def main():
+    files = sorted({f for p in PATTERNS for f in glob.glob(p, recursive=True)})
+    files = [f.replace(os.sep, "/") for f in files]
+    if not files:
+        print("nodb_lint: no sources found (run from the repo root)")
+        return 1
+    problems = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    print(f"nodb_lint: {len(files)} files, {len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
