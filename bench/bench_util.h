@@ -1,6 +1,7 @@
 #ifndef NODB_BENCH_BENCH_UTIL_H_
 #define NODB_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -8,8 +9,11 @@
 
 #include "catalog/catalog.h"
 #include "datagen/synthetic.h"
+#include "io/file.h"
 #include "io/temp_dir.h"
+#include "simd/structural_index.h"
 #include "util/result.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace nodb::bench {
@@ -67,6 +71,64 @@ inline void PrintHeader(const std::string& title) {
   std::printf("\n================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("================================================\n");
+}
+
+/// Best-of-three structural-indexing throughput (bytes/s) over `data`
+/// at `level`, processed in read-buffer-sized slabs exactly like the
+/// first-touch scan's stage 1.
+inline double StructuralScanBps(const std::string& data,
+                                const CsvDialect& dialect,
+                                simd::SimdLevel level) {
+  const simd::StructuralIndexer indexer(dialect, level);
+  simd::StructuralIndex index;
+  constexpr size_t kSlab = size_t{1} << 20;
+  double best_ns = 1e30;
+  uint64_t sink = 0;  // keep the index observably live
+  for (int rep = 0; rep < 3; ++rep) {
+    Stopwatch watch;
+    for (size_t offset = 0; offset < data.size(); offset += kSlab) {
+      indexer.Index(data.data() + offset,
+                    std::min(kSlab, data.size() - offset), offset, &index);
+      sink += index.newlines.size() + index.delims.size();
+    }
+    best_ns = std::min(best_ns, static_cast<double>(watch.ElapsedNanos()));
+  }
+  if (sink == 0) std::printf("(structural scan found no structure)\n");
+  if (best_ns <= 0) best_ns = 1;
+  return static_cast<double>(data.size()) / best_ns * 1e9;
+}
+
+/// The tentpole's hard perf gate: stage-1 structural indexing of `path`
+/// with the active SIMD tier must beat the scalar fallback kernels by
+/// `min_ratio` (the cold first-touch component the SIMD layer owns).
+/// Prints both throughputs; exits non-zero under the gate. Skipped —
+/// with a note — when no SIMD tier is available (scalar-only build or
+/// exotic CPU), since there is nothing to compare.
+inline void GateStructuralSpeedup(const std::string& path,
+                                  const CsvDialect& dialect,
+                                  double min_ratio) {
+  const simd::SimdLevel active = simd::ActiveLevel();
+  if (active == simd::SimdLevel::kScalar) {
+    std::printf(
+        "structural scan: no SIMD tier available (scalar build) — "
+        "speedup gate skipped\n");
+    return;
+  }
+  const std::string data = CheckOk(ReadFileToString(path), "read raw file");
+  const double simd_bps = StructuralScanBps(data, dialect, active);
+  const double scalar_bps =
+      StructuralScanBps(data, dialect, simd::SimdLevel::kScalar);
+  const double ratio = scalar_bps > 0 ? simd_bps / scalar_bps : 0;
+  std::printf(
+      "structural scan: %s %.2f GB/s vs scalar %.2f GB/s — %.1fx\n",
+      simd::LevelName(active), simd_bps / 1e9, scalar_bps / 1e9, ratio);
+  if (ratio < min_ratio) {
+    std::fprintf(stderr,
+                 "FAIL: structural-scan speedup %.2fx is under the %.1fx "
+                 "gate\n",
+                 ratio, min_ratio);
+    std::exit(1);
+  }
 }
 
 }  // namespace nodb::bench

@@ -8,11 +8,12 @@
 // zone maps skip blocks provably disjoint from the predicate without
 // locating a single row. This driver sweeps selectivities
 // {0.001, 0.01, 0.1, 1.0} of a range predicate over a *clustered*
-// attribute and prints a CSV of three modes per selectivity:
+// attribute and prints a CSV of four modes per selectivity:
 //
-//   off    enable_pushdown=false (FilterOperator above the scan)
-//   push   pushdown on, zone maps off
-//   zones  pushdown + zone maps on
+//   off     enable_pushdown=false (FilterOperator above the scan)
+//   push    pushdown on, zone maps off
+//   zones   pushdown + zone maps on
+//   scalar  zones plan on the scalar fallback kernels (enable_simd=off)
 //
 // Each mode runs the query three times against its own engine — cold
 // (raw), warm (cache), and store-warm (after WaitForPromotions) — and
@@ -45,6 +46,7 @@ struct ModeSpec {
   const char* name;
   bool pushdown;
   bool zones;
+  bool simd;
 };
 
 }  // namespace
@@ -84,10 +86,18 @@ int main(int argc, char** argv) {
   CheckOk(catalog.RegisterTable({"sel", path, schema, CsvDialect()}),
           "register");
 
+  // The SIMD tentpole's hard gate on this fixture too: structural
+  // indexing with the active tier must beat the scalar kernels >= 3x.
+  GateStructuralSpeedup(path, CsvDialect(), 3.0);
+
+  // `scalar` is the zones plan with enable_simd=false: the full
+  // pushdown + zone-map machinery running on the fallback kernels must
+  // stay byte-identical to everything else.
   const double selectivities[] = {0.001, 0.01, 0.1, 1.0};
-  const ModeSpec modes[] = {{"off", false, false},
-                            {"push", true, false},
-                            {"zones", true, true}};
+  const ModeSpec modes[] = {{"off", false, false, true},
+                            {"push", true, false, true},
+                            {"zones", true, true, true},
+                            {"scalar", true, true, false}};
   const char* run_names[] = {"cold", "warm", "store"};
 
   std::printf(
@@ -110,6 +120,7 @@ int main(int argc, char** argv) {
       NoDbConfig config;
       config.enable_pushdown = mode.pushdown;
       config.enable_zone_maps = mode.zones;
+      config.enable_simd = mode.simd;
       NoDbEngine engine(catalog, config);
       for (int run = 0; run < 3; ++run) {
         auto outcome = CheckOk(engine.Execute(sql), "query");

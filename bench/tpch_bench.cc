@@ -65,11 +65,20 @@ int main() {
        "WHERE o.o_orderpriority = '1-URGENT'"},
   };
 
+  // The SIMD tentpole's hard gate: stage-1 structural indexing of the
+  // raw lineitem file must beat the scalar fallback kernels >= 3x.
+  GateStructuralSpeedup(li_path, CsvDialect::Pipe(), 3.0);
+
   // Store-on vs store-off: the same repeated query, once over the
   // cached-raw path (map+cache warm, store disabled) and once served
   // from the shadow column store (hot columns promoted after the warm
   // run) — the paper's adaptive-loading payoff in one column pair.
   NoDbEngine raw(catalog, NoDbConfig(), "PostgresRaw");
+  // Scalar twin: identical configuration with enable_simd=false, so the
+  // cold-column pair below is the before/after of the SIMD kernels.
+  NoDbConfig scalar_config;
+  scalar_config.enable_simd = false;
+  NoDbEngine raw_scalar(catalog, scalar_config, "PostgresRaw.scalar");
   NoDbConfig nostore_config;
   nostore_config.enable_store = false;
   NoDbEngine raw_nostore(catalog, nostore_config, "PostgresRaw.nostore");
@@ -86,10 +95,13 @@ int main() {
   std::printf("parallel scan threads: %u\n\n",
               static_cast<unsigned>(ThreadPool::DefaultThreadCount()));
 
-  std::printf("%-24s %13s %13s %13s %13s %13s  match  store rows s/c/r\n",
-              "query", "Raw.cold", "Raw.par.cold", "Raw.warm.off",
-              "Raw.warm.on", "PostgreSQL");
+  bool all_match = true;
+  std::printf(
+      "%-24s %12s %12s %12s %12s %12s %12s  match  store rows s/c/r\n",
+      "query", "Scalar.cold", "Raw.cold", "Raw.par.cold", "Raw.warm.off",
+      "Raw.warm.on", "PostgreSQL");
   for (const auto& q : queries) {
+    auto scalar_cold = CheckOk(raw_scalar.Execute(q.sql), q.name);
     auto cold = CheckOk(raw.Execute(q.sql), q.name);
     auto par_cold = CheckOk(raw_par.Execute(q.sql), q.name);
     // Second touch crosses the promotion threshold; settle background
@@ -107,9 +119,12 @@ int main() {
         warm_on.result.CanonicalRows() == conv.result.CanonicalRows() &&
         hot_on.result.CanonicalRows() == conv.result.CanonicalRows() &&
         hot_off.result.CanonicalRows() == conv.result.CanonicalRows() &&
-        par_cold.result.CanonicalRows() == conv.result.CanonicalRows();
-    std::printf("%-24s %13s %13s %13s %13s %13s  %-5s %llu/%llu/%llu\n",
-                q.name, FormatNanos(cold.metrics.total_ns).c_str(),
+        par_cold.result.CanonicalRows() == conv.result.CanonicalRows() &&
+        scalar_cold.result.CanonicalRows() == conv.result.CanonicalRows();
+    all_match = all_match && match;
+    std::printf("%-24s %12s %12s %12s %12s %12s %12s  %-5s %llu/%llu/%llu\n",
+                q.name, FormatNanos(scalar_cold.metrics.total_ns).c_str(),
+                FormatNanos(cold.metrics.total_ns).c_str(),
                 FormatNanos(par_cold.metrics.total_ns).c_str(),
                 FormatNanos(hot_off.metrics.total_ns).c_str(),
                 FormatNanos(hot_on.metrics.total_ns).c_str(),
@@ -121,6 +136,38 @@ int main() {
                     hot_on.metrics.scan.rows_from_cache),
                 static_cast<unsigned long long>(
                     hot_on.metrics.scan.rows_from_raw));
+  }
+
+  // Byte-identity sweep over the kernel/thread matrix: fresh engines,
+  // {scalar, SIMD} x {1, 2, 8} threads, all against the load-first
+  // reference. Failing this (or any per-query match above) fails the
+  // bench — CI's guarantee that the SIMD tiers are pure accelerators.
+  {
+    const char* probe_sql = queries[1].sql;  // Q6: ints, doubles, dates
+    auto reference = CheckOk(pg.Execute(probe_sql), "identity reference");
+    const auto want = reference.result.CanonicalRows();
+    for (const bool enable_simd : {false, true}) {
+      for (const uint32_t threads : {1u, 2u, 8u}) {
+        NoDbConfig config;
+        config.enable_simd = enable_simd;
+        config.num_threads = threads;
+        NoDbEngine probe(catalog, config, "identity-probe");
+        auto got = CheckOk(probe.Execute(probe_sql), "identity probe");
+        if (got.result.CanonicalRows() != want) {
+          std::fprintf(stderr,
+                       "FAIL: identity sweep diverged (simd=%d threads=%u)\n",
+                       enable_simd ? 1 : 0, threads);
+          return 1;
+        }
+      }
+    }
+    std::printf(
+        "\nidentity sweep: {scalar,simd} x {1,2,8} threads byte-identical "
+        "to PostgreSQL\n");
+  }
+  if (!all_match) {
+    std::fprintf(stderr, "FAIL: cross-engine row sets diverged\n");
+    return 1;
   }
 
   std::printf(

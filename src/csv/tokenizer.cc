@@ -24,6 +24,18 @@ uint32_t CsvTokenizer::ScanStarts(Slice line, uint32_t from_field,
   if (!dialect_.allow_quoting) {
     // Fast path: fields cannot contain the delimiter, so each boundary
     // is the next delimiter byte.
+    if (level_ != simd::SimdLevel::kScalar) {
+      // Wide-register variant: one kernel call finds every remaining
+      // boundary up to `until_field` and, with bias 1, writes the field
+      // starts directly into place.
+      const size_t found = simd::FindBytePositions(
+          level_, data, size, pos, delim, until_field - field, /*bias=*/1,
+          starts + field + 1);
+      field += static_cast<uint32_t>(found);
+      if (field >= until_field) return field;
+      starts[field + 1] = size + 1;
+      return field + 1;
+    }
     while (pos <= size) {
       const char* hit = static_cast<const char*>(
           std::memchr(data + pos, delim, size - pos));

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "csv/dialect.h"
+#include "simd/simd.h"
 #include "util/slice.h"
 
 namespace nodb {
@@ -29,7 +30,13 @@ namespace nodb {
 /// of the line terminator, never as field content.
 class CsvTokenizer {
  public:
-  explicit CsvTokenizer(const CsvDialect& dialect) : dialect_(dialect) {}
+  /// `level` picks the delimiter-scanning kernels for the unquoted fast
+  /// path (the quote-aware path is inherently serial). Every level
+  /// produces byte-identical boundaries; the default is the best tier
+  /// the CPU offers unless a test forced another one.
+  explicit CsvTokenizer(const CsvDialect& dialect,
+                        simd::SimdLevel level = simd::ActiveLevel())
+      : dialect_(dialect), level_(level) {}
 
   /// Incremental scan. `from_offset` must be the start of field
   /// `from_field` within `line` (commonly 0/0, or a positional-map
@@ -61,9 +68,11 @@ class CsvTokenizer {
   Slice DecodeField(Slice raw, std::string* scratch) const;
 
   const CsvDialect& dialect() const { return dialect_; }
+  simd::SimdLevel level() const { return level_; }
 
  private:
   CsvDialect dialect_;
+  simd::SimdLevel level_;
 };
 
 }  // namespace nodb

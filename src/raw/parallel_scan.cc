@@ -9,6 +9,8 @@
 #include "csv/tokenizer.h"
 #include "csv/value_parser.h"
 #include "io/buffered_reader.h"
+#include "simd/simd.h"
+#include "simd/structural_index.h"
 #include "util/thread_pool.h"
 
 namespace nodb {
@@ -39,11 +41,25 @@ struct Fragment {
 
 /// Scans one newline-aligned chunk [begin, end): every row *starting*
 /// in the range is discovered, tokenized and (optionally) parsed.
+///
+/// Two-stage structural parse: the chunk is consumed in slabs of up to
+/// `read_buffer_bytes`; stage 1 classifies each slab's bytes into
+/// sorted delimiter/newline/quote position lists with the configured
+/// SIMD tier (simd/structural_index.h), stage 2 walks those lists to
+/// cut rows and fields. A row containing a quote byte falls back to the
+/// serial quote-aware tokenizer, so quoting semantics stay identical.
+/// With `enable_simd = false` the same walk runs over scalar-built
+/// lists — one code path, byte-identical output at every tier.
 void ScanChunk(const RawTableState& state,
                const std::vector<uint32_t>& attrs, bool parse_values,
                uint64_t begin, uint64_t end, Fragment* frag) {
   BufferedReader reader(state.file(), state.config().read_buffer_bytes);
-  CsvTokenizer tokenizer(state.info().dialect);
+  const simd::SimdLevel level =
+      simd::LevelFor(state.config().enable_simd);
+  const CsvTokenizer tokenizer(state.info().dialect, level);
+  const simd::StructuralIndexer indexer(state.info().dialect, level,
+                                        /*want_fields=*/!attrs.empty());
+  const bool quoting = state.info().dialect.allow_quoting;
   const Schema& schema = *state.info().schema;
 
   if (parse_values) {
@@ -57,72 +73,118 @@ void ScanChunk(const RawTableState& state,
   const uint32_t max_attr = attrs.empty() ? 0 : attrs.back();
   std::vector<uint32_t> starts(max_attr + 2, 0);
   std::string scratch;
+  simd::StructuralIndex index;
 
   uint64_t offset = begin;
   frag->end_cursor = begin;
   while (offset < end) {
-    const uint64_t row_start = offset;
-    uint64_t line_end = 0;
-    Status s = reader.FindNewline(offset, &line_end);
-    if (!s.ok() && !s.IsOutOfRange()) {
-      frag->io_status = s;
-      return;
-    }
-    frag->row_starts.push_back(row_start);
-    offset = line_end + 1;
-    frag->end_cursor = offset;
-
-    if (attrs.empty()) continue;
-
-    Slice line;
-    if (line_end > row_start) {
-      Status rs = reader.ReadAt(
-          row_start, static_cast<size_t>(line_end - row_start), &line);
+    // Stage 1: read the next slab and index its structural bytes. A
+    // slab that ends mid-row is re-read from that row's start next
+    // iteration; one holding no complete row grows until it reaches a
+    // newline or the chunk end (ReadAt extends its buffer as needed).
+    size_t want = static_cast<size_t>(std::min<uint64_t>(
+        end - offset, state.config().read_buffer_bytes));
+    Slice slab;
+    while (true) {
+      Status rs = reader.ReadAt(offset, want, &slab);
       if (!rs.ok()) {
         frag->io_status = rs;
         return;
       }
-      // A trailing '\r' is handled by the tokenizer (CRLF tolerance).
+      indexer.Index(slab.data(), slab.size(), offset, &index);
+      if (!index.newlines.empty() || offset + slab.size() >= end) break;
+      want = static_cast<size_t>(std::min<uint64_t>(end - offset, want * 2));
     }
 
-    uint32_t high =
-        tokenizer.ScanStarts(line, 0, 0, max_attr + 1, starts.data());
-    if (high < max_attr + 1) {
-      // The serial scan reports the first requested attribute the row
-      // cannot satisfy.
-      uint32_t missing = max_attr;
-      for (uint32_t attr : attrs) {
-        if (attr >= high) {
-          missing = attr;
-          break;
+    // Stage 2: walk the newline list, cutting one row per entry. All
+    // cursors advance monotonically; the slab's bytes stay valid until
+    // the next ReadAt.
+    const uint32_t slab_size = static_cast<uint32_t>(slab.size());
+    size_t newline_cursor = 0;
+    size_t delim_cursor = 0;
+    size_t quote_cursor = 0;
+    uint32_t row_rel = 0;  // slab-relative start of the current row
+    while (true) {
+      uint32_t line_end_rel;
+      if (newline_cursor < index.newlines.size()) {
+        line_end_rel = index.newlines[newline_cursor++];
+      } else if (offset + slab_size >= end && row_rel < slab_size) {
+        line_end_rel = slab_size;  // final row of the file, unterminated
+      } else {
+        break;  // no full row left in the slab
+      }
+
+      frag->row_starts.push_back(offset + row_rel);
+      frag->end_cursor = offset + line_end_rel + 1;
+
+      if (!attrs.empty()) {
+        const Slice line(slab.data() + row_rel, line_end_rel - row_rel);
+        uint32_t high;
+        bool row_has_quote = false;
+        if (quoting) {
+          while (quote_cursor < index.quotes.size() &&
+                 index.quotes[quote_cursor] < row_rel) {
+            ++quote_cursor;
+          }
+          row_has_quote = quote_cursor < index.quotes.size() &&
+                          index.quotes[quote_cursor] < line_end_rel;
+        }
+        if (row_has_quote) {
+          high = tokenizer.ScanStarts(line, 0, 0, max_attr + 1,
+                                      starts.data());
+        } else {
+          // CRLF tolerance at the record level, as in ScanStarts: a
+          // trailing '\r' belongs to the terminator, so the field
+          // cutter must never see a delimiter hiding inside it.
+          uint32_t stripped = static_cast<uint32_t>(line.size());
+          if (stripped > 0 && line[stripped - 1] == '\r') --stripped;
+          high = simd::StructuralFieldStarts(index.delims, &delim_cursor,
+                                             row_rel, row_rel + stripped,
+                                             max_attr + 1, starts.data());
+        }
+        if (high < max_attr + 1) {
+          // The serial scan reports the first requested attribute the
+          // row cannot satisfy.
+          uint32_t missing = max_attr;
+          for (uint32_t attr : attrs) {
+            if (attr >= high) {
+              missing = attr;
+              break;
+            }
+          }
+          frag->parse_failed = true;
+          frag->error_row = frag->row_starts.size() - 1;
+          frag->error_suffix =
+              " has " + std::to_string(high) + " fields, attribute " +
+              std::to_string(missing) + " requested (file " +
+              state.info().path + ")";
+          return;
+        }
+
+        for (size_t j = 0; j < attrs.size(); ++j) {
+          const uint32_t attr = attrs[j];
+          frag->span_starts.push_back(starts[attr]);
+          frag->span_ends.push_back(starts[attr + 1] - 1);
+          if (!parse_values) continue;
+          Slice raw =
+              CsvTokenizer::RawField(line, starts[attr], starts[attr + 1]);
+          Slice text = tokenizer.DecodeField(raw, &scratch);
+          Status ps = ValueParser::ParseInto(text, schema.field(attr).type,
+                                             frag->columns[j].get());
+          if (!ps.ok()) {
+            frag->parse_failed = true;
+            frag->error_row = frag->row_starts.size() - 1;
+            frag->error_suffix =
+                ", attribute " + std::to_string(attr) + ": " + ps.message();
+            return;
+          }
         }
       }
-      frag->parse_failed = true;
-      frag->error_row = frag->row_starts.size() - 1;
-      frag->error_suffix = " has " + std::to_string(high) +
-                           " fields, attribute " + std::to_string(missing) +
-                           " requested (file " + state.info().path + ")";
-      return;
-    }
 
-    for (size_t j = 0; j < attrs.size(); ++j) {
-      const uint32_t attr = attrs[j];
-      frag->span_starts.push_back(starts[attr]);
-      frag->span_ends.push_back(starts[attr + 1] - 1);
-      if (!parse_values) continue;
-      Slice raw =
-          CsvTokenizer::RawField(line, starts[attr], starts[attr + 1]);
-      Slice text = tokenizer.DecodeField(raw, &scratch);
-      Status ps = ValueParser::ParseInto(text, schema.field(attr).type,
-                                         frag->columns[j].get());
-      if (!ps.ok()) {
-        frag->parse_failed = true;
-        frag->error_row = frag->row_starts.size() - 1;
-        frag->error_suffix =
-            ", attribute " + std::to_string(attr) + ": " + ps.message();
-        return;
-      }
+      row_rel = line_end_rel + 1;
+      if (row_rel >= slab_size) break;
     }
+    offset += row_rel;
   }
 }
 

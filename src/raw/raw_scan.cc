@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "csv/value_parser.h"
+#include "simd/simd.h"
 #include "util/stopwatch.h"
 
 namespace nodb {
@@ -73,7 +74,8 @@ RawScanOperator::RawScanOperator(RawTableState* state,
       internal_(internal),
       table_name_(state->info().name),
       table_path_(state->info().path),
-      tokenizer_(state->info().dialect) {
+      tokenizer_(state->info().dialect,
+                 simd::LevelFor(state->config().enable_simd)) {
   std::vector<size_t> indices(projection_.begin(), projection_.end());
   schema_ = state_->info().schema->Project(indices);
 }

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <charconv>
+#include <clocale>
+#include <cmath>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -339,6 +343,164 @@ TEST(ValueParserTest, LeadingPlusSignAccepted) {
   EXPECT_FALSE(ValueParser::ParseDouble("+").ok());
   EXPECT_FALSE(ValueParser::ParseDouble("+-3.5").ok());
   EXPECT_FALSE(ValueParser::ParseDouble("+x").ok());
+}
+
+// The branchless fast paths (SWAR integers, Clinger decimals) must be
+// indistinguishable from the pre-fast-path parser — the differential
+// reference below is exactly what it did: strip the documented leading
+// '+' extension, then hand everything to std::from_chars.
+
+Slice ReferenceStripPlus(Slice text) {
+  if (text.size() >= 2 && text[0] == '+' && text[1] != '+' &&
+      text[1] != '-') {
+    text.RemovePrefix(1);
+  }
+  return text;
+}
+
+Result<int64_t> FromCharsInt64(Slice raw) {
+  const Slice text = ReferenceStripPlus(raw);
+  int64_t value = 0;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::ParseError("reference reject");
+  }
+  return value;
+}
+
+Result<double> FromCharsDouble(Slice raw) {
+  const Slice text = ReferenceStripPlus(raw);
+  double value = 0;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::ParseError("reference reject");
+  }
+  return value;
+}
+
+void ExpectInt64MatchesReference(const std::string& text) {
+  auto got = ValueParser::ParseInt64(text);
+  auto want = FromCharsInt64(text);
+  ASSERT_EQ(got.ok(), want.ok()) << "'" << text << "'";
+  if (got.ok()) {
+    EXPECT_EQ(*got, *want) << "'" << text << "'";
+  }
+}
+
+void ExpectDoubleMatchesReference(const std::string& text) {
+  auto got = ValueParser::ParseDouble(text);
+  auto want = FromCharsDouble(text);
+  ASSERT_EQ(got.ok(), want.ok()) << "'" << text << "'";
+  if (got.ok()) {
+    // Bit-identical, not just close: memcmp through uint64 views so
+    // -0.0 vs 0.0 and NaN payloads count as differences.
+    uint64_t got_bits = 0;
+    uint64_t want_bits = 0;
+    std::memcpy(&got_bits, &*got, sizeof(got_bits));
+    std::memcpy(&want_bits, &*want, sizeof(want_bits));
+    EXPECT_EQ(got_bits, want_bits) << "'" << text << "'";
+  }
+}
+
+TEST(ValueParserTest, FastPathsMatchFromCharsOnEdgeCorpus) {
+  const char* corpus[] = {
+      "0", "-0", "7", "-7", "00000001", "12345678", "123456789",
+      "999999999999999999",    // 18 digits, fast-path ceiling
+      "1234567890123456789",   // 19 digits, slow path, fits
+      "9223372036854775807",   // INT64_MAX
+      "-9223372036854775808",  // INT64_MIN
+      "9223372036854775808",   // overflow by one
+      "18446744073709551616", "1234567x", "12345678x", "x2345678", "--1",
+      "1-", "", "-", ".", "-.", "3.", ".5", "-.5", "3.14", "-0.0", "0.3",
+      "1.050", "0.1", "2.675",
+      "9007199254740992",      // 2^53, largest exact mantissa
+      "9007199254740993",      // 2^53+1, must take the slow path
+      "9007199254740992.0", "9007199254740993.5",
+      "0.0000000000000000000001",  // 22 fraction digits
+      "1e3", "-2e3", "2E-5", "1.5e300", "1.5e-300", "1e999", "-1e999",
+      "inf", "INF", "infinity", "-inf", "nan", "NaN", "-nan", "nan(2)",
+      "0x10", "1.2.3", "1..2", "1,5", " 1", "1 ",
+  };
+  for (const char* text : corpus) {
+    ExpectInt64MatchesReference(text);
+    ExpectDoubleMatchesReference(text);
+  }
+}
+
+TEST(ValueParserTest, FastPathsMatchFromCharsOnRandomInputs) {
+  Random rng(271828);
+  const char alphabet[] = "0123456789.-+eE";
+  for (int round = 0; round < 5000; ++round) {
+    std::string text;
+    const size_t len = rng.Uniform(26);
+    for (size_t i = 0; i < len; ++i) {
+      text.push_back(alphabet[rng.Uniform(sizeof(alphabet) - 1)]);
+    }
+    ExpectInt64MatchesReference(text);
+    ExpectDoubleMatchesReference(text);
+  }
+}
+
+TEST(ValueParserTest, RandomValuesRoundTripExactly) {
+  Random rng(161803);
+  for (int round = 0; round < 2000; ++round) {
+    const int64_t value = static_cast<int64_t>(rng.NextUint64());
+    EXPECT_EQ(*ValueParser::ParseInt64(std::to_string(value)), value);
+  }
+  for (int round = 0; round < 2000; ++round) {
+    // Decimal strings of the shape the fast path targets.
+    const int64_t whole = rng.UniformRange(-999999, 999999);
+    const uint64_t frac = rng.Uniform(10000);
+    const double value = static_cast<double>(whole) +
+                         (whole < 0 ? -1.0 : 1.0) *
+                             static_cast<double>(frac) / 10000.0;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    EXPECT_DOUBLE_EQ(*ValueParser::ParseDouble(buf), value) << buf;
+    ExpectDoubleMatchesReference(buf);
+  }
+}
+
+TEST(ValueParserTest, ExponentInfNanSpellingsRoundTrip) {
+  // Exponent forms always take the from_chars path; these pin the
+  // values (and the rejections) the fast path must never intercept.
+  EXPECT_DOUBLE_EQ(*ValueParser::ParseDouble("1.5e2"), 150.0);
+  EXPECT_DOUBLE_EQ(*ValueParser::ParseDouble("-1.5E-2"), -0.015);
+  EXPECT_DOUBLE_EQ(*ValueParser::ParseDouble("+1e0"), 1.0);
+  EXPECT_TRUE(std::isinf(*ValueParser::ParseDouble("inf")));
+  EXPECT_TRUE(std::isinf(*ValueParser::ParseDouble("-INF")));
+  EXPECT_TRUE(std::isinf(*ValueParser::ParseDouble("infinity")));
+  EXPECT_TRUE(std::isnan(*ValueParser::ParseDouble("nan")));
+  EXPECT_TRUE(std::isnan(*ValueParser::ParseDouble("-NaN")));
+  EXPECT_FALSE(ValueParser::ParseDouble("in").ok());
+  EXPECT_FALSE(ValueParser::ParseDouble("nane").ok());
+  EXPECT_FALSE(ValueParser::ParseDouble("1e").ok());
+  // A finite spelling whose value overflows is a rejection (ERANGE from
+  // from_chars), never a silent infinity.
+  EXPECT_FALSE(ValueParser::ParseDouble("1e999").ok());
+  EXPECT_FALSE(ValueParser::ParseDouble("-1e999").ok());
+}
+
+TEST(ValueParserTest, LocaleIndependentDecimalPoint) {
+  // A comma-decimal locale must not change what parses: both the
+  // branchless path and std::from_chars are locale-independent by
+  // construction (the very reason from_chars backs this parser).
+  const char* previous = std::setlocale(LC_NUMERIC, nullptr);
+  const std::string saved = previous != nullptr ? previous : "C";
+  const bool have_locale =
+      std::setlocale(LC_NUMERIC, "de_DE.UTF-8") != nullptr ||
+      std::setlocale(LC_NUMERIC, "de_DE") != nullptr;
+  EXPECT_DOUBLE_EQ(*ValueParser::ParseDouble("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(*ValueParser::ParseDouble("1234.875"), 1234.875);
+  EXPECT_DOUBLE_EQ(*ValueParser::ParseDouble("-2.5e3"), -2500.0);
+  EXPECT_FALSE(ValueParser::ParseDouble("1,5").ok());
+  std::setlocale(LC_NUMERIC, saved.c_str());
+  if (!have_locale) {
+    GTEST_LOG_(INFO) << "no de_DE locale installed; ran under "
+                     << saved;
+  }
 }
 
 TEST(ValueParserTest, ParseIntoHandlesNullsAndTypes) {

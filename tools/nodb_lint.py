@@ -37,6 +37,11 @@ generic linter cannot know:
   generation-tag   DropBlocksFrom / component Clear() call sites must
                    say, in a nearby comment, how stale producers are
                    fenced (the generation-tag story)
+  isa-sibling      every `#if NODB_HAVE_AVX2`-style ISA-gated branch
+                   must have a scalar sibling: an #else in the chain,
+                   or a scalar fallback (named in code or comment)
+                   within reach of its #endif — no kernel may exist
+                   only in SIMD form
 
 Exit code 0 when clean; 1 with one line per violation otherwise.
 """
@@ -74,6 +79,7 @@ NOLINT_RE = re.compile(r"NOLINT\w*")
 NOLINT_FORM_RE = re.compile(r"NOLINT(?:NEXTLINE)?\([\w\-,. ]+\): \S")
 VOID_DISCARD_RE = re.compile(r"^\s*\(void\)\s*[\w:]+(?:\.\w+|->\w+)*\s*\(")
 DROP_CALL_RE = re.compile(r"\.\s*DropBlocksFrom\s*\(|\w+_\.\s*Clear\s*\(")
+ISA_MACRO_RE = re.compile(r"\bNODB_HAVE_[A-Z0-9_]+\b")
 INCLUDE_RE = re.compile(r'^#include\s+(["<])([^">]+)[">]')
 
 
@@ -311,6 +317,50 @@ def check_generation_tags(path, lines, code, problems):
                 "are fenced (generation tags / re-validation)")
 
 
+def check_isa_siblings(path, lines, problems):
+    """Every ISA-gated branch needs a scalar sibling.
+
+    A conditional chain whose #if/#elif condition tests an
+    NODB_HAVE_* tier macro either carries an #else (the fallback is
+    part of the chain — a `default:` dispatch arm or a scalar
+    expression), or names its scalar sibling within the #endif line
+    plus the 20 lines after it (a `*Scalar` kernel, a kScalar return,
+    or an explicit `(scalar siblings: ...)` note on the #endif). The
+    #ifndef defaulting idiom (`#ifndef NODB_HAVE_X` / `#define
+    NODB_HAVE_X 0`) is exempt: it *creates* the macro, it does not
+    gate a kernel on it.
+    """
+    stack = []  # [start_line, gates_on_isa_macro, has_else]
+    for i, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped.startswith("#"):
+            continue
+        directive = stripped[1:].lstrip()
+        if directive.startswith("ifndef"):
+            stack.append([i, False, False])
+        elif directive.startswith("if"):  # #if and #ifdef
+            stack.append([i, bool(ISA_MACRO_RE.search(directive)), False])
+        elif directive.startswith("elif"):
+            if stack and ISA_MACRO_RE.search(directive):
+                stack[-1][1] = True
+        elif directive.startswith("else"):
+            if stack:
+                stack[-1][2] = True
+        elif directive.startswith("endif"):
+            if not stack:
+                continue
+            start, isa, has_else = stack.pop()
+            if not isa or has_else:
+                continue
+            window = "\n".join(lines[i - 1:min(len(lines), i + 20)])
+            if "scalar" not in window.lower():
+                problems.append(
+                    f"{path}:{start}: [isa-sibling] NODB_HAVE_* branch "
+                    "with no #else and no scalar sibling near its "
+                    "#endif; every ISA tier needs an always-available "
+                    "scalar fallback")
+
+
 def check_file(path):
     problems = []
     with open(path, "rb") as f:
@@ -328,6 +378,7 @@ def check_file(path):
     check_header_guard(path, lines, problems)
     check_include_order(path, lines, problems)
     check_generation_tags(path, lines, code, problems)
+    check_isa_siblings(path, lines, problems)
     return problems
 
 
