@@ -6,6 +6,7 @@
 // their load first; PostgresRaw is measured cold (first touch) and
 // warm (adapted). Cross-engine row counts are verified to agree.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -20,7 +21,19 @@
 using namespace nodb;
 using namespace nodb::bench;
 
-int main() {
+namespace {
+
+int64_t MedianNs(std::vector<int64_t> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Optional argv[1]: path for a Chrome-trace JSONL export of the
+  // traced overhead-gate runs (CI uploads it as an artifact).
+  const char* trace_path = argc >= 2 ? argv[1] : nullptr;
   PrintHeader("E10 / TPC-H-shaped workload on raw files");
   auto dir = CheckOk(TempDir::Create("nodb-tpch"), "temp dir");
   TpchSpec spec;
@@ -168,6 +181,50 @@ int main() {
   if (!all_match) {
     std::fprintf(stderr, "FAIL: cross-engine row sets diverged\n");
     return 1;
+  }
+
+  // Tracing overhead gate: the warm path (everything adapted, store
+  // serving) is where per-span bookkeeping would hurt, so measure it
+  // there. Trials interleave tracer-off and tracer-on executions to
+  // cancel drift, and medians absorb scheduler noise. Hard gate: the
+  // traced median must stay within 3% of untraced (plus a small
+  // absolute epsilon — warm queries run in microseconds, where a
+  // single page fault outweighs any bookkeeping).
+  {
+    const char* probe_sql = queries[1].sql;  // Q6, fully warm on `raw`
+    constexpr int kTrials = 21;
+    constexpr int64_t kEpsilonNs = 100'000;
+    if (trace_path != nullptr) raw.tracer().SetPath(trace_path);
+    std::vector<int64_t> off_ns, on_ns;
+    for (int i = 0; i < kTrials; ++i) {
+      raw.tracer().SetEnabled(false);
+      off_ns.push_back(
+          CheckOk(raw.Execute(probe_sql), "overhead off").metrics.total_ns);
+      raw.tracer().SetEnabled(true);
+      on_ns.push_back(
+          CheckOk(raw.Execute(probe_sql), "overhead on").metrics.total_ns);
+    }
+    raw.tracer().SetEnabled(false);
+    int64_t med_off = MedianNs(off_ns);
+    int64_t med_on = MedianNs(on_ns);
+    double overhead =
+        med_off > 0
+            ? 100.0 * static_cast<double>(med_on - med_off) /
+                  static_cast<double>(med_off)
+            : 0.0;
+    std::printf(
+        "\ntrace overhead (warm Q6, median of %d interleaved trials): "
+        "off %s, on %s (%+.1f%%)\n",
+        kTrials, FormatNanos(med_off).c_str(), FormatNanos(med_on).c_str(),
+        overhead);
+    if (med_on > med_off + med_off * 3 / 100 + kEpsilonNs) {
+      std::fprintf(stderr,
+                   "FAIL: tracing overhead above 3%% on the warm path\n");
+      return 1;
+    }
+    if (trace_path != nullptr) {
+      std::printf("trace spans appended to %s\n", trace_path);
+    }
   }
 
   std::printf(

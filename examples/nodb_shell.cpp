@@ -14,6 +14,8 @@
 //   \restore [TABLE]                recover adaptive state from sidecar
 //   \baseline on|off                toggle map+cache+stats+store
 //   \timing on|off                  per-query breakdown line
+//   \metrics [prom]                 engine-wide metrics registry dump
+//   \trace on|off [PATH]            per-query trace spans (JSONL export)
 //   \help  \quit
 //
 // Every other line is executed as SQL. Runs fine non-interactively:
@@ -33,6 +35,7 @@
 #include "engines/result_export.h"
 #include "io/temp_dir.h"
 #include "monitor/panel.h"
+#include "obs/metrics.h"
 #include "util/string_util.h"
 
 using namespace nodb;
@@ -64,7 +67,12 @@ void PrintHelp() {
       "  \\save [TABLE]    \\restore [TABLE]   persist / recover adaptive "
       "state\n"
       "  \\baseline on|off    \\timing on|off    \\help    \\quit\n"
-      "anything else runs as SQL. Omit SCHEMA in \\open to infer it.\n");
+      "  \\metrics [prom]                  metrics registry (text or "
+      "Prometheus)\n"
+      "  \\trace on|off [PATH]             trace spans; PATH appends "
+      "Chrome JSONL\n"
+      "anything else runs as SQL (EXPLAIN / EXPLAIN ANALYZE included). "
+      "Omit SCHEMA in \\open to infer it.\n");
 }
 
 }  // namespace
@@ -271,6 +279,32 @@ int main(int argc, char** argv) {
         iss >> mode;
         timing = (mode != "off");
         std::printf("timing %s\n", timing ? "on" : "off");
+      } else if (cmd == "\\metrics") {
+        std::string format;
+        iss >> format;
+        std::printf("%s",
+                    format == "prom"
+                        ? obs::MetricsRegistry::Global()
+                              .RenderPrometheus()
+                              .c_str()
+                        : obs::MetricsRegistry::Global()
+                              .RenderText()
+                              .c_str());
+      } else if (cmd == "\\trace") {
+        std::string mode, path;
+        iss >> mode >> path;
+        bool on = (mode == "on");
+        engine.tracer().SetEnabled(on);
+        if (!path.empty()) engine.tracer().SetPath(path);
+        if (on && engine.tracer().path().empty()) {
+          std::printf(
+              "tracing on (in-memory ring only; give a PATH to append "
+              "Chrome-trace JSONL)\n");
+        } else {
+          std::printf("tracing %s%s%s\n", on ? "on" : "off",
+                      engine.tracer().path().empty() ? "" : " -> ",
+                      engine.tracer().path().c_str());
+        }
       } else if (cmd == "\\open") {
         std::string name, path, schema_spec, delim;
         iss >> name >> path;

@@ -2,11 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <optional>
+#include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/plan_profile.h"
 #include "persist/snapshot.h"
 #include "raw/parallel_scan.h"
 #include "raw/raw_scan.h"
 #include "raw/stats_collector.h"
+#include "sql/parser.h"
 #include "sql/planner.h"
 #include "store/promoter.h"
 #include "util/stopwatch.h"
@@ -58,12 +63,61 @@ class NoDbEngine::Factory final : public ScanFactory {
   ScanMetrics* metrics_;
 };
 
+namespace {
+
+/// Leaf operator emitting a pre-rendered text block as a one-column
+/// result, one row per line — how EXPLAIN [ANALYZE] output travels
+/// through the ordinary QueryResult pipeline.
+class TextResultOperator final : public ExecOperator {
+ public:
+  TextResultOperator(const std::string& column, const std::string& text)
+      : schema_(Schema::Make({{column, DataType::kString}})) {
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) lines_.push_back(std::move(line));
+  }
+
+  Status Open() override { return Status::OK(); }
+
+  Result<BatchPtr> Next() override {
+    if (done_) return BatchPtr(nullptr);
+    done_ = true;
+    auto batch = std::make_shared<RecordBatch>(schema_);
+    for (std::string& line : lines_) {
+      batch->AppendRow({Value::String(std::move(line))});
+    }
+    return batch;
+  }
+
+  std::shared_ptr<Schema> output_schema() const override { return schema_; }
+
+ private:
+  std::shared_ptr<Schema> schema_;
+  std::vector<std::string> lines_;
+  bool done_ = false;
+};
+
+Result<QueryOutcome> TextOutcome(const std::string& column,
+                                 const std::string& text,
+                                 QueryMetrics metrics) {
+  TextResultOperator op(column, text);
+  QueryOutcome outcome;
+  NODB_ASSIGN_OR_RETURN(outcome.result, QueryResult::Drain(&op));
+  outcome.metrics = std::move(metrics);
+  return outcome;
+}
+
+}  // namespace
+
 NoDbEngine::NoDbEngine(Catalog catalog, NoDbConfig config, std::string name)
     : name_(std::move(name)),
       catalog_(std::move(catalog)),
       config_(config),
       flags_{config.enable_positional_map, config.enable_cache,
-             config.enable_statistics, config.enable_store} {}
+             config.enable_statistics, config.enable_store} {
+  tracer_.SetEnabled(config_.trace_mode == TraceMode::kOn);
+  if (!config_.trace_path.empty()) tracer_.SetPath(config_.trace_path);
+}
 
 NoDbEngine::~NoDbEngine() {
   WaitForPromotions();
@@ -161,10 +215,72 @@ Status NoDbEngine::MaybeParallelPrewarm(RawTableState* state,
 }
 
 Result<QueryOutcome> NoDbEngine::Execute(std::string_view sql) {
+  std::string_view body = sql;
+  bool analyze = false;
+  if (StripExplainPrefix(&body, &analyze)) {
+    if (!analyze) {
+      NODB_ASSIGN_OR_RETURN(std::string text, Explain(body));
+      QueryMetrics metrics;
+      metrics.sql = std::string(sql);
+      return TextOutcome("QUERY PLAN", text, std::move(metrics));
+    }
+    // EXPLAIN ANALYZE: really run the statement (adaptive structures
+    // grow exactly as a plain execution would), then render the
+    // annotated tree instead of the rows.
+    obs::PlanProfiler profiler;
+    NODB_ASSIGN_OR_RETURN(QueryOutcome inner, ExecuteQuery(body, &profiler));
+    std::string text = obs::RenderAnalyze(profiler, inner.metrics);
+    return TextOutcome("QUERY PLAN", text, std::move(inner.metrics));
+  }
+  return ExecuteQuery(sql, nullptr);
+}
+
+Result<QueryOutcome> NoDbEngine::ExecuteQuery(std::string_view sql,
+                                              obs::PlanProfiler* profile) {
+  std::unique_ptr<obs::TraceContext> trace;
+  std::optional<obs::PlanProfiler> trace_profiler;
+  if (tracer_.enabled()) {
+    trace = std::make_unique<obs::TraceContext>(
+        tracer_.NextQueryId(), obs::ScopedSessionLabel::Current(),
+        std::string(sql));
+    // Tracing wants per-operator spans even when the caller did not
+    // ask for EXPLAIN ANALYZE; the profiler must outlive the plan,
+    // which RunQuery's scope guarantees.
+    if (profile == nullptr) {
+      trace_profiler.emplace();
+      profile = &*trace_profiler;
+    }
+  }
+  Result<QueryOutcome> outcome = RunQuery(sql, profile, trace.get());
+  if (trace != nullptr) tracer_.Collect(trace->Finish());
+  if (outcome.ok()) {
+    obs::RecordQueryTelemetry(outcome->metrics);
+  } else {
+    static obs::Counter* failures =
+        obs::MetricsRegistry::Global().GetCounter(
+            "nodb_queries_failed_total",
+            "Queries that returned an error status");
+    failures->Add(1);
+  }
+  return outcome;
+}
+
+Result<QueryOutcome> NoDbEngine::RunQuery(std::string_view sql,
+                                          obs::PlanProfiler* profile,
+                                          obs::TraceContext* trace) {
   Stopwatch watch;
   QueryOutcome outcome;
   outcome.metrics.sql = std::string(sql);
+  obs::ScopedSpan root_span(trace, "query.execute");
 
+  int64_t phase_start = watch.ElapsedNanos();
+  obs::ScopedSpan parse_span(trace, "query.parse");
+  NODB_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSelect(sql));
+  parse_span.Close();
+  outcome.metrics.parse_ns = watch.ElapsedNanos() - phase_start;
+
+  phase_start = watch.ElapsedNanos();
+  obs::ScopedSpan plan_span(trace, "query.plan");
   // On-the-fly statistics feed the planner's predicate ordering. The
   // estimator holds collector pointers, which stay valid for the
   // engine's lifetime (states are never erased, stats reset in place).
@@ -181,10 +297,41 @@ Result<QueryOutcome> NoDbEngine::Execute(std::string_view sql) {
   }
   PlannerOptions options;
   options.stats = use_stats ? &estimator : nullptr;
+  options.profile = profile;
 
   Factory factory(this, &outcome.metrics.scan);
-  NODB_ASSIGN_OR_RETURN(OperatorPtr plan, PlanSql(sql, &factory, options));
+  NODB_ASSIGN_OR_RETURN(OperatorPtr plan,
+                        PlanSelect(stmt, &factory, options));
+  plan_span.Close();
+  outcome.metrics.plan_ns = watch.ElapsedNanos() - phase_start;
+
+  phase_start = watch.ElapsedNanos();
+  obs::ScopedSpan drain_span(trace, "query.drain");
+  // Anchor for the synthetic per-category and per-operator spans
+  // below: taken after the drain span opened, so every start stamp in
+  // the trace stays non-decreasing.
+  int64_t drain_anchor_ns = obs::TraceNowNs();
   NODB_ASSIGN_OR_RETURN(outcome.result, QueryResult::Drain(plan.get()));
+  drain_span.Close();
+  outcome.metrics.drain_ns = watch.ElapsedNanos() - phase_start;
+
+  if (trace != nullptr) {
+    // The scan cost categories are accumulated per-row inside the scan
+    // and only become spans here, as aggregates over the drain phase.
+    const ScanMetrics& scan = outcome.metrics.scan;
+    auto emit = [&](const char* name, int64_t ns) {
+      if (ns > 0) trace->EmitSpan(name, drain_anchor_ns, ns);
+    };
+    emit("scan.io", scan.io_ns);
+    emit("scan.locate", scan.parsing_ns);
+    emit("scan.tokenize", scan.tokenize_ns);
+    emit("scan.convert", scan.convert_ns);
+    emit("scan.maintain", scan.nodb_ns);
+    if (profile != nullptr) {
+      profile->EmitExecSpans(trace, drain_anchor_ns);
+    }
+  }
+  root_span.Close();
 
   outcome.metrics.total_ns = watch.ElapsedNanos();
   {
@@ -197,11 +344,11 @@ Result<QueryOutcome> NoDbEngine::Execute(std::string_view sql) {
   }
   // Paper-style adaptive loading: once the query is answered, promote
   // whatever it made hot in the background.
-  SchedulePromotions();
+  SchedulePromotions(trace == nullptr ? 0 : trace->id());
   return outcome;
 }
 
-void NoDbEngine::SchedulePromotions() {
+void NoDbEngine::SchedulePromotions(uint64_t triggered_by) {
   std::vector<RawTableState*> states;
   {
     MutexLock lock(states_mu_);
@@ -226,12 +373,28 @@ void NoDbEngine::SchedulePromotions() {
     // The task deliberately does not keep the pool alive: the engine
     // owns pool lifetime, and a replaced pool drains its queue in its
     // destructor, so a queued pass always runs before teardown.
-    ClientPool(1)->Submit([this, state, hot = std::move(hot)] {
+    ClientPool(1)->Submit([this, state, hot = std::move(hot),
+                           triggered_by] {
+      int64_t start_ns = obs::TraceNowNs();
       Status status = PromoteHotColumns(state, hot);
       // A failed pass (e.g. the file was rewritten underneath) leaves
       // the claim re-armed; the next query retries against the new
       // generation.
       state->EndPromotion(status.ok());
+      if (tracer_.enabled()) {
+        // Background work gets its own trace row so concurrent
+        // timelines show maintenance beside the queries that caused
+        // it.
+        std::string label = "promote " + state->info().name;
+        if (triggered_by != 0) {
+          label += " (triggered by q" + std::to_string(triggered_by) + ")";
+        }
+        obs::TraceContext ctx(tracer_.NextQueryId(), "background",
+                              std::move(label));
+        ctx.EmitSpan("promoter.pass", start_ns,
+                     obs::TraceNowNs() - start_ns);
+        tracer_.Collect(ctx.Finish());
+      }
       MutexLock lock(promo_mu_);
       --promo_pending_;
       promo_cv_.notify_all();
@@ -250,6 +413,18 @@ std::shared_ptr<ThreadPool> NoDbEngine::ClientPool(uint32_t threads) {
     // Replace rather than grow: a batch still running on the old pool
     // keeps it alive through its own shared_ptr.
     client_pool_ = std::make_shared<ThreadPool>(threads);
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    ThreadPoolMetrics metrics;
+    metrics.queue_depth = registry.GetGauge(
+        "nodb_pool_queue_depth",
+        "Client-pool tasks queued or running (zero when idle)");
+    metrics.task_wait_ns = registry.GetHistogram(
+        "nodb_pool_task_wait_ns", "Client-pool submit-to-start latency");
+    metrics.task_run_ns = registry.GetHistogram(
+        "nodb_pool_task_run_ns", "Client-pool task execution time");
+    metrics.tasks_total = registry.GetCounter(
+        "nodb_pool_tasks_total", "Tasks executed by the client pool");
+    client_pool_->SetMetrics(metrics);
   }
   return client_pool_;
 }
@@ -393,9 +568,17 @@ Status NoDbEngine::SaveSnapshot(const std::string& table) {
   // Let in-flight background promotions land: the saved store should
   // be the one the next query would have seen.
   WaitForPromotions();
-  return persist::WriteSnapshot(
+  int64_t start_ns = obs::TraceNowNs();
+  Status status = persist::WriteSnapshot(
       *state, persist::SnapshotPathFor(state->info(),
                                        config_.snapshot_path));
+  if (tracer_.enabled()) {
+    obs::TraceContext ctx(tracer_.NextQueryId(), "background",
+                          "snapshot save " + table);
+    ctx.EmitSpan("persist.save", start_ns, obs::TraceNowNs() - start_ns);
+    tracer_.Collect(ctx.Finish());
+  }
+  return status;
 }
 
 Status NoDbEngine::SaveAllSnapshots() {
@@ -435,9 +618,17 @@ Result<persist::RecoveryReport> NoDbEngine::LoadSnapshot(
     // be refused by them. Report the recovery that actually happened.
     return prior;
   }
-  return persist::LoadSnapshot(
+  int64_t start_ns = obs::TraceNowNs();
+  Result<persist::RecoveryReport> report = persist::LoadSnapshot(
       state,
       persist::SnapshotPathFor(state->info(), config_.snapshot_path));
+  if (tracer_.enabled()) {
+    obs::TraceContext ctx(tracer_.NextQueryId(), "background",
+                          "snapshot load " + table);
+    ctx.EmitSpan("persist.load", start_ns, obs::TraceNowNs() - start_ns);
+    tracer_.Collect(ctx.Finish());
+  }
+  return report;
 }
 
 const RawTableState* NoDbEngine::table_state(

@@ -10,6 +10,7 @@
 #include "catalog/catalog.h"
 #include "engines/engine.h"
 #include "engines/query_session.h"
+#include "obs/trace.h"
 #include "persist/image.h"
 #include "raw/nodb_config.h"
 #include "raw/table_state.h"
@@ -18,6 +19,10 @@
 #include "util/thread_pool.h"
 
 namespace nodb {
+
+namespace obs {
+class PlanProfiler;
+}  // namespace obs
 
 /// The PostgresRaw reproduction: executes SQL directly over raw CSV
 /// files with zero loading, adaptively building the positional map,
@@ -50,6 +55,10 @@ class NoDbEngine final : public Engine {
   /// In-situ: nothing to do. Registers no I/O, returns ~0.
   Result<int64_t> Initialize() override;
 
+  /// Recognizes a leading `EXPLAIN [ANALYZE]` and routes it to the
+  /// plan-only / instrumented execution paths; the answer comes back
+  /// as a one-column text result. Everything else executes normally,
+  /// recording per-query trace spans when tracer() is enabled.
   Result<QueryOutcome> Execute(std::string_view sql) override
       EXCLUDES(states_mu_, totals_mu_);
 
@@ -133,8 +142,27 @@ class NoDbEngine final : public Engine {
   const NoDbConfig& config() const { return config_; }
   Catalog& catalog() { return catalog_; }
 
+  /// Per-query span collector (obs/trace.h). Seeded from
+  /// NoDbConfig::trace_mode / trace_path; flip at runtime with
+  /// tracer().SetEnabled() (the shell's `\trace on|off`).
+  obs::Tracer& tracer() { return tracer_; }
+
  private:
   class Factory;
+
+  /// Execute() minus the EXPLAIN routing: runs `sql` with optional
+  /// operator profiling, collects the trace and folds the query's
+  /// metrics into the global registry.
+  Result<QueryOutcome> ExecuteQuery(std::string_view sql,
+                                    obs::PlanProfiler* profile)
+      EXCLUDES(states_mu_, totals_mu_);
+
+  /// The parse/plan/drain pipeline, spans recorded into `trace` (may
+  /// be null = tracing off).
+  Result<QueryOutcome> RunQuery(std::string_view sql,
+                                obs::PlanProfiler* profile,
+                                obs::TraceContext* trace)
+      EXCLUDES(states_mu_, totals_mu_);
 
   Result<RawTableState*> GetOrCreateState(const std::string& table)
       EXCLUDES(states_mu_);
@@ -155,7 +183,10 @@ class NoDbEngine final : public Engine {
   /// After a query completes: for every table whose hot attributes are
   /// not fully materialized, claims and submits one background
   /// promotion pass (store/promoter.h) to the shared pool.
-  void SchedulePromotions() EXCLUDES(states_mu_, promo_mu_, pool_mu_);
+  /// `triggered_by` is the trace id of the triggering query (0 = not
+  /// traced), stamped into the background pass's own trace.
+  void SchedulePromotions(uint64_t triggered_by)
+      EXCLUDES(states_mu_, promo_mu_, pool_mu_);
 
   /// Pushes the engine-level component flags down to every table
   /// state.
@@ -180,6 +211,10 @@ class NoDbEngine final : public Engine {
 
   Mutex totals_mu_;
   EngineTotals totals_ GUARDED_BY(totals_mu_);
+
+  /// Internally synchronized; declared before the pool so background
+  /// passes drained during pool teardown can still collect traces.
+  obs::Tracer tracer_;
 
   /// Background-promotion accounting. Declared before the pool so a
   /// queued promotion task drained by the pool's destructor still

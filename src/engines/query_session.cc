@@ -2,9 +2,14 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace nodb {
 
 Result<QueryOutcome> QuerySession::Execute(std::string_view sql) {
+  // Tags the thread so the engine's tracer attributes the query's
+  // spans to this client without widening Engine::Execute.
+  obs::ScopedSessionLabel label(client_id_);
   Result<QueryOutcome> outcome = engine_->Execute(sql);
   if (outcome.ok()) {
     totals_.AddQuery(outcome->metrics);

@@ -1,5 +1,6 @@
 #include "monitor/panel.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "util/string_util.h"
@@ -75,6 +76,14 @@ std::string MonitorPanel::RenderTableState(const RawTableState& state) {
 
 std::string MonitorPanel::RenderBreakdown(const std::string& label,
                                           const QueryMetrics& metrics) {
+  // The derived "Processing" category is total − scan categories, which
+  // goes negative when per-category timers overlap a tiny query's wall
+  // time (each category is measured independently, so their sum can
+  // exceed the wall clock by a few timer quanta). Clamp at zero here —
+  // never render a negative duration or bar — independent of whatever
+  // the metrics source did.
+  int64_t processing =
+      std::max<int64_t>(0, metrics.total_ns - metrics.scan.TotalScanNs());
   char line[512];
   std::snprintf(
       line, sizeof(line),
@@ -82,7 +91,7 @@ std::string MonitorPanel::RenderBreakdown(const std::string& label,
       "parse %10s | tokenize %10s | nodb %10s | rows store/cache/raw "
       "%llu/%llu/%llu | skipped blocks %llu | parse p1/p2 %llu/%llu\n",
       label.c_str(), FormatNanos(metrics.total_ns).c_str(),
-      FormatNanos(metrics.processing_ns()).c_str(),
+      FormatNanos(processing).c_str(),
       FormatNanos(metrics.scan.io_ns).c_str(),
       FormatNanos(metrics.scan.convert_ns).c_str(),
       FormatNanos(metrics.scan.parsing_ns).c_str(),

@@ -15,6 +15,15 @@ struct QueryMetrics {
   int64_t total_ns = 0;
   ScanMetrics scan;
 
+  /// Phase wall times (filled by NoDbEngine; zero on engines that do
+  /// not split phases): SQL text -> AST, AST -> operator tree, and
+  /// draining the tree into the materialized result. Disjoint
+  /// sub-intervals of total_ns, so parse + plan + drain <= total and
+  /// the gap is engine glue — EXPLAIN ANALYZE's accounting check.
+  int64_t parse_ns = 0;
+  int64_t plan_ns = 0;
+  int64_t drain_ns = 0;
+
   /// Plan work above the scan (filters, aggregation, joins,
   /// materialization): everything the scan categories do not explain.
   int64_t processing_ns() const {

@@ -1,0 +1,266 @@
+#include "obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "monitor/query_metrics.h"
+
+namespace nodb {
+namespace obs {
+
+size_t ThisThreadShard() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return shard % Counter::kShards;
+}
+
+void LatencyHistogram::Record(int64_t ns) {
+  uint64_t v = ns < 0 ? 0 : static_cast<uint64_t>(ns);
+  Shard& shard = shards_[ThisThreadShard() % kShards];
+  shard.buckets[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(v, std::memory_order_relaxed);
+  uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+size_t LatencyHistogram::BucketIndex(uint64_t v) {
+  if (v < 4) return static_cast<size_t>(v);  // exact tiny buckets
+  int hi = 63 - __builtin_clzll(v);
+  size_t sub = static_cast<size_t>((v >> (hi - 2)) & 3);
+  size_t index = static_cast<size_t>(hi) * 4 + sub;
+  return index < kBuckets ? index : kBuckets - 1;
+}
+
+uint64_t LatencyHistogram::BucketUpperBound(size_t index) {
+  if (index < 4) return static_cast<uint64_t>(index);
+  size_t hi = index / 4;
+  size_t sub = index % 4;
+  if (hi >= 63) return UINT64_MAX;
+  // Largest value whose (hi, sub) decomposition lands in this bucket.
+  return (uint64_t{1} << hi) +
+         (static_cast<uint64_t>(sub + 1) << (hi - 2)) - 1;
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  uint64_t buckets[kBuckets] = {};
+  HistogramSnapshot snap;
+  for (const Shard& shard : shards_) {
+    for (size_t b = 0; b < kBuckets; ++b) {
+      uint64_t n = shard.buckets[b].load(std::memory_order_relaxed);
+      buckets[b] += n;
+      snap.count += n;
+    }
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  snap.max = max_.load(std::memory_order_relaxed);
+  if (snap.count == 0) return snap;
+  auto quantile = [&](double q) {
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(
+                                                  snap.count));
+    if (rank >= snap.count) rank = snap.count - 1;
+    uint64_t seen = 0;
+    for (size_t b = 0; b < kBuckets; ++b) {
+      seen += buckets[b];
+      if (seen > rank) {
+        uint64_t upper = BucketUpperBound(b);
+        return upper < snap.max ? upper : snap.max;
+      }
+    }
+    return snap.max;
+  };
+  snap.p50 = quantile(0.50);
+  snap.p95 = quantile(0.95);
+  snap.p99 = quantile(0.99);
+  return snap;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  MutexLock lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(name, Entry<Counter>{std::make_unique<Counter>(),
+                                           help})
+             .first;
+  }
+  return it->second.metric.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  MutexLock lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(name,
+                      Entry<Gauge>{std::make_unique<Gauge>(), help})
+             .first;
+  }
+  return it->second.metric.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                                const std::string& help) {
+  MutexLock lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, Entry<LatencyHistogram>{
+                                std::make_unique<LatencyHistogram>(),
+                                help})
+             .first;
+  }
+  return it->second.metric.get();
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  MutexLock lock(mu_);
+  std::string out;
+  char line[256];
+  for (const auto& [name, entry] : counters_) {
+    if (!entry.help.empty()) {
+      out += "# HELP " + name + " " + entry.help + "\n";
+    }
+    out += "# TYPE " + name + " counter\n";
+    std::snprintf(line, sizeof(line), "%s %" PRIu64 "\n", name.c_str(),
+                  entry.metric->Value());
+    out += line;
+  }
+  for (const auto& [name, entry] : gauges_) {
+    if (!entry.help.empty()) {
+      out += "# HELP " + name + " " + entry.help + "\n";
+    }
+    out += "# TYPE " + name + " gauge\n";
+    std::snprintf(line, sizeof(line), "%s %" PRId64 "\n", name.c_str(),
+                  entry.metric->Value());
+    out += line;
+  }
+  for (const auto& [name, entry] : histograms_) {
+    if (!entry.help.empty()) {
+      out += "# HELP " + name + " " + entry.help + "\n";
+    }
+    out += "# TYPE " + name + " summary\n";
+    HistogramSnapshot snap = entry.metric->Snapshot();
+    std::snprintf(line, sizeof(line),
+                  "%s{quantile=\"0.5\"} %" PRIu64 "\n", name.c_str(),
+                  snap.p50);
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "%s{quantile=\"0.95\"} %" PRIu64 "\n", name.c_str(),
+                  snap.p95);
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "%s{quantile=\"0.99\"} %" PRIu64 "\n", name.c_str(),
+                  snap.p99);
+    out += line;
+    std::snprintf(line, sizeof(line), "%s_sum %" PRIu64 "\n",
+                  name.c_str(), snap.sum);
+    out += line;
+    std::snprintf(line, sizeof(line), "%s_count %" PRIu64 "\n",
+                  name.c_str(), snap.count);
+    out += line;
+    std::snprintf(line, sizeof(line), "%s_max %" PRIu64 "\n",
+                  name.c_str(), snap.max);
+    out += line;
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderText() const {
+  MutexLock lock(mu_);
+  std::string out;
+  char line[256];
+  for (const auto& [name, entry] : counters_) {
+    std::snprintf(line, sizeof(line), "%-44s %20" PRIu64 "\n",
+                  name.c_str(), entry.metric->Value());
+    out += line;
+  }
+  for (const auto& [name, entry] : gauges_) {
+    std::snprintf(line, sizeof(line), "%-44s %20" PRId64 "\n",
+                  name.c_str(), entry.metric->Value());
+    out += line;
+  }
+  for (const auto& [name, entry] : histograms_) {
+    HistogramSnapshot snap = entry.metric->Snapshot();
+    std::snprintf(line, sizeof(line),
+                  "%-44s count %" PRIu64 " p50 %" PRIu64 " p95 %" PRIu64
+                  " p99 %" PRIu64 " max %" PRIu64 "\n",
+                  name.c_str(), snap.count, snap.p50, snap.p95, snap.p99,
+                  snap.max);
+    out += line;
+  }
+  return out;
+}
+
+void RecordQueryTelemetry(const QueryMetrics& metrics) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  // Handles resolve once; every later query is pure atomic adds.
+  static Counter* queries =
+      reg.GetCounter("nodb_queries_total", "queries executed");
+  static LatencyHistogram* latency = reg.GetHistogram(
+      "nodb_query_latency_ns", "end-to-end query latency");
+  static Counter* rows =
+      reg.GetCounter("nodb_scan_rows_total", "rows scanned");
+  static Counter* bytes =
+      reg.GetCounter("nodb_scan_bytes_read_total", "raw bytes read");
+  static Counter* rows_store = reg.GetCounter(
+      "nodb_scan_rows_from_store_total", "rows served by the store");
+  static Counter* rows_cache = reg.GetCounter(
+      "nodb_scan_rows_from_cache_total", "rows served by the cache");
+  static Counter* rows_raw = reg.GetCounter(
+      "nodb_scan_rows_from_raw_total", "rows parsed from raw bytes");
+  static Counter* zone_rows = reg.GetCounter(
+      "nodb_scan_zone_skipped_rows_total", "rows skipped by zone maps");
+  static Counter* pruned = reg.GetCounter(
+      "nodb_scan_pushdown_pruned_rows_total",
+      "rows dropped by pushed predicates before phase-2 parsing");
+  static Counter* cache_hits = reg.GetCounter(
+      "nodb_cache_block_hits_total", "cache block hits during scans");
+  static Counter* cache_misses = reg.GetCounter(
+      "nodb_cache_block_misses_total", "cache block misses during scans");
+  static Counter* io_ns =
+      reg.GetCounter("nodb_scan_io_ns_total", "scan I/O time");
+  static Counter* locate_ns = reg.GetCounter(
+      "nodb_scan_locate_ns_total", "tuple-boundary location time");
+  static Counter* tokenize_ns =
+      reg.GetCounter("nodb_scan_tokenize_ns_total", "tokenizing time");
+  static Counter* convert_ns = reg.GetCounter(
+      "nodb_scan_convert_ns_total", "text-to-binary conversion time");
+  static Counter* maintain_ns = reg.GetCounter(
+      "nodb_scan_maintain_ns_total",
+      "positional map / cache / statistics maintenance time");
+
+  const ScanMetrics& s = metrics.scan;
+  queries->Add(1);
+  latency->Record(metrics.total_ns);
+  rows->Add(s.rows_scanned);
+  bytes->Add(s.bytes_read);
+  rows_store->Add(s.rows_from_store);
+  rows_cache->Add(s.rows_from_cache);
+  rows_raw->Add(s.rows_from_raw);
+  zone_rows->Add(s.zone_skipped_rows);
+  pruned->Add(s.pushdown_rows_pruned);
+  cache_hits->Add(s.cache_block_hits);
+  cache_misses->Add(s.cache_block_misses);
+  io_ns->Add(static_cast<uint64_t>(s.io_ns < 0 ? 0 : s.io_ns));
+  locate_ns->Add(
+      static_cast<uint64_t>(s.parsing_ns < 0 ? 0 : s.parsing_ns));
+  tokenize_ns->Add(
+      static_cast<uint64_t>(s.tokenize_ns < 0 ? 0 : s.tokenize_ns));
+  convert_ns->Add(
+      static_cast<uint64_t>(s.convert_ns < 0 ? 0 : s.convert_ns));
+  maintain_ns->Add(
+      static_cast<uint64_t>(s.nodb_ns < 0 ? 0 : s.nodb_ns));
+}
+
+}  // namespace obs
+}  // namespace nodb

@@ -1,0 +1,157 @@
+#ifndef NODB_OBS_METRICS_H_
+#define NODB_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace nodb {
+
+struct QueryMetrics;
+
+namespace obs {
+
+/// Index of the calling thread into a fixed set of metric shards.
+/// Stable for the thread's lifetime; different threads spread across
+/// shards so hot-path increments never contend on one cache line.
+size_t ThisThreadShard();
+
+/// A monotonically increasing counter. Add() is wait-free and
+/// TSan-clean: each thread lands on its own cache-line-padded shard
+/// and bumps it with a relaxed atomic add. Value() sums the shards
+/// (racy reads see a value that was true at some instant — exactly
+/// what monitoring wants).
+class Counter {
+ public:
+  static constexpr size_t kShards = 16;
+
+  void Add(uint64_t n = 1) {
+    shards_[ThisThreadShard()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t sum = 0;
+    for (const Shard& s : shards_) {
+      sum += s.v.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  Shard shards_[kShards];
+};
+
+/// An instantaneous level (queue depth, in-flight queries). Updates
+/// must stay coherent across threads (Add/Sub pairs), so this is one
+/// atomic rather than shards — gauges move orders of magnitude less
+/// often than counters.
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(int64_t n = 1) { v_.fetch_sub(n, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Point-in-time view of a LatencyHistogram.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  uint64_t p50 = 0;
+  uint64_t p95 = 0;
+  uint64_t p99 = 0;
+};
+
+/// Log-bucketed latency distribution in nanoseconds: ~4 sub-buckets
+/// per power of two (quantile error < 25%), sharded like Counter so
+/// Record() is wait-free on the hot path. Max is tracked exactly via
+/// a lock-free CAS loop.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kShards = 8;
+  static constexpr size_t kBuckets = 64 * 4;
+
+  void Record(int64_t ns);
+
+  /// Quantiles resolve to the upper bound of the containing bucket
+  /// (conservative: reported p99 >= true p99 within one bucket).
+  HistogramSnapshot Snapshot() const;
+
+  static size_t BucketIndex(uint64_t v);
+  static uint64_t BucketUpperBound(size_t index);
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> buckets[kBuckets];
+    std::atomic<uint64_t> sum{0};
+  };
+  Shard shards_[kShards] = {};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Process-wide named metrics. Handles are created on first use and
+/// live for the registry's lifetime (pointer-stable), so callers cache
+/// the pointer once and increment lock-free forever after. Tests build
+/// private registries; the engine and its components register on
+/// Global().
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Global();
+
+  /// Names follow Prometheus convention: [a-zA-Z_][a-zA-Z0-9_]*,
+  /// suffixed _total (counters) / _ns (durations). A name is one kind
+  /// forever; the help string of the first registration wins.
+  Counter* GetCounter(const std::string& name,
+                      const std::string& help = "") EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name, const std::string& help = "")
+      EXCLUDES(mu_);
+  LatencyHistogram* GetHistogram(const std::string& name,
+                                 const std::string& help = "")
+      EXCLUDES(mu_);
+
+  /// Prometheus text exposition format (# HELP / # TYPE + samples;
+  /// histograms as summaries with quantile labels).
+  std::string RenderPrometheus() const EXCLUDES(mu_);
+
+  /// Compact human-readable dump (the shell's \metrics panel).
+  std::string RenderText() const EXCLUDES(mu_);
+
+ private:
+  template <typename T>
+  struct Entry {
+    std::unique_ptr<T> metric;
+    std::string help;
+  };
+
+  mutable Mutex mu_;
+  std::map<std::string, Entry<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, Entry<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, Entry<LatencyHistogram>> histograms_
+      GUARDED_BY(mu_);
+};
+
+/// Folds one finished query's metrics into the global registry: the
+/// query/scan counters, the tier attribution and the end-to-end
+/// latency distribution.
+void RecordQueryTelemetry(const QueryMetrics& metrics);
+
+}  // namespace obs
+}  // namespace nodb
+
+#endif  // NODB_OBS_METRICS_H_

@@ -1,0 +1,199 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+namespace nodb {
+namespace obs {
+
+namespace {
+
+/// Innermost session label of this thread (see ScopedSessionLabel).
+thread_local const std::string* tls_session_label = nullptr;
+
+std::chrono::steady_clock::time_point ProcessEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+/// JSON string escaping (quotes, backslashes, control characters).
+void AppendJsonEscaped(std::string_view in, std::string* out) {
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+int64_t TraceNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - ProcessEpoch())
+      .count();
+}
+
+TraceContext::TraceContext(uint64_t id, std::string client,
+                           std::string sql) {
+  trace_.id = id;
+  trace_.client = std::move(client);
+  trace_.sql = std::move(sql);
+  trace_.events.reserve(16);
+}
+
+size_t TraceContext::OpenSpan(std::string_view name) {
+  size_t handle = trace_.events.size();
+  TraceEvent event;
+  event.name = std::string(name);
+  event.start_ns = TraceNowNs();
+  event.dur_ns = -1;  // open; filled by CloseSpan
+  event.depth = static_cast<int>(stack_.size());
+  trace_.events.push_back(std::move(event));
+  stack_.push_back(handle);
+  return handle;
+}
+
+void TraceContext::CloseSpan(size_t handle) {
+  if (handle >= trace_.events.size()) return;
+  TraceEvent& event = trace_.events[handle];
+  if (event.dur_ns >= 0) return;  // already closed
+  event.dur_ns = TraceNowNs() - event.start_ns;
+  if (!stack_.empty() && stack_.back() == handle) stack_.pop_back();
+}
+
+void TraceContext::EmitSpan(std::string_view name, int64_t start_ns,
+                            int64_t dur_ns) {
+  TraceEvent event;
+  event.name = std::string(name);
+  event.start_ns = start_ns;
+  event.dur_ns = dur_ns < 0 ? 0 : dur_ns;
+  event.depth = static_cast<int>(stack_.size());
+  trace_.events.push_back(std::move(event));
+}
+
+QueryTrace TraceContext::Finish() {
+  // A still-open span at finish is a bug upstream; close it here so
+  // the exported trace stays well-formed (the integrity tests assert
+  // open_spans() == 0 before finishing).
+  while (!stack_.empty()) {
+    CloseSpan(stack_.back());
+  }
+  return std::move(trace_);
+}
+
+void Tracer::SetPath(std::string path) {
+  MutexLock lock(mu_);
+  path_ = std::move(path);
+}
+
+std::string Tracer::path() const {
+  MutexLock lock(mu_);
+  return path_;
+}
+
+std::string Tracer::ToJsonLines(const QueryTrace& trace) {
+  std::string out;
+  char buf[160];
+  for (const TraceEvent& event : trace.events) {
+    out += "{\"name\":\"";
+    AppendJsonEscaped(event.name, &out);
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"cat\":\"nodb\",\"ph\":\"X\",\"ts\":%.3f,"
+                  "\"dur\":%.3f,\"pid\":1,\"tid\":%llu,",
+                  static_cast<double>(event.start_ns) / 1e3,
+                  static_cast<double>(event.dur_ns) / 1e3,
+                  static_cast<unsigned long long>(trace.id));
+    out += buf;
+    out += "\"args\":{\"client\":\"";
+    AppendJsonEscaped(trace.client, &out);
+    out += "\",\"sql\":\"";
+    AppendJsonEscaped(trace.sql, &out);
+    std::snprintf(buf, sizeof(buf), "\",\"depth\":%d}},\n", event.depth);
+    out += buf;
+  }
+  return out;
+}
+
+void Tracer::Collect(QueryTrace trace) {
+  std::string lines = ToJsonLines(trace);
+  MutexLock lock(mu_);
+  recent_.push_back(std::move(trace));
+  while (recent_.size() > kMaxRecent) recent_.pop_front();
+  if (path_.empty()) return;
+  std::FILE* f = std::fopen(path_.c_str(), "a");
+  if (f == nullptr) return;  // tracing must never fail a query
+  if (std::ftell(f) == 0) {
+    // Chrome trace array format: the opening bracket; the viewer
+    // accepts a trailing comma and no closing bracket.
+    std::fputs("[\n", f);
+  }
+  std::fputs(lines.c_str(), f);
+  // Best effort by design — a full disk loses trace lines, not queries.
+  (void)std::fclose(f);
+}
+
+std::vector<QueryTrace> Tracer::Snapshot() const {
+  MutexLock lock(mu_);
+  return std::vector<QueryTrace>(recent_.begin(), recent_.end());
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  std::string out = "[\n";
+  {
+    MutexLock lock(mu_);
+    for (const QueryTrace& trace : recent_) {
+      out += ToJsonLines(trace);
+    }
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace file '" + path + "'");
+  }
+  size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  if (std::fclose(f) != 0 || written != out.size()) {
+    return Status::IOError("short write to trace file '" + path + "'");
+  }
+  return Status::OK();
+}
+
+ScopedSessionLabel::ScopedSessionLabel(const std::string& label)
+    : previous_(tls_session_label) {
+  tls_session_label = &label;
+}
+
+ScopedSessionLabel::~ScopedSessionLabel() {
+  tls_session_label = previous_;
+}
+
+std::string ScopedSessionLabel::Current() {
+  return tls_session_label == nullptr ? std::string()
+                                      : *tls_session_label;
+}
+
+}  // namespace obs
+}  // namespace nodb

@@ -1,0 +1,158 @@
+#ifndef NODB_OBS_TRACE_H_
+#define NODB_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace nodb {
+namespace obs {
+
+/// Steady-clock nanoseconds since process start: the shared timebase
+/// of every span, so traces from concurrent queries line up on one
+/// timeline.
+int64_t TraceNowNs();
+
+/// One completed span. Events of a query are recorded in open order,
+/// so start timestamps are non-decreasing within a trace.
+struct TraceEvent {
+  std::string name;  ///< component.verb, see docs/observability.md
+  int64_t start_ns = 0;
+  int64_t dur_ns = 0;
+  int depth = 0;  ///< nesting depth at open (root = 0)
+};
+
+/// Everything traced for one query (or one background pass).
+struct QueryTrace {
+  uint64_t id = 0;      ///< engine-assigned ordinal (Chrome tid)
+  std::string client;   ///< session attribution; "" for direct calls
+  std::string sql;      ///< query text, or a background-pass label
+  std::vector<TraceEvent> events;
+};
+
+/// Per-query span recorder. Single-threaded by design — one context
+/// per query, owned by the executing thread; the Tracer is the
+/// cross-thread collection point. Spans nest via an open stack;
+/// EmitSpan() records a pre-measured aggregate span (e.g. the scan
+/// phase totals, which are accumulated per-row and only become a span
+/// at query end) without touching the stack.
+class TraceContext {
+ public:
+  TraceContext(uint64_t id, std::string client, std::string sql);
+
+  /// Opens a nested span; returns a handle for CloseSpan.
+  size_t OpenSpan(std::string_view name);
+  void CloseSpan(size_t handle);
+
+  /// Records a span measured elsewhere. `start_ns` must not precede
+  /// the last opened/emitted span's start (keeps events monotone).
+  void EmitSpan(std::string_view name, int64_t start_ns, int64_t dur_ns);
+
+  uint64_t id() const { return trace_.id; }
+  size_t open_spans() const { return stack_.size(); }
+  size_t num_events() const { return trace_.events.size(); }
+
+  /// Consumes the context; every opened span must be closed.
+  QueryTrace Finish();
+
+ private:
+  QueryTrace trace_;
+  std::vector<size_t> stack_;  // indices of open events
+};
+
+/// RAII span over a possibly-null context (null = tracing off: every
+/// operation is a no-op, so call sites need no branches).
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceContext* ctx, const char* name)
+      : ctx_(ctx), handle_(ctx == nullptr ? 0 : ctx->OpenSpan(name)) {}
+  ~ScopedSpan() { Close(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Closes early (the span's natural end precedes scope exit).
+  void Close() {
+    if (ctx_ != nullptr) ctx_->CloseSpan(handle_);
+    ctx_ = nullptr;
+  }
+
+ private:
+  TraceContext* ctx_;
+  size_t handle_;
+};
+
+/// Engine-owned trace collector: hands out query ids, keeps a bounded
+/// ring of recent traces for inspection, and optionally streams each
+/// finished trace to a Chrome-trace-viewer-compatible JSONL file.
+/// Collect() is the only cross-thread rendezvous and is mutex-guarded;
+/// enabled() is a relaxed atomic so the query hot path pays one load
+/// when tracing is off.
+class Tracer {
+ public:
+  static constexpr size_t kMaxRecent = 1024;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void SetEnabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Appends finished traces to `path` as they are collected
+  /// ("" disables streaming). The file is Chrome trace format: a "["
+  /// line then one JSON event object per line.
+  void SetPath(std::string path) EXCLUDES(mu_);
+  std::string path() const EXCLUDES(mu_);
+
+  uint64_t NextQueryId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void Collect(QueryTrace trace) EXCLUDES(mu_);
+
+  /// Copies the retained ring (most recent last).
+  std::vector<QueryTrace> Snapshot() const EXCLUDES(mu_);
+
+  /// Writes the retained ring as a complete Chrome trace file.
+  Status WriteChromeTrace(const std::string& path) const EXCLUDES(mu_);
+
+  /// One Chrome trace event object per line (ph:"X", ts/dur in
+  /// microseconds, tid = query id), no surrounding array tokens.
+  static std::string ToJsonLines(const QueryTrace& trace);
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_id_{1};
+  mutable Mutex mu_;
+  std::string path_ GUARDED_BY(mu_);
+  std::deque<QueryTrace> recent_ GUARDED_BY(mu_);
+};
+
+/// Thread-local session attribution: QuerySession tags the thread
+/// while a query runs so the engine can stamp the client id into the
+/// query's trace without widening the Engine::Execute signature.
+class ScopedSessionLabel {
+ public:
+  explicit ScopedSessionLabel(const std::string& label);
+  ~ScopedSessionLabel();
+
+  ScopedSessionLabel(const ScopedSessionLabel&) = delete;
+  ScopedSessionLabel& operator=(const ScopedSessionLabel&) = delete;
+
+  /// The innermost live label on this thread ("" when none).
+  static std::string Current();
+
+ private:
+  const std::string* previous_;
+};
+
+}  // namespace obs
+}  // namespace nodb
+
+#endif  // NODB_OBS_TRACE_H_

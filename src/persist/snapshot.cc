@@ -4,8 +4,10 @@
 #include <cstring>
 
 #include "io/file.h"
+#include "obs/metrics.h"
 #include "util/checksum.h"
 #include "util/hash.h"
+#include "util/stopwatch.h"
 
 namespace nodb::persist {
 
@@ -490,6 +492,16 @@ uint64_t SchemaFingerprint(const RawTableInfo& info) {
 }
 
 Status WriteSnapshot(const RawTableState& state, const std::string& path) {
+  static obs::LatencyHistogram* save_ns =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "nodb_snapshot_save_ns",
+          "Snapshot save duration (freeze + encode + atomic write)");
+  static obs::Counter* saves = obs::MetricsRegistry::Global().GetCounter(
+      "nodb_snapshot_saves_total", "Snapshots written");
+  static obs::Counter* saved_bytes =
+      obs::MetricsRegistry::Global().GetCounter(
+          "nodb_snapshot_saved_bytes_total", "Snapshot bytes written");
+  Stopwatch watch;
   // Signature strictly before the freeze: if a concurrent update check
   // invalidates + re-signs between the two, the snapshot pairs the
   // *old* signature with newer structures and the loader rejects it
@@ -551,7 +563,13 @@ Status WriteSnapshot(const RawTableState& state, const std::string& path) {
   PutU32(&header, Crc32c(header.data(), header.size()));
   NODB_CHECK(header.size() == header_len);
   out.replace(0, header_len, header);
-  return WriteFileAtomic(path, Slice(out.data(), out.size()));
+  Status status = WriteFileAtomic(path, Slice(out.data(), out.size()));
+  if (status.ok()) {
+    saves->Add(1);
+    saved_bytes->Add(out.size());
+    save_ns->Record(watch.ElapsedNanos());
+  }
+  return status;
 }
 
 Result<SnapshotLayout> InspectSnapshot(const std::string& path) {
@@ -564,8 +582,10 @@ Result<SnapshotLayout> InspectSnapshot(const std::string& path) {
   return layout;
 }
 
-Result<RecoveryReport> LoadSnapshot(RawTableState* state,
-                                    const std::string& path) {
+namespace {
+
+Result<RecoveryReport> LoadSnapshotImpl(RawTableState* state,
+                                        const std::string& path) {
   if (state == nullptr) {
     return Status::InvalidArgument("LoadSnapshot: null table state");
   }
@@ -694,6 +714,23 @@ Result<RecoveryReport> LoadSnapshot(RawTableState* state,
                 : "recovered";
   }
   return state->Thaw(std::move(image), change, std::move(notes));
+}
+
+}  // namespace
+
+Result<RecoveryReport> LoadSnapshot(RawTableState* state,
+                                    const std::string& path) {
+  static obs::LatencyHistogram* load_ns =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "nodb_snapshot_load_ns",
+          "Snapshot recovery duration (including validation)");
+  static obs::Counter* loads = obs::MetricsRegistry::Global().GetCounter(
+      "nodb_snapshot_loads_total", "Snapshot recovery attempts");
+  Stopwatch watch;
+  Result<RecoveryReport> report = LoadSnapshotImpl(state, path);
+  loads->Add(1);
+  load_ns->Record(watch.ElapsedNanos());
+  return report;
 }
 
 }  // namespace nodb::persist

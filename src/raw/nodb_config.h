@@ -14,6 +14,12 @@ enum class SnapshotMode {
   kAuto,    ///< also recover on table open and save on engine teardown
 };
 
+/// Per-query trace-span collection policy (obs/trace.h).
+enum class TraceMode {
+  kOff,  ///< no spans recorded; the hot path pays one relaxed load
+  kOn,   ///< every query records spans into the engine's Tracer
+};
+
 /// Runtime knobs of the NoDB layer — the parameters the demo GUI
 /// exposes ("the user can enable or disable the NoDB components of
 /// PostgresRaw and specify the amount of storage space which is devoted
@@ -87,6 +93,17 @@ struct NoDbConfig {
   /// directory receiving `<basename>.nodbmeta` files (raw data on
   /// read-only media).
   std::string snapshot_path;
+
+  /// Per-query trace spans (obs/trace.h): parse/plan/drain phases,
+  /// scan phase aggregates and per-operator times, collected into the
+  /// engine's Tracer and optionally streamed to trace_path as Chrome
+  /// trace-viewer-compatible JSON lines. Runtime-togglable via
+  /// NoDbEngine::tracer().SetEnabled.
+  TraceMode trace_mode = TraceMode::kOff;
+
+  /// When non-empty, every finished trace is appended here as JSONL
+  /// ("" = retain in memory only; see Tracer::WriteChromeTrace).
+  std::string trace_path;
 
   /// I/O buffer for the raw-file reader.
   size_t read_buffer_bytes = 1u << 20;

@@ -1,6 +1,27 @@
 #include "raw/raw_cache.h"
 
+#include "obs/metrics.h"
+
 namespace nodb {
+
+namespace {
+
+/// Process-wide cache accounting across every table's RawCache; the
+/// per-instance counters below stay the per-table view.
+obs::Counter* InsertionsCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "nodb_cache_insertions_total", "Segments inserted into a RawCache");
+  return counter;
+}
+
+obs::Counter* EvictionsCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "nodb_cache_evictions_total",
+      "Segments evicted from a RawCache by the LRU budget");
+  return counter;
+}
+
+}  // namespace
 
 std::shared_ptr<const ColumnVector> RawCache::Get(uint32_t attr,
                                                   uint64_t block) {
@@ -45,6 +66,7 @@ void RawCache::Put(uint32_t attr, uint64_t block,
   entry.lru_pos = lru_.begin();
   entries_.emplace(key, std::move(entry));
   bytes_used_ += bytes;
+  InsertionsCounter()->Add(1);
   EvictOverBudget();
 }
 
@@ -56,6 +78,7 @@ void RawCache::EvictOverBudget() {
     bytes_used_ -= it->second.bytes;
     entries_.erase(it);
     ++evictions_;
+    EvictionsCounter()->Add(1);
   }
 }
 

@@ -527,4 +527,40 @@ Result<SelectStatement> ParseSelect(std::string_view sql) {
   return parser.Parse();
 }
 
+bool StripExplainPrefix(std::string_view* sql, bool* analyze) {
+  auto skip_space = [](std::string_view s) {
+    size_t i = 0;
+    while (i < s.size() &&
+           std::isspace(static_cast<unsigned char>(s[i])) != 0) {
+      ++i;
+    }
+    return s.substr(i);
+  };
+  auto take_word = [&](std::string_view s, std::string_view word,
+                       std::string_view* rest) {
+    if (s.size() < word.size() ||
+        !EqualsIgnoreCase(s.substr(0, word.size()), word)) {
+      return false;
+    }
+    // Word boundary: end of input or whitespace ("EXPLAINX" is a
+    // table reference, not the keyword).
+    if (s.size() > word.size() &&
+        std::isspace(static_cast<unsigned char>(s[word.size()])) == 0) {
+      return false;
+    }
+    *rest = skip_space(s.substr(word.size()));
+    return true;
+  };
+  std::string_view rest;
+  if (!take_word(skip_space(*sql), "EXPLAIN", &rest)) return false;
+  *analyze = false;
+  std::string_view after_analyze;
+  if (take_word(rest, "ANALYZE", &after_analyze)) {
+    *analyze = true;
+    rest = after_analyze;
+  }
+  *sql = rest;
+  return true;
+}
+
 }  // namespace nodb

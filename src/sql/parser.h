@@ -21,6 +21,13 @@ namespace nodb {
 /// COUNT/SUM/AVG/MIN/MAX. Keywords are case-insensitive.
 Result<SelectStatement> ParseSelect(std::string_view sql);
 
+/// Recognizes a leading `EXPLAIN [ANALYZE]` (case-insensitive, word-
+/// delimited). Returns true and rewrites `*sql` to the statement after
+/// the prefix; `*analyze` reports whether ANALYZE was present. Engines
+/// route the stripped statement to their plan-only / instrumented
+/// paths, so EXPLAIN works through the ordinary Execute entry point.
+bool StripExplainPrefix(std::string_view* sql, bool* analyze);
+
 }  // namespace nodb
 
 #endif  // NODB_SQL_PARSER_H_

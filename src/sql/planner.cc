@@ -11,6 +11,7 @@
 #include "exec/limit.h"
 #include "exec/project.h"
 #include "exec/sort.h"
+#include "obs/plan_profile.h"
 #include "sql/parser.h"
 #include "types/date_util.h"
 #include "util/string_util.h"
@@ -393,6 +394,14 @@ Result<OperatorPtr> PlanSelect(const SelectStatement& stmt,
       *options.explain += '\n';
     }
   };
+  // EXPLAIN ANALYZE / trace shim: wraps each operator as it is built,
+  // consuming `arity` subtree roots (see obs::PlanProfiler).
+  auto wrap = [&](OperatorPtr op, const char* kind, std::string label,
+                  size_t arity) -> OperatorPtr {
+    if (options.profile == nullptr) return op;
+    return options.profile->Wrap(std::move(op), kind, std::move(label),
+                                 arity);
+  };
 
   Binder binder;
   NODB_ASSIGN_OR_RETURN(auto from_schema,
@@ -524,17 +533,26 @@ Result<OperatorPtr> PlanSelect(const SelectStatement& stmt,
         OperatorPtr scan,
         factory->CreatePushdownScan(table, slot.projection, &pushdown));
     pushdown.pushed.resize(conjuncts.size(), false);
+    size_t num_pushed = 0;
     for (size_t i = 0; i < conjuncts.size(); ++i) {
       if (!pushdown.pushed[i]) continue;
+      ++num_pushed;
       note("PUSHDOWN " + conjuncts[i]->ToString() +
            annotate(table, *conjuncts[i]));
     }
+    std::string scan_label = "SCAN " + slot.name + " [" + cols + "]";
+    if (num_pushed > 0) {
+      scan_label += " (+" + std::to_string(num_pushed) + " pushed)";
+    }
+    scan = wrap(std::move(scan), "scan", std::move(scan_label), 0);
     for (size_t i = 0; i < conjuncts.size(); ++i) {
       if (pushdown.pushed[i]) continue;
       note("FILTER " + conjuncts[i]->ToString() +
            annotate(table, *conjuncts[i]));
-      scan = std::make_unique<FilterOperator>(std::move(scan),
-                                              conjuncts[i]);
+      std::string label = "FILTER " + conjuncts[i]->ToString();
+      scan = wrap(std::make_unique<FilterOperator>(std::move(scan),
+                                                   conjuncts[i]),
+                  "filter", std::move(label), 1);
     }
     return scan;
   };
@@ -564,11 +582,14 @@ Result<OperatorPtr> PlanSelect(const SelectStatement& stmt,
         plan, HashJoinOperator::Create(std::move(plan), std::move(build),
                                        std::move(probe_keys),
                                        std::move(build_keys)));
+    plan = wrap(std::move(plan), "join", "HASH JOIN on " + keys, 2);
     // Cross-table residue: only these conjuncts see joined rows.
     for (auto& conjunct : cross_conjuncts) {
       note("FILTER " + conjunct->ToString());
-      plan = std::make_unique<FilterOperator>(std::move(plan),
-                                              std::move(conjunct));
+      std::string label = "FILTER " + conjunct->ToString();
+      plan = wrap(std::make_unique<FilterOperator>(std::move(plan),
+                                                   std::move(conjunct)),
+                  "filter", std::move(label), 1);
     }
   }
 
@@ -622,6 +643,7 @@ Result<OperatorPtr> PlanSelect(const SelectStatement& stmt,
       item_plans.push_back(std::move(ip));
     }
 
+    std::string agg_label;
     {
       std::string groups;
       for (size_t i = 0; i < group_keys.size(); ++i) {
@@ -634,11 +656,14 @@ Result<OperatorPtr> PlanSelect(const SelectStatement& stmt,
         agg_list += aggs[i].name;
       }
       note("AGGREGATE groups=[" + groups + "] aggs=[" + agg_list + "]");
+      agg_label = "AGGREGATE groups=[" + groups + "] aggs=[" + agg_list +
+                  "]";
     }
     NODB_ASSIGN_OR_RETURN(
         plan, HashAggregateOperator::Create(std::move(plan),
                                             std::move(group_exprs),
                                             group_names, std::move(aggs)));
+    plan = wrap(std::move(plan), "aggregate", std::move(agg_label), 1);
 
     // Reorder aggregate output into SELECT order.
     const Schema& agg_schema = *plan->output_schema();
@@ -654,6 +679,7 @@ Result<OperatorPtr> PlanSelect(const SelectStatement& stmt,
     NODB_ASSIGN_OR_RETURN(
         plan, ProjectOperator::Create(std::move(plan), std::move(out_exprs),
                                       std::move(out_names)));
+    plan = wrap(std::move(plan), "project", "PROJECT (select order)", 1);
 
     // HAVING filters groups, evaluated over the projected output.
     if (stmt.having) {
@@ -666,12 +692,15 @@ Result<OperatorPtr> PlanSelect(const SelectStatement& stmt,
         return Status::InvalidArgument("HAVING predicate is not boolean");
       }
       note("HAVING " + having->ToString());
-      plan = std::make_unique<FilterOperator>(std::move(plan),
-                                              std::move(having));
+      std::string label = "HAVING " + having->ToString();
+      plan = wrap(std::make_unique<FilterOperator>(std::move(plan),
+                                                   std::move(having)),
+                  "filter", std::move(label), 1);
     }
     if (stmt.distinct) {
       note("DISTINCT");
-      plan = std::make_unique<DistinctOperator>(std::move(plan));
+      plan = wrap(std::make_unique<DistinctOperator>(std::move(plan)),
+                  "distinct", "DISTINCT", 1);
     }
 
     // ORDER BY over the projected output: match an output column by
@@ -710,8 +739,9 @@ Result<OperatorPtr> PlanSelect(const SelectStatement& stmt,
         note(std::string("SORT by ") + out_schema.field(*idx).name +
              (o.ascending ? " ASC" : " DESC"));
       }
-      plan = std::make_unique<SortOperator>(std::move(plan),
-                                            std::move(keys));
+      plan = wrap(std::make_unique<SortOperator>(std::move(plan),
+                                                 std::move(keys)),
+                  "sort", "SORT", 1);
     }
   } else {
     // ---- Scalar path: Sort (pre-projection) -> Project -> Limit.
@@ -723,8 +753,9 @@ Result<OperatorPtr> PlanSelect(const SelectStatement& stmt,
              (o.ascending ? " ASC" : " DESC"));
         keys.push_back(SortKey{std::move(bound), o.ascending});
       }
-      plan = std::make_unique<SortOperator>(std::move(plan),
-                                            std::move(keys));
+      plan = wrap(std::make_unique<SortOperator>(std::move(plan),
+                                                 std::move(keys)),
+                  "sort", "SORT", 1);
     }
 
     std::vector<ExprPtr> out_exprs;
@@ -746,13 +777,15 @@ Result<OperatorPtr> PlanSelect(const SelectStatement& stmt,
     NODB_ASSIGN_OR_RETURN(
         plan, ProjectOperator::Create(std::move(plan), std::move(out_exprs),
                                       std::move(out_names)));
+    plan = wrap(std::move(plan), "project", "PROJECT", 1);
     if (stmt.having) {
       return Status::InvalidArgument(
           "HAVING requires GROUP BY or aggregates");
     }
     if (stmt.distinct) {
       note("DISTINCT");
-      plan = std::make_unique<DistinctOperator>(std::move(plan));
+      plan = wrap(std::make_unique<DistinctOperator>(std::move(plan)),
+                  "distinct", "DISTINCT", 1);
     }
   }
 
@@ -766,11 +799,13 @@ Result<OperatorPtr> PlanSelect(const SelectStatement& stmt,
     note("PROJECT [" + names + "]");
   }
   if (stmt.limit.has_value()) {
-    note("LIMIT " + std::to_string(*stmt.limit) +
-         (stmt.offset > 0 ? " OFFSET " + std::to_string(stmt.offset)
-                          : ""));
-    plan = std::make_unique<LimitOperator>(std::move(plan), *stmt.limit,
-                                           stmt.offset);
+    std::string label =
+        "LIMIT " + std::to_string(*stmt.limit) +
+        (stmt.offset > 0 ? " OFFSET " + std::to_string(stmt.offset) : "");
+    note(label);
+    plan = wrap(std::make_unique<LimitOperator>(std::move(plan),
+                                                *stmt.limit, stmt.offset),
+                "limit", std::move(label), 1);
   }
   return plan;
 }

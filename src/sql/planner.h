@@ -13,6 +13,10 @@
 
 namespace nodb {
 
+namespace obs {
+class PlanProfiler;
+}  // namespace obs
+
 /// Predicate-pushdown offer handed to ScanFactory::CreatePushdownScan.
 /// `conjuncts` are boolean expressions bound over the scan's *output*
 /// schema (the projected columns, in projection order) — every column
@@ -76,6 +80,11 @@ struct PlannerOptions {
   /// plan (EXPLAIN). Filter lines appear in execution order, so the
   /// effect of statistics-driven predicate reordering is visible.
   std::string* explain = nullptr;
+
+  /// When set, every operator is wrapped in a timing shim and the
+  /// operator tree is recorded (EXPLAIN ANALYZE, per-operator trace
+  /// spans). The profiler must outlive the returned plan.
+  obs::PlanProfiler* profile = nullptr;
 };
 
 /// Binds and plans `stmt` into an executable operator tree.

@@ -1,7 +1,9 @@
 #include "store/promoter.h"
 
+#include "obs/metrics.h"
 #include "raw/raw_scan.h"
 #include "raw/scan_metrics.h"
+#include "util/stopwatch.h"
 
 namespace nodb {
 
@@ -29,6 +31,13 @@ bool PromotionPending(const RawTableState& state,
 Status PromoteHotColumns(RawTableState* state,
                          const std::vector<uint32_t>& hot_attrs) {
   if (hot_attrs.empty()) return Status::OK();
+  static obs::Counter* passes = obs::MetricsRegistry::Global().GetCounter(
+      "nodb_promoter_passes_total", "Background promotion passes run");
+  static obs::LatencyHistogram* pass_ns =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "nodb_promoter_pass_ns", "Background promotion pass duration");
+  passes->Add(1);
+  Stopwatch watch;
   // The scan's own piggybacked promotion does all the work: every
   // committed block of a hot column lands in the store, so draining
   // the scan is the promotion pass. `internal`: this pass is not a
@@ -40,6 +49,7 @@ Status PromoteHotColumns(RawTableState* state,
     NODB_ASSIGN_OR_RETURN(BatchPtr batch, scan.Next());
     if (batch == nullptr || batch->num_rows() == 0) break;
   }
+  pass_ns->Record(watch.ElapsedNanos());
   return Status::OK();
 }
 

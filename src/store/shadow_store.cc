@@ -2,7 +2,29 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace nodb {
+
+namespace {
+
+/// Process-wide store accounting across every table's ShadowStore; the
+/// per-instance counters stay the per-table view.
+obs::Counter* PromotionsCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "nodb_store_promotions_total",
+      "Column segments promoted into a ShadowStore");
+  return counter;
+}
+
+obs::Counter* EvictionsCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "nodb_store_evictions_total",
+      "Column segments evicted from a ShadowStore by the LRU budget");
+  return counter;
+}
+
+}  // namespace
 
 std::shared_ptr<const ColumnVector> ShadowStore::Get(uint32_t attr,
                                                      uint64_t block) {
@@ -63,6 +85,7 @@ void ShadowStore::Promote(uint32_t attr, uint64_t block,
   if (attr >= rows_.size()) rows_.resize(attr + 1, 0);
   rows_[attr] += rows;
   ++promotions_;
+  PromotionsCounter()->Add(1);
   EvictOverBudget();
 }
 
@@ -81,6 +104,7 @@ void ShadowStore::EvictOverBudget() {
   while (bytes_used_ > budget_bytes_ && !lru_.empty()) {
     RemoveLocked(lru_.back());
     ++evictions_;
+    EvictionsCounter()->Add(1);
   }
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace nodb {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -25,9 +27,20 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Submit(std::function<void()> task) {
   {
     MutexLock lock(mu_);
-    queue_.push_back(std::move(task));
+    Task queued;
+    queued.fn = std::move(task);
+    if (metrics_.task_wait_ns != nullptr) {
+      queued.submit_ns = obs::TraceNowNs();
+    }
+    if (metrics_.queue_depth != nullptr) metrics_.queue_depth->Add(1);
+    queue_.push_back(std::move(queued));
   }
   work_cv_.notify_one();
+}
+
+void ThreadPool::SetMetrics(const ThreadPoolMetrics& metrics) {
+  MutexLock lock(mu_);
+  metrics_ = metrics;
 }
 
 void ThreadPool::Wait() {
@@ -45,16 +58,29 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     while (!stop_ && queue_.empty()) lock.Wait(work_cv_);
     if (queue_.empty()) return;  // stop_ and nothing left to run
-    std::function<void()> task = std::move(queue_.front());
+    Task task = std::move(queue_.front());
     queue_.pop_front();
+    ThreadPoolMetrics metrics = metrics_;
     ++active_;
     lock.Unlock();
+    if (metrics.task_wait_ns != nullptr && task.submit_ns != 0) {
+      metrics.task_wait_ns->Record(obs::TraceNowNs() - task.submit_ns);
+    }
+    int64_t run_start =
+        metrics.task_run_ns != nullptr ? obs::TraceNowNs() : 0;
     std::exception_ptr error;
     try {
-      task();
+      task.fn();
     } catch (...) {
       error = std::current_exception();
     }
+    if (metrics.task_run_ns != nullptr) {
+      metrics.task_run_ns->Record(obs::TraceNowNs() - run_start);
+    }
+    if (metrics.tasks_total != nullptr) metrics.tasks_total->Add(1);
+    // Depth drops before active_ does, so once Wait() observes the
+    // pool drained every attached gauge is already back to zero.
+    if (metrics.queue_depth != nullptr) metrics.queue_depth->Sub(1);
     lock.Lock();
     if (error != nullptr && first_error_ == nullptr) {
       first_error_ = error;

@@ -3,16 +3,29 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
 namespace nodb {
+
+/// Optional pool instrumentation (obs/metrics.h): queue depth counts
+/// queued + running tasks (returns to zero once Wait() returns), wait
+/// is submit-to-start, run is task execution time. Null members are
+/// simply not recorded.
+struct ThreadPoolMetrics {
+  obs::Gauge* queue_depth = nullptr;
+  obs::LatencyHistogram* task_wait_ns = nullptr;
+  obs::LatencyHistogram* task_run_ns = nullptr;
+  obs::Counter* tasks_total = nullptr;
+};
 
 /// A fixed-size pool of worker threads draining a FIFO task queue.
 ///
@@ -39,6 +52,10 @@ class ThreadPool {
   /// Enqueues `task` for execution on some worker.
   void Submit(std::function<void()> task) EXCLUDES(mu_);
 
+  /// Attaches metric handles; applies to tasks submitted afterwards.
+  /// Safe to call while the pool is running.
+  void SetMetrics(const ThreadPoolMetrics& metrics) EXCLUDES(mu_);
+
   /// Blocks until the queue is empty and no task is running, then
   /// rethrows the first exception any directly-submitted task threw
   /// since the last Wait().
@@ -50,12 +67,20 @@ class ThreadPool {
   static size_t DefaultThreadCount();
 
  private:
+  /// A queued task plus its submit stamp (0 when wait-latency
+  /// recording is off at submit time).
+  struct Task {
+    std::function<void()> fn;
+    int64_t submit_ns = 0;
+  };
+
   void WorkerLoop() EXCLUDES(mu_);
 
   Mutex mu_;
   std::condition_variable work_cv_;  // signals workers: task or stop
   std::condition_variable idle_cv_;  // signals Wait(): all drained
-  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  std::deque<Task> queue_ GUARDED_BY(mu_);
+  ThreadPoolMetrics metrics_ GUARDED_BY(mu_);
   std::exception_ptr first_error_ GUARDED_BY(mu_);  // from direct submits
   size_t active_ GUARDED_BY(mu_) = 0;
   bool stop_ GUARDED_BY(mu_) = false;

@@ -77,6 +77,23 @@ TEST(PanelTest, BreakdownLineContainsAllCategories) {
   }
 }
 
+TEST(PanelTest, BreakdownClampsNegativeProcessing) {
+  // Per-category timers are measured independently, so on a tiny query
+  // their sum can exceed the wall clock; the derived Processing column
+  // must clamp at zero instead of rendering a negative duration.
+  QueryMetrics metrics;
+  metrics.total_ns = 1000;
+  metrics.scan.io_ns = 800;
+  metrics.scan.parsing_ns = 400;
+  metrics.scan.tokenize_ns = 300;
+  metrics.scan.convert_ns = 200;
+  metrics.scan.nodb_ns = 100;
+  ASSERT_GT(metrics.scan.TotalScanNs(), metrics.total_ns);
+  std::string line = MonitorPanel::RenderBreakdown("tiny", metrics);
+  EXPECT_NE(line.find(FormatNanos(0)), std::string::npos) << line;
+  EXPECT_EQ(line.find('-'), std::string::npos) << line;
+}
+
 TEST(PanelTest, CsvRowAlignsWithHeader) {
   QueryMetrics metrics;
   metrics.scan.rows_scanned = 42;

@@ -1,6 +1,7 @@
 // Tests for the util/thread_pool fork/join primitive backing the
 // parallel chunked raw scan.
 
+#include "obs/metrics.h"
 #include "util/mutex.h"
 #include "util/thread_pool.h"
 
@@ -111,6 +112,52 @@ TEST(ThreadPoolTest, TasksActuallyRunConcurrently) {
 
 TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
   EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+}
+
+// ------------------------------------------------ instrumentation
+
+TEST(ThreadPoolTest, MetricsGaugeReturnsToZeroAfterWait) {
+  obs::Gauge depth;
+  obs::LatencyHistogram wait_ns;
+  obs::LatencyHistogram run_ns;
+  obs::Counter tasks;
+  ThreadPool pool(3);
+  ThreadPoolMetrics metrics;
+  metrics.queue_depth = &depth;
+  metrics.task_wait_ns = &wait_ns;
+  metrics.task_run_ns = &run_ns;
+  metrics.tasks_total = &tasks;
+  pool.SetMetrics(metrics);
+
+  for (int batch = 0; batch < 3; ++batch) {
+    std::atomic<int> count{0};
+    for (int i = 0; i < 40; ++i) {
+      pool.Submit([&count] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        ++count;
+      });
+    }
+    // Depth counts queued + running, so mid-batch it may be anything
+    // in [0, 40]; the contract is that Wait() returning implies the
+    // gauge already drained back to zero.
+    pool.Wait();
+    EXPECT_EQ(count.load(), 40);
+    EXPECT_EQ(depth.Value(), 0);
+  }
+  EXPECT_EQ(tasks.Value(), 120u);
+  EXPECT_EQ(run_ns.Snapshot().count, 120u);
+  EXPECT_EQ(wait_ns.Snapshot().count, 120u);
+  // Every task slept 50us, so recorded run latency cannot be zero.
+  EXPECT_GT(run_ns.Snapshot().p50, 0u);
+}
+
+TEST(ThreadPoolTest, NullMetricsAreIgnored) {
+  ThreadPool pool(2);
+  pool.SetMetrics(ThreadPoolMetrics{});  // all-null: nothing recorded
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 10);
 }
 
 // ------------------------------------------------ exception delivery

@@ -42,6 +42,11 @@ generic linter cannot know:
                    or a scalar fallback (named in code or comment)
                    within reach of its #endif — no kernel may exist
                    only in SIMD form
+  span-name        trace span names at OpenSpan/EmitSpan/ScopedSpan
+                   call sites follow the `component.verb` taxonomy
+                   with a known component (query, scan, exec, cache,
+                   map, store, persist, promoter, pool, snapshot) so
+                   traces stay greppable and dashboards stay stable
 
 Exit code 0 when clean; 1 with one line per violation otherwise.
 """
@@ -81,6 +86,12 @@ VOID_DISCARD_RE = re.compile(r"^\s*\(void\)\s*[\w:]+(?:\.\w+|->\w+)*\s*\(")
 DROP_CALL_RE = re.compile(r"\.\s*DropBlocksFrom\s*\(|\w+_\.\s*Clear\s*\(")
 ISA_MACRO_RE = re.compile(r"\bNODB_HAVE_[A-Z0-9_]+\b")
 INCLUDE_RE = re.compile(r'^#include\s+(["<])([^">]+)[">]')
+SPAN_CALL_RE = re.compile(r"\b(?:OpenSpan|EmitSpan|ScopedSpan)\s*\(")
+SPAN_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*\.[a-z][a-z0-9_]*$")
+SPAN_COMPONENTS = {"query", "scan", "exec", "cache", "map", "store",
+                   "persist", "promoter", "pool", "snapshot"}
+# The tracer implementation itself (declarations, not span sites).
+SPAN_IMPL_FILES = {"src/obs/trace.h", "src/obs/trace.cc"}
 
 
 def strip_comments_and_strings(lines):
@@ -361,6 +372,33 @@ def check_isa_siblings(path, lines, problems):
                     "scalar fallback")
 
 
+def check_span_names(path, lines, code, problems):
+    """Span-name literals must be `component.verb` with a known
+    component. Dynamic names are checked on their literal component
+    prefix (`"exec." + kind`); fully computed names are trusted."""
+    if path in SPAN_IMPL_FILES:
+        return
+    for i, stripped in enumerate(code, start=1):
+        m = SPAN_CALL_RE.search(stripped)
+        if not m:
+            continue
+        rest = lines[i - 1][m.start():]
+        lit = re.search(r'"([^"]*)"\s*(\+?)', rest)
+        if not lit:
+            continue  # name passed as a variable: not checkable here
+        name, concat = lit.group(1), lit.group(2)
+        if concat == "+" and name.endswith("."):
+            ok = name[:-1] in SPAN_COMPONENTS
+        else:
+            ok = bool(SPAN_NAME_RE.match(name)) and \
+                name.split(".")[0] in SPAN_COMPONENTS
+        if not ok:
+            problems.append(
+                f"{path}:{i}: [span-name] span name \"{name}\" does not "
+                "follow the component.verb taxonomy (components: "
+                + ", ".join(sorted(SPAN_COMPONENTS)) + ")")
+
+
 def check_file(path):
     problems = []
     with open(path, "rb") as f:
@@ -379,6 +417,7 @@ def check_file(path):
     check_include_order(path, lines, problems)
     check_generation_tags(path, lines, code, problems)
     check_isa_siblings(path, lines, problems)
+    check_span_names(path, lines, code, problems)
     return problems
 
 
