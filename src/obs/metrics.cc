@@ -35,7 +35,11 @@ size_t LatencyHistogram::BucketIndex(uint64_t v) {
 }
 
 uint64_t LatencyHistogram::BucketUpperBound(size_t index) {
-  if (index < 4) return static_cast<uint64_t>(index);
+  // Values below 4 get exact buckets, and BucketIndex jumps straight
+  // from index 3 to index 8 (hi >= 2), so indices 4-7 are unreachable
+  // placeholders: answer 3 for them, which keeps the shift below
+  // well-defined (hi - 2 would underflow for hi == 1).
+  if (index < 8) return index < 4 ? static_cast<uint64_t>(index) : 3;
   size_t hi = index / 4;
   size_t sub = index % 4;
   if (hi >= 63) return UINT64_MAX;

@@ -1,6 +1,7 @@
 #include "obs/trace.h"
 
 #include <chrono>
+#include <cstddef>
 #include <cstdio>
 #include <utility>
 
@@ -83,7 +84,15 @@ void TraceContext::CloseSpan(size_t handle) {
   TraceEvent& event = trace_.events[handle];
   if (event.dur_ns >= 0) return;  // already closed
   event.dur_ns = TraceNowNs() - event.start_ns;
-  if (!stack_.empty() && stack_.back() == handle) stack_.pop_back();
+  // Usually top-of-stack (RAII close order), but the API permits
+  // out-of-order closes; remove the handle wherever it sits so no
+  // closed span lingers on the open stack.
+  for (size_t i = stack_.size(); i > 0; --i) {
+    if (stack_[i - 1] == handle) {
+      stack_.erase(stack_.begin() + static_cast<ptrdiff_t>(i - 1));
+      break;
+    }
+  }
 }
 
 void TraceContext::EmitSpan(std::string_view name, int64_t start_ns,
@@ -101,7 +110,9 @@ QueryTrace TraceContext::Finish() {
   // the exported trace stays well-formed (the integrity tests assert
   // open_spans() == 0 before finishing).
   while (!stack_.empty()) {
-    CloseSpan(stack_.back());
+    size_t handle = stack_.back();
+    stack_.pop_back();  // unconditionally: guarantees progress
+    CloseSpan(handle);
   }
   return std::move(trace_);
 }
@@ -147,6 +158,9 @@ void Tracer::Collect(QueryTrace trace) {
   if (path_.empty()) return;
   std::FILE* f = std::fopen(path_.c_str(), "a");
   if (f == nullptr) return;  // tracing must never fail a query
+  // The initial position of an append-mode stream is implementation-
+  // defined; seek to the end so ftell reliably reports emptiness.
+  std::fseek(f, 0, SEEK_END);
   if (std::ftell(f) == 0) {
     // Chrome trace array format: the opening bracket; the viewer
     // accepts a trailing comma and no closing bracket.

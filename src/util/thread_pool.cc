@@ -29,10 +29,13 @@ void ThreadPool::Submit(std::function<void()> task) {
     MutexLock lock(mu_);
     Task queued;
     queued.fn = std::move(task);
-    if (metrics_.task_wait_ns != nullptr) {
+    queued.metrics = metrics_;
+    if (queued.metrics.task_wait_ns != nullptr) {
       queued.submit_ns = obs::TraceNowNs();
     }
-    if (metrics_.queue_depth != nullptr) metrics_.queue_depth->Add(1);
+    if (queued.metrics.queue_depth != nullptr) {
+      queued.metrics.queue_depth->Add(1);
+    }
     queue_.push_back(std::move(queued));
   }
   work_cv_.notify_one();
@@ -60,7 +63,10 @@ void ThreadPool::WorkerLoop() {
     if (queue_.empty()) return;  // stop_ and nothing left to run
     Task task = std::move(queue_.front());
     queue_.pop_front();
-    ThreadPoolMetrics metrics = metrics_;
+    // Use the handles stamped at submit, not metrics_: a SetMetrics
+    // racing with queued tasks must not split an Add/Sub pair across
+    // two different gauges.
+    ThreadPoolMetrics metrics = task.metrics;
     ++active_;
     lock.Unlock();
     if (metrics.task_wait_ns != nullptr && task.submit_ns != 0) {

@@ -67,11 +67,14 @@ class ThreadPool {
   static size_t DefaultThreadCount();
 
  private:
-  /// A queued task plus its submit stamp (0 when wait-latency
-  /// recording is off at submit time).
+  /// A queued task plus the metric handles and submit stamp captured
+  /// at submit time. Stamping the handles per task keeps increments
+  /// and decrements on the same gauge even when SetMetrics is called
+  /// while tasks are in flight.
   struct Task {
     std::function<void()> fn;
-    int64_t submit_ns = 0;
+    ThreadPoolMetrics metrics;
+    int64_t submit_ns = 0;  // 0 when wait-latency recording is off
   };
 
   void WorkerLoop() EXCLUDES(mu_);

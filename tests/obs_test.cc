@@ -152,6 +152,20 @@ TEST(TraceTest, FinishForceClosesLeakedSpans) {
   }
 }
 
+TEST(TraceTest, OutOfOrderCloseStillFinishes) {
+  obs::TraceContext ctx(2, "", "q");
+  size_t outer = ctx.OpenSpan("query.execute");
+  size_t inner = ctx.OpenSpan("query.parse");
+  ctx.CloseSpan(outer);  // not top-of-stack
+  EXPECT_EQ(ctx.open_spans(), 1u);
+  ctx.CloseSpan(outer);  // double close is a no-op
+  EXPECT_EQ(ctx.open_spans(), 1u);
+  obs::QueryTrace trace = ctx.Finish();  // must close `inner` and return
+  ASSERT_EQ(trace.events.size(), 2u);
+  EXPECT_GE(trace.events[inner].dur_ns, 0);
+  EXPECT_GE(trace.events[outer].dur_ns, 0);
+}
+
 TEST(TraceTest, ScopedSpanIsNullSafe) {
   obs::ScopedSpan nothing(nullptr, "query.execute");
   nothing.Close();  // all no-ops

@@ -151,6 +151,30 @@ TEST(ThreadPoolTest, MetricsGaugeReturnsToZeroAfterWait) {
   EXPECT_GT(run_ns.Snapshot().p50, 0u);
 }
 
+TEST(ThreadPoolTest, SetMetricsMidFlightKeepsGaugesBalanced) {
+  // Tasks queued under the old metrics must decrement the gauge they
+  // incremented, even if SetMetrics swaps handles before they run.
+  obs::Gauge old_depth;
+  obs::Gauge new_depth;
+  ThreadPool pool(1);
+  ThreadPoolMetrics metrics;
+  metrics.queue_depth = &old_depth;
+  pool.SetMetrics(metrics);
+
+  std::atomic<bool> release{false};
+  pool.Submit([&release] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  for (int i = 0; i < 8; ++i) pool.Submit([] {});
+  metrics.queue_depth = &new_depth;
+  pool.SetMetrics(metrics);  // queued tasks still carry old_depth
+  for (int i = 0; i < 8; ++i) pool.Submit([] {});
+  release.store(true);
+  pool.Wait();
+  EXPECT_EQ(old_depth.Value(), 0);
+  EXPECT_EQ(new_depth.Value(), 0);
+}
+
 TEST(ThreadPoolTest, NullMetricsAreIgnored) {
   ThreadPool pool(2);
   pool.SetMetrics(ThreadPoolMetrics{});  // all-null: nothing recorded
