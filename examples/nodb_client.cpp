@@ -1,0 +1,92 @@
+// nodb_client: one-shot remote query runner for nodb_server.
+//
+// Usage:
+//   nodb_client --connect HOST:PORT "SELECT ..." ["SELECT ..." ...]
+//   nodb_client --connect HOST:PORT --tenant analytics "SELECT ..."
+//   echo "SELECT ..." | nodb_client --connect HOST:PORT
+//
+// Each statement prints its full result followed by the server-side
+// timing breakdown, using the same rendering as the shell, so output
+// can be diffed against a local run of the same query.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "monitor/panel.h"
+#include "server/client.h"
+#include "util/string_util.h"
+
+using namespace nodb;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: nodb_client --connect HOST:PORT [--tenant NAME] "
+               "[SQL ...]\n       (reads statements from stdin when none "
+               "are given)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string target;
+  std::string tenant = "client";
+  std::vector<std::string> statements;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--connect" && i + 1 < argc) {
+      target = argv[++i];
+    } else if (arg == "--tenant" && i + 1 < argc) {
+      tenant = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      statements.push_back(std::move(arg));
+    }
+  }
+  size_t colon = target.rfind(':');
+  if (target.empty() || colon == std::string::npos) return Usage();
+  std::string host = target.substr(0, colon);
+  int port = std::atoi(target.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) return Usage();
+
+  if (statements.empty()) {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      auto trimmed = TrimView(line);
+      if (!trimmed.empty()) statements.emplace_back(trimmed);
+    }
+    if (statements.empty()) return Usage();
+  }
+
+  auto conn = server::ClientConnection::Connect(
+      host, static_cast<uint16_t>(port), tenant, "nodb_client");
+  if (!conn.ok()) {
+    std::fprintf(stderr, "connect: %s\n",
+                 conn.status().ToString().c_str());
+    return 1;
+  }
+
+  int failures = 0;
+  for (const auto& sql : statements) {
+    auto outcome = conn->Execute(sql);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
+      ++failures;
+      if (!conn->connected()) return 1;  // transport gone; stop here
+      continue;
+    }
+    // Same rendering as the shell: full result, then the breakdown.
+    std::fputs(outcome->result.ToString(25).c_str(), stdout);
+    std::fputs(
+        MonitorPanel::RenderBreakdown("  time", outcome->metrics).c_str(),
+        stdout);
+  }
+  conn->Close();
+  return failures == 0 ? 0 : 1;
+}

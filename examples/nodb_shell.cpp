@@ -3,6 +3,7 @@
 // Usage:
 //   nodb_shell                      # starts with a demo table
 //   nodb_shell file.csv "a:int,b:string,c:date" [delimiter]
+//   nodb_shell --connect HOST:PORT [TENANT]   # remote nodb_server mode
 //
 // Meta-commands:
 //   \open NAME PATH SCHEMA [DELIM]  register a raw file as a table
@@ -24,6 +25,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -36,6 +38,7 @@
 #include "io/temp_dir.h"
 #include "monitor/panel.h"
 #include "obs/metrics.h"
+#include "server/client.h"
 #include "util/string_util.h"
 
 using namespace nodb;
@@ -75,9 +78,98 @@ void PrintHelp() {
       "Omit SCHEMA in \\open to infer it.\n");
 }
 
+/// Remote mode (`--connect HOST:PORT`): the same SQL loop against a
+/// running nodb_server. Results and timing lines render through the
+/// exact same QueryResult / MonitorPanel code as local execution, so
+/// the output is byte-identical either way (a server_bench gate).
+int RunRemote(const std::string& host, uint16_t port,
+              const std::string& tenant) {
+  auto conn = server::ClientConnection::Connect(host, port, tenant,
+                                                "nodb_shell");
+  if (!conn.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 conn.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "connected to %s at %s:%u as tenant '%s'\n"
+      "commands: \\metrics [prom]   \\timing on|off   \\shutdown   "
+      "\\quit; anything else runs as SQL on the server\n",
+      conn->server_name().c_str(), host.c_str(), port, tenant.c_str());
+  bool timing = true;
+  bool interactive = isatty(0);
+  std::string line;
+  while (true) {
+    if (interactive) {
+      std::printf("nodb(%s:%u)> ", host.c_str(), port);
+      std::fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) break;
+    std::string_view trimmed = TrimView(line);
+    if (trimmed.empty()) continue;
+    if (trimmed[0] == '\\') {
+      std::istringstream iss{std::string(trimmed)};
+      std::string cmd;
+      iss >> cmd;
+      if (cmd == "\\quit" || cmd == "\\q") break;
+      if (cmd == "\\timing") {
+        std::string mode;
+        iss >> mode;
+        timing = (mode != "off");
+        std::printf("timing %s\n", timing ? "on" : "off");
+      } else if (cmd == "\\metrics") {
+        // The server renders these, including its front-end section
+        // (connections, in-flight, per-tenant rows served).
+        std::string format;
+        iss >> format;
+        auto body = conn->FetchMetrics(format == "prom");
+        if (!body.ok()) {
+          std::printf("error: %s\n", body.status().ToString().c_str());
+        } else {
+          std::printf("%s", body->c_str());
+        }
+      } else if (cmd == "\\shutdown") {
+        Status st = conn->SendShutdown();
+        std::printf("%s\n", st.ok() ? "server draining; bye"
+                                    : st.ToString().c_str());
+        if (st.ok()) return 0;
+      } else {
+        std::printf("unknown remote command %s\n", cmd.c_str());
+      }
+      continue;
+    }
+    auto outcome = conn->Execute(trimmed);
+    if (!outcome.ok()) {
+      std::printf("error: %s\n", outcome.status().ToString().c_str());
+      if (!conn->connected()) return 1;
+      continue;
+    }
+    std::printf("%s", outcome->result.ToString(25).c_str());
+    if (timing) {
+      std::printf("%s", MonitorPanel::RenderBreakdown("  time",
+                                                      outcome->metrics)
+                            .c_str());
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 3 && std::string(argv[1]) == "--connect") {
+    std::string target = argv[2];
+    size_t colon = target.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "--connect needs HOST:PORT\n");
+      return 1;
+    }
+    return RunRemote(target.substr(0, colon),
+                     static_cast<uint16_t>(
+                         std::atoi(target.c_str() + colon + 1)),
+                     argc >= 4 ? argv[3] : "shell");
+  }
+
   Catalog catalog;
   std::unique_ptr<TempDir> demo_dir;
 

@@ -34,6 +34,22 @@ class Engine {
   /// Parses, plans and runs one SQL query.
   virtual Result<QueryOutcome> Execute(std::string_view sql) = 0;
 
+  /// Like Execute, but result batches are handed to `sink` as the plan
+  /// produces them (server streaming); the returned outcome then
+  /// carries metrics plus an empty result, and a sink error aborts the
+  /// query at the next batch boundary. The default materializes via
+  /// Execute and replays the finished batch — correct for every
+  /// engine, incremental only where overridden (NoDbEngine). A null
+  /// sink is exactly Execute.
+  virtual Result<QueryOutcome> ExecuteStreaming(std::string_view sql,
+                                                BatchSink* sink) {
+    if (sink == nullptr) return Execute(sql);
+    NODB_ASSIGN_OR_RETURN(QueryOutcome outcome, Execute(sql));
+    NODB_RETURN_NOT_OK(sink->OnSchema(outcome.result.schema()));
+    NODB_RETURN_NOT_OK(sink->OnBatch(outcome.result.batch()));
+    return outcome;
+  }
+
   /// Plans `sql` without executing it and returns a textual plan. For
   /// the NoDB engine the plan reflects the *current* adaptive
   /// statistics (predicate order may change as the engine learns).

@@ -7,6 +7,7 @@
 
 #include "obs/metrics.h"
 #include "obs/plan_profile.h"
+#include "obs/tenant.h"
 #include "persist/snapshot.h"
 #include "raw/parallel_scan.h"
 #include "raw/raw_scan.h"
@@ -99,10 +100,11 @@ class TextResultOperator final : public ExecOperator {
 
 Result<QueryOutcome> TextOutcome(const std::string& column,
                                  const std::string& text,
-                                 QueryMetrics metrics) {
+                                 QueryMetrics metrics,
+                                 BatchSink* sink = nullptr) {
   TextResultOperator op(column, text);
   QueryOutcome outcome;
-  NODB_ASSIGN_OR_RETURN(outcome.result, QueryResult::Drain(&op));
+  NODB_ASSIGN_OR_RETURN(outcome.result, QueryResult::Drain(&op, sink));
   outcome.metrics = std::move(metrics);
   return outcome;
 }
@@ -215,6 +217,11 @@ Status NoDbEngine::MaybeParallelPrewarm(RawTableState* state,
 }
 
 Result<QueryOutcome> NoDbEngine::Execute(std::string_view sql) {
+  return ExecuteStreaming(sql, nullptr);
+}
+
+Result<QueryOutcome> NoDbEngine::ExecuteStreaming(std::string_view sql,
+                                                  BatchSink* sink) {
   std::string_view body = sql;
   bool analyze = false;
   if (StripExplainPrefix(&body, &analyze)) {
@@ -222,21 +229,24 @@ Result<QueryOutcome> NoDbEngine::Execute(std::string_view sql) {
       NODB_ASSIGN_OR_RETURN(std::string text, Explain(body));
       QueryMetrics metrics;
       metrics.sql = std::string(sql);
-      return TextOutcome("QUERY PLAN", text, std::move(metrics));
+      return TextOutcome("QUERY PLAN", text, std::move(metrics), sink);
     }
     // EXPLAIN ANALYZE: really run the statement (adaptive structures
     // grow exactly as a plain execution would), then render the
-    // annotated tree instead of the rows.
+    // annotated tree instead of the rows. The inner execution is never
+    // streamed — the client asked for the plan, not the rows.
     obs::PlanProfiler profiler;
-    NODB_ASSIGN_OR_RETURN(QueryOutcome inner, ExecuteQuery(body, &profiler));
+    NODB_ASSIGN_OR_RETURN(QueryOutcome inner,
+                          ExecuteQuery(body, &profiler, nullptr));
     std::string text = obs::RenderAnalyze(profiler, inner.metrics);
-    return TextOutcome("QUERY PLAN", text, std::move(inner.metrics));
+    return TextOutcome("QUERY PLAN", text, std::move(inner.metrics), sink);
   }
-  return ExecuteQuery(sql, nullptr);
+  return ExecuteQuery(sql, nullptr, sink);
 }
 
 Result<QueryOutcome> NoDbEngine::ExecuteQuery(std::string_view sql,
-                                              obs::PlanProfiler* profile) {
+                                              obs::PlanProfiler* profile,
+                                              BatchSink* sink) {
   std::unique_ptr<obs::TraceContext> trace;
   std::optional<obs::PlanProfiler> trace_profiler;
   if (tracer_.enabled()) {
@@ -251,7 +261,7 @@ Result<QueryOutcome> NoDbEngine::ExecuteQuery(std::string_view sql,
       profile = &*trace_profiler;
     }
   }
-  Result<QueryOutcome> outcome = RunQuery(sql, profile, trace.get());
+  Result<QueryOutcome> outcome = RunQuery(sql, profile, trace.get(), sink);
   if (trace != nullptr) tracer_.Collect(trace->Finish());
   if (outcome.ok()) {
     obs::RecordQueryTelemetry(outcome->metrics);
@@ -267,7 +277,8 @@ Result<QueryOutcome> NoDbEngine::ExecuteQuery(std::string_view sql,
 
 Result<QueryOutcome> NoDbEngine::RunQuery(std::string_view sql,
                                           obs::PlanProfiler* profile,
-                                          obs::TraceContext* trace) {
+                                          obs::TraceContext* trace,
+                                          BatchSink* sink) {
   Stopwatch watch;
   QueryOutcome outcome;
   outcome.metrics.sql = std::string(sql);
@@ -311,7 +322,8 @@ Result<QueryOutcome> NoDbEngine::RunQuery(std::string_view sql,
   // below: taken after the drain span opened, so every start stamp in
   // the trace stays non-decreasing.
   int64_t drain_anchor_ns = obs::TraceNowNs();
-  NODB_ASSIGN_OR_RETURN(outcome.result, QueryResult::Drain(plan.get()));
+  NODB_ASSIGN_OR_RETURN(outcome.result,
+                        QueryResult::Drain(plan.get(), sink));
   drain_span.Close();
   outcome.metrics.drain_ns = watch.ElapsedNanos() - phase_start;
 
@@ -349,6 +361,10 @@ Result<QueryOutcome> NoDbEngine::RunQuery(std::string_view sql,
 }
 
 void NoDbEngine::SchedulePromotions(uint64_t triggered_by) {
+  // Background passes promote on behalf of whoever made the column hot:
+  // the triggering thread's tenant tag travels into the task so the
+  // store attributes the promoted bytes to that tenant's budget share.
+  uint32_t tenant = obs::ScopedTenantLabel::CurrentId();
   std::vector<RawTableState*> states;
   {
     MutexLock lock(states_mu_);
@@ -373,8 +389,9 @@ void NoDbEngine::SchedulePromotions(uint64_t triggered_by) {
     // The task deliberately does not keep the pool alive: the engine
     // owns pool lifetime, and a replaced pool drains its queue in its
     // destructor, so a queued pass always runs before teardown.
-    ClientPool(1)->Submit([this, state, hot = std::move(hot),
-                           triggered_by] {
+    ClientPool(1)->Submit([this, state, hot = std::move(hot), triggered_by,
+                           tenant] {
+      obs::ScopedTenantLabel tenant_label(tenant);
       int64_t start_ns = obs::TraceNowNs();
       Status status = PromoteHotColumns(state, hot);
       // A failed pass (e.g. the file was rewritten underneath) leaves
@@ -430,7 +447,8 @@ std::shared_ptr<ThreadPool> NoDbEngine::ClientPool(uint32_t threads) {
 }
 
 ConcurrentBatchOutcome NoDbEngine::ExecuteConcurrent(
-    const std::vector<std::string>& sqls, uint32_t clients) {
+    const std::vector<std::string>& sqls, uint32_t clients,
+    const QueryCancelFlag* cancel) {
   ConcurrentBatchOutcome out;
   if (sqls.empty()) return out;
   uint32_t want =
@@ -450,7 +468,7 @@ ConcurrentBatchOutcome NoDbEngine::ExecuteConcurrent(
   {
     TaskGroup group(pool.get());
     for (uint32_t c = 0; c < out.clients; ++c) {
-      group.Submit([this, c, &sqls, &next, &shot, &out] {
+      group.Submit([this, c, &sqls, &next, &shot, &out, cancel] {
         // Each worker is one client session pulling queries from the
         // batch — the shape of N users sharing one engine.
         QuerySession session(this, "client-" + std::to_string(c));
@@ -459,7 +477,8 @@ ConcurrentBatchOutcome NoDbEngine::ExecuteConcurrent(
           ConcurrentQueryReport& report = out.reports[i];
           report.client = session.client_id();
           report.start_ns = shot.ElapsedNanos();
-          Result<QueryOutcome> result = session.Execute(sqls[i]);
+          Result<QueryOutcome> result =
+              session.ExecuteStreaming(sqls[i], nullptr, cancel);
           report.finish_ns = shot.ElapsedNanos();
           if (result.ok()) {
             report.result = std::move(result->result);

@@ -10,6 +10,7 @@
 #include "catalog/catalog.h"
 #include "engines/engine.h"
 #include "engines/query_session.h"
+#include "exec/cancel.h"
 #include "obs/trace.h"
 #include "persist/image.h"
 #include "raw/nodb_config.h"
@@ -62,6 +63,14 @@ class NoDbEngine final : public Engine {
   Result<QueryOutcome> Execute(std::string_view sql) override
       EXCLUDES(states_mu_, totals_mu_);
 
+  /// Incremental delivery: batches stream to `sink` straight from the
+  /// Volcano drain without materializing the result (the server front
+  /// end's path). EXPLAIN [ANALYZE] still materializes its text block
+  /// and replays it through the sink. Null sink = Execute.
+  Result<QueryOutcome> ExecuteStreaming(std::string_view sql,
+                                        BatchSink* sink) override
+      EXCLUDES(states_mu_, totals_mu_);
+
   /// Runs every query of `sqls` against the shared adaptive state from
   /// a pool of `clients` concurrent sessions (0 = one per hardware
   /// core). Clients pull queries from the batch in order, so the batch
@@ -69,8 +78,13 @@ class NoDbEngine final : public Engine {
   /// come back in input order with per-query status, result, metrics
   /// and start/finish stamps; one query failing does not abort the
   /// rest.
+  /// `cancel` (may be null) is polled by every query of the batch at
+  /// its batch boundaries: firing it makes the remaining queries
+  /// return Status::Cancelled instead of rows — the graceful-drain
+  /// deadline path.
   ConcurrentBatchOutcome ExecuteConcurrent(
-      const std::vector<std::string>& sqls, uint32_t clients = 0);
+      const std::vector<std::string>& sqls, uint32_t clients = 0,
+      const QueryCancelFlag* cancel = nullptr);
 
   Result<std::string> Explain(std::string_view sql) override
       EXCLUDES(states_mu_);
@@ -152,16 +166,18 @@ class NoDbEngine final : public Engine {
 
   /// Execute() minus the EXPLAIN routing: runs `sql` with optional
   /// operator profiling, collects the trace and folds the query's
-  /// metrics into the global registry.
+  /// metrics into the global registry. `sink` (may be null) receives
+  /// result batches incrementally instead of materialization.
   Result<QueryOutcome> ExecuteQuery(std::string_view sql,
-                                    obs::PlanProfiler* profile)
+                                    obs::PlanProfiler* profile,
+                                    BatchSink* sink)
       EXCLUDES(states_mu_, totals_mu_);
 
   /// The parse/plan/drain pipeline, spans recorded into `trace` (may
   /// be null = tracing off).
   Result<QueryOutcome> RunQuery(std::string_view sql,
                                 obs::PlanProfiler* profile,
-                                obs::TraceContext* trace)
+                                obs::TraceContext* trace, BatchSink* sink)
       EXCLUDES(states_mu_, totals_mu_);
 
   Result<RawTableState*> GetOrCreateState(const std::string& table)

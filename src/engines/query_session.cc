@@ -7,10 +7,17 @@
 namespace nodb {
 
 Result<QueryOutcome> QuerySession::Execute(std::string_view sql) {
+  return ExecuteStreaming(sql, nullptr, nullptr);
+}
+
+Result<QueryOutcome> QuerySession::ExecuteStreaming(
+    std::string_view sql, BatchSink* sink, const QueryCancelFlag* cancel) {
   // Tags the thread so the engine's tracer attributes the query's
-  // spans to this client without widening Engine::Execute.
+  // spans to this client without widening Engine::Execute, and
+  // installs the cancel flag for the drain loop to poll.
   obs::ScopedSessionLabel label(client_id_);
-  Result<QueryOutcome> outcome = engine_->Execute(sql);
+  ScopedQueryCancel cancel_scope(cancel);
+  Result<QueryOutcome> outcome = engine_->ExecuteStreaming(sql, sink);
   if (outcome.ok()) {
     totals_.AddQuery(outcome->metrics);
     history_.push_back(outcome->metrics);

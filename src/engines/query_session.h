@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "engines/engine.h"
+#include "exec/cancel.h"
 
 namespace nodb {
 
@@ -25,6 +26,15 @@ class QuerySession {
   /// Runs `sql` on the shared engine and records the outcome in this
   /// session's history.
   Result<QueryOutcome> Execute(std::string_view sql);
+
+  /// Server-shaped execution: batches stream to `sink` (null = fully
+  /// materialize, as Execute), and `cancel` (null = uncancellable) is
+  /// installed on the executing thread so the drain can be abandoned
+  /// at any batch boundary. Cancelled queries are not folded into this
+  /// session's history — they produced no answer.
+  Result<QueryOutcome> ExecuteStreaming(std::string_view sql,
+                                        BatchSink* sink,
+                                        const QueryCancelFlag* cancel);
 
   const std::string& client_id() const { return client_id_; }
   const EngineTotals& totals() const { return totals_; }

@@ -5,6 +5,64 @@
 
 namespace nodb {
 
+namespace {
+
+/// One field with CsvWriter's exact escaping rules, so the streamed
+/// HTTP body and an exported file render identically.
+void AppendCsvField(std::string_view field, const CsvDialect& dialect,
+                    std::string* out) {
+  bool needs_quote = false;
+  if (dialect.allow_quoting) {
+    for (char c : field) {
+      if (c == dialect.delimiter || c == dialect.quote || c == '\n' ||
+          c == '\r') {
+        needs_quote = true;
+        break;
+      }
+    }
+  }
+  if (!needs_quote) {
+    out->append(field);
+    return;
+  }
+  out->push_back(dialect.quote);
+  for (char c : field) {
+    out->push_back(c);
+    if (c == dialect.quote) out->push_back(dialect.quote);
+  }
+  out->push_back(dialect.quote);
+}
+
+}  // namespace
+
+std::string RenderResultCsv(const QueryResult& result,
+                            const CsvDialect& dialect) {
+  std::string out;
+  const Schema& schema = *result.schema();
+  if (dialect.has_header) {
+    for (size_t c = 0; c < schema.num_fields(); ++c) {
+      if (c > 0) out.push_back(dialect.delimiter);
+      AppendCsvField(schema.field(c).name, dialect, &out);
+    }
+    out.push_back('\n');
+  }
+  const RecordBatch& rows = result.batch();
+  for (size_t r = 0; r < result.num_rows(); ++r) {
+    for (size_t c = 0; c < rows.num_columns(); ++c) {
+      if (c > 0) out.push_back(dialect.delimiter);
+      const ColumnVector& col = rows.column(c);
+      if (col.IsNull(r)) continue;  // NULL renders as the empty field
+      if (col.type() == DataType::kString) {
+        AppendCsvField(col.GetString(r), dialect, &out);
+      } else {
+        AppendCsvField(col.GetValue(r).ToString(), dialect, &out);
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
 Status WriteResultToCsv(const QueryResult& result, const std::string& path,
                         const CsvDialect& dialect) {
   NODB_ASSIGN_OR_RETURN(auto file, OpenWritableFile(path));

@@ -19,6 +19,13 @@ namespace nodb {
 Status WriteResultToCsv(const QueryResult& result, const std::string& path,
                         const CsvDialect& dialect);
 
+/// Same rendering as WriteResultToCsv but into a string — the body of
+/// the server's HTTP `POST /query` response. Identical field
+/// semantics: header when `dialect.has_header`, NULLs empty, RFC-4180
+/// doubled-quote escaping when the dialect allows quoting.
+std::string RenderResultCsv(const QueryResult& result,
+                            const CsvDialect& dialect);
+
 }  // namespace nodb
 
 #endif  // NODB_ENGINES_RESULT_EXPORT_H_

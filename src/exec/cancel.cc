@@ -1,0 +1,28 @@
+#include "exec/cancel.h"
+
+namespace nodb {
+
+namespace {
+thread_local const QueryCancelFlag* tls_cancel_flag = nullptr;
+}  // namespace
+
+ScopedQueryCancel::ScopedQueryCancel(const QueryCancelFlag* flag)
+    : previous_(tls_cancel_flag) {
+  tls_cancel_flag = flag;
+}
+
+ScopedQueryCancel::~ScopedQueryCancel() { tls_cancel_flag = previous_; }
+
+const QueryCancelFlag* ScopedQueryCancel::Current() {
+  return tls_cancel_flag;
+}
+
+Status CheckQueryNotCancelled() {
+  const QueryCancelFlag* flag = tls_cancel_flag;
+  if (flag != nullptr && flag->cancelled()) {
+    return Status::Cancelled("query cancelled at batch boundary");
+  }
+  return Status::OK();
+}
+
+}  // namespace nodb

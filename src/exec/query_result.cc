@@ -1,18 +1,27 @@
 #include "exec/query_result.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "exec/cancel.h"
 
 namespace nodb {
 
-Result<QueryResult> QueryResult::Drain(ExecOperator* op) {
+Result<QueryResult> QueryResult::Drain(ExecOperator* op, BatchSink* sink) {
   QueryResult result;
   result.schema_ = op->output_schema();
   result.rows_ = std::make_shared<RecordBatch>(result.schema_);
   NODB_RETURN_NOT_OK(op->Open());
+  if (sink != nullptr) NODB_RETURN_NOT_OK(sink->OnSchema(result.schema_));
   size_t rows = 0;
   while (true) {
+    NODB_RETURN_NOT_OK(CheckQueryNotCancelled());
     NODB_ASSIGN_OR_RETURN(BatchPtr batch, op->Next());
     if (batch == nullptr) break;
+    if (sink != nullptr) {
+      NODB_RETURN_NOT_OK(sink->OnBatch(*batch));
+      continue;  // streamed, not materialized
+    }
     for (size_t c = 0; c < batch->num_columns(); ++c) {
       ColumnVector& dst = result.rows_->column(c);
       for (size_t i = 0; i < batch->num_rows(); ++i) {
@@ -22,6 +31,14 @@ Result<QueryResult> QueryResult::Drain(ExecOperator* op) {
     rows += batch->num_rows();
   }
   result.rows_->SetNumRows(rows);
+  return result;
+}
+
+QueryResult QueryResult::FromParts(std::shared_ptr<Schema> schema,
+                                   BatchPtr rows) {
+  QueryResult result;
+  result.schema_ = std::move(schema);
+  result.rows_ = std::move(rows);
   return result;
 }
 

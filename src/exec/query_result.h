@@ -10,6 +10,23 @@
 
 namespace nodb {
 
+/// Incremental consumer of a query's output stream.
+///
+/// Handed to QueryResult::Drain (and up the stack to
+/// Engine::ExecuteStreaming) to observe result batches as the Volcano
+/// loop produces them instead of after full materialization — the
+/// server front end forwards each batch over the wire this way.
+/// OnSchema is called exactly once, before any batch; returning a
+/// non-OK Status from either hook aborts the drain (a dead client
+/// connection stops its query at the next batch boundary).
+class BatchSink {
+ public:
+  virtual ~BatchSink() = default;
+
+  virtual Status OnSchema(const std::shared_ptr<Schema>& schema) = 0;
+  virtual Status OnBatch(const RecordBatch& batch) = 0;
+};
+
 /// A fully-materialized query answer.
 ///
 /// Engines drain the root operator into one of these; tests and the
@@ -19,8 +36,19 @@ class QueryResult {
  public:
   QueryResult() = default;
 
-  /// Drains `op` (Open + Next-until-null).
-  static Result<QueryResult> Drain(ExecOperator* op);
+  /// Drains `op` (Open + Next-until-null), checking the thread's
+  /// installed QueryCancelFlag (exec/cancel.h) at each batch boundary.
+  /// With a sink, batches are forwarded to it instead of being
+  /// materialized: the returned QueryResult carries the schema and an
+  /// empty batch, and the sink is the sole owner of the rows.
+  static Result<QueryResult> Drain(ExecOperator* op,
+                                   BatchSink* sink = nullptr);
+
+  /// Wraps an already-built batch (e.g. decoded from the wire by
+  /// server/client.h) so remote results render through the exact same
+  /// ToString/CanonicalRows code as local ones.
+  static QueryResult FromParts(std::shared_ptr<Schema> schema,
+                               BatchPtr rows);
 
   const std::shared_ptr<Schema>& schema() const { return schema_; }
   size_t num_rows() const { return rows_ ? rows_->num_rows() : 0; }

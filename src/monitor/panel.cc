@@ -254,4 +254,35 @@ std::string MonitorPanel::BreakdownCsvRow(const std::string& label,
   return line;
 }
 
+std::string MonitorPanel::RenderServer(const server::ServerStats& stats) {
+  std::string out = "=== server front end ===\n";
+  if (stats.draining) out += "state           DRAINING\n";
+  out += "connections     " + std::to_string(stats.connections) + "\n";
+  double load = stats.max_in_flight == 0
+                    ? 0.0
+                    : static_cast<double>(stats.in_flight) /
+                          static_cast<double>(stats.max_in_flight);
+  out += "in flight       " + Bar(load) + "  " +
+         std::to_string(stats.in_flight) + " / " +
+         std::to_string(stats.max_in_flight) + ", " +
+         std::to_string(stats.queued) + " queued\n";
+  out += "admission       admitted " + std::to_string(stats.admitted_total) +
+         " / rejected " + std::to_string(stats.rejected_total) +
+         " (queue timeouts " + std::to_string(stats.queue_timeouts_total) +
+         ")\n";
+  if (!stats.tenants.empty()) out += "tenants:\n";
+  for (const server::TenantAdmissionStats& t : stats.tenants) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  %-16s in flight %2u   rows served %10llu   "
+                  "reserved %s   rejected %llu\n",
+                  t.name.c_str(), t.in_flight,
+                  static_cast<unsigned long long>(t.rows_served),
+                  FormatBytes(t.reserved_bytes).c_str(),
+                  static_cast<unsigned long long>(t.rejected_total));
+    out += line;
+  }
+  return out;
+}
+
 }  // namespace nodb

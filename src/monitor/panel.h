@@ -7,6 +7,7 @@
 #include "engines/query_session.h"
 #include "monitor/query_metrics.h"
 #include "raw/table_state.h"
+#include "server/server_stats.h"
 
 namespace nodb {
 
@@ -38,6 +39,12 @@ class MonitorPanel {
   /// line — wall time, queries/sec, peak queries in flight, failures.
   static std::string RenderConcurrentBatch(
       const ConcurrentBatchOutcome& batch);
+
+  /// The server front-end panel (shell \metrics server section):
+  /// connections, in-flight vs capacity, queue depth, admission
+  /// totals, and one row per tenant with rows served and reserved
+  /// memory.
+  static std::string RenderServer(const server::ServerStats& stats);
 
   /// CSV header + row emitters for machine-readable series (the
   /// benches print these so experiments can be re-plotted).

@@ -1,0 +1,70 @@
+#include "obs/tenant.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace nodb {
+namespace obs {
+
+namespace {
+
+/// Append-only intern table. Function-local static so tests that never
+/// touch tenants pay nothing and there is no initialization-order
+/// hazard with other globals.
+class TenantTable {
+ public:
+  static TenantTable& Global() {
+    static TenantTable* table = new TenantTable();  // never destroyed
+    return *table;
+  }
+
+  uint32_t IdFor(const std::string& name) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    auto it = ids_.find(name);
+    if (it != ids_.end()) return it->second;
+    names_.push_back(name);
+    uint32_t id = static_cast<uint32_t>(names_.size());  // ids start at 1
+    ids_.emplace(name, id);
+    return id;
+  }
+
+  std::string NameOf(uint32_t id) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    if (id == 0 || id > names_.size()) return std::string();
+    return names_[id - 1];
+  }
+
+ private:
+  TenantTable() = default;
+
+  Mutex mu_;
+  std::vector<std::string> names_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, uint32_t> ids_ GUARDED_BY(mu_);
+};
+
+thread_local uint32_t tls_tenant_id = 0;
+
+}  // namespace
+
+uint32_t TenantIdFor(const std::string& name) {
+  return TenantTable::Global().IdFor(name);
+}
+
+std::string TenantName(uint32_t id) {
+  return TenantTable::Global().NameOf(id);
+}
+
+ScopedTenantLabel::ScopedTenantLabel(uint32_t tenant_id)
+    : previous_(tls_tenant_id) {
+  tls_tenant_id = tenant_id;
+}
+
+ScopedTenantLabel::~ScopedTenantLabel() { tls_tenant_id = previous_; }
+
+uint32_t ScopedTenantLabel::CurrentId() { return tls_tenant_id; }
+
+}  // namespace obs
+}  // namespace nodb

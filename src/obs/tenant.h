@@ -1,0 +1,51 @@
+#ifndef NODB_OBS_TENANT_H_
+#define NODB_OBS_TENANT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace nodb {
+namespace obs {
+
+/// Process-wide tenant identity for multi-tenant serving.
+///
+/// The server front end authenticates each connection with a tenant
+/// name (HELLO frame); the storage tiers only need a cheap tag to
+/// partition budget accounting, so names are interned once into small
+/// dense ids. Id 0 is reserved for untagged work — in-process callers,
+/// tests and benches that never touch the server keep their existing
+/// single-tenant behaviour unchanged.
+///
+/// Interning is append-only for the process lifetime (a serving
+/// deployment has a handful of tenants, not millions), which keeps the
+/// ids safe to store inside cache/store entries without invalidation.
+
+/// Interns `name` and returns its stable id (>= 1). Thread-safe.
+uint32_t TenantIdFor(const std::string& name);
+
+/// The name interned for `id`; "" for 0 or an unknown id.
+std::string TenantName(uint32_t id);
+
+/// Tags the calling thread with a tenant for the scope's lifetime, the
+/// same shape as ScopedSessionLabel (obs/trace.h): the shadow store,
+/// raw cache and statistics heat read CurrentId() to attribute bytes
+/// and accesses. Nests; the previous tag is restored on destruction.
+class ScopedTenantLabel {
+ public:
+  explicit ScopedTenantLabel(uint32_t tenant_id);
+  ~ScopedTenantLabel();
+
+  ScopedTenantLabel(const ScopedTenantLabel&) = delete;
+  ScopedTenantLabel& operator=(const ScopedTenantLabel&) = delete;
+
+  /// The innermost live tenant id on this thread (0 = untagged).
+  static uint32_t CurrentId();
+
+ private:
+  uint32_t previous_;
+};
+
+}  // namespace obs
+}  // namespace nodb
+
+#endif  // NODB_OBS_TENANT_H_

@@ -125,6 +125,51 @@ struct NoDbConfig {
   /// are byte-identical to the serial path at any setting.
   uint32_t num_threads = 1;
 
+  /// ---- Server front end (server/server.h) ----------------------------
+  /// Knobs below only matter when a Server is constructed around the
+  /// engine; a purely in-process engine never reads them.
+
+  /// TCP port the listener binds on 127.0.0.1 (0 = kernel-assigned
+  /// ephemeral port, reported by Server::port() — tests and benches).
+  uint16_t server_port = 0;
+
+  /// Accepted connections beyond this are closed immediately.
+  uint32_t server_max_connections = 64;
+
+  /// Global ceiling on queries executing at once across every
+  /// connection (0 = one per hardware core).
+  uint32_t server_max_in_flight = 0;
+
+  /// Per-tenant ceiling on concurrently executing queries.
+  uint32_t server_tenant_max_concurrent = 4;
+
+  /// Per-tenant scan-memory budget: each executing query reserves
+  /// server_query_memory_reserve bytes against its tenant's budget for
+  /// its lifetime, bounding how much cache/store churn one tenant can
+  /// drive at a time.
+  size_t server_tenant_memory_budget = 256u << 20;
+  size_t server_query_memory_reserve = 16u << 20;
+
+  /// How long an admission-blocked query waits for a slot before the
+  /// server answers REJECTED.
+  uint32_t server_queue_timeout_ms = 1000;
+
+  /// Graceful drain: in-flight queries get this long to finish after
+  /// shutdown is requested; stragglers are then cancelled at their
+  /// next batch boundary.
+  uint32_t server_drain_timeout_ms = 5000;
+
+  /// Frames longer than this are a protocol error (caps allocation
+  /// from a hostile or corrupt length prefix).
+  size_t server_max_frame_bytes = 16u << 20;
+
+  /// Row granularity of RESULT_BATCH frames streamed to clients.
+  uint32_t server_result_batch_rows = 4096;
+
+  /// Whether a remote SHUTDOWN frame (shell `\shutdown`) may drain the
+  /// server; SIGTERM always works regardless.
+  bool server_allow_remote_shutdown = true;
+
   /// Returns the paper's "Baseline" configuration: plain external-files
   /// behaviour with every NoDB structure disabled.
   static NoDbConfig Baseline() {

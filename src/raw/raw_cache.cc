@@ -1,6 +1,9 @@
 #include "raw/raw_cache.h"
 
+#include <algorithm>
+
 #include "obs/metrics.h"
+#include "obs/tenant.h"
 
 namespace nodb {
 
@@ -43,6 +46,12 @@ bool RawCache::Contains(uint32_t attr, uint64_t block) const {
   return entries_.count(Key{attr, block}) > 0;
 }
 
+size_t RawCache::bytes_used_by(uint32_t owner) const {
+  MutexLock lock(mu_);
+  auto it = owner_bytes_.find(owner);
+  return it == owner_bytes_.end() ? 0 : it->second;
+}
+
 void RawCache::Put(uint32_t attr, uint64_t block,
                    std::shared_ptr<const ColumnVector> segment) {
   MutexLock lock(mu_);
@@ -54,29 +63,54 @@ void RawCache::Put(uint32_t attr, uint64_t block,
     // Replace (e.g. a partial tail block re-parsed after an append).
     // The old entry goes away even when the new segment is rejected
     // below: serving it again would be serving stale data.
-    bytes_used_ -= it->second.bytes;
-    lru_.erase(it->second.lru_pos);
-    entries_.erase(it);
+    RemoveLocked(key);
   }
   if (bytes > budget_bytes_) return;
   lru_.push_front(key);
   Entry entry;
   entry.segment = std::move(segment);
   entry.bytes = bytes;
+  entry.owner = obs::ScopedTenantLabel::CurrentId();
   entry.lru_pos = lru_.begin();
+  owner_bytes_[entry.owner] += bytes;
   entries_.emplace(key, std::move(entry));
   bytes_used_ += bytes;
   InsertionsCounter()->Add(1);
   EvictOverBudget();
 }
 
+void RawCache::RemoveLocked(const Key& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  bytes_used_ -= it->second.bytes;
+  auto ob = owner_bytes_.find(it->second.owner);
+  if (ob != owner_bytes_.end()) {
+    ob->second -= std::min(ob->second, it->second.bytes);
+    if (ob->second == 0) owner_bytes_.erase(ob);
+  }
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+}
+
 void RawCache::EvictOverBudget() {
   while (bytes_used_ > budget_bytes_ && lru_.size() > 1) {
+    // An over-budget cache always has an over-share owner
+    // (pigeonhole); the global tail stays as the fallback, and the
+    // front (just inserted) is never the victim.
+    size_t share =
+        budget_bytes_ / std::max<size_t>(size_t{1}, owner_bytes_.size());
     Key victim = lru_.back();
-    lru_.pop_back();
-    auto it = entries_.find(victim);
-    bytes_used_ -= it->second.bytes;
-    entries_.erase(it);
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      if (&*it == &lru_.front()) break;
+      auto entry = entries_.find(*it);
+      if (entry == entries_.end()) continue;
+      auto ob = owner_bytes_.find(entry->second.owner);
+      if (ob != owner_bytes_.end() && ob->second > share) {
+        victim = *it;
+        break;
+      }
+    }
+    RemoveLocked(victim);
     ++evictions_;
     EvictionsCounter()->Add(1);
   }
@@ -86,6 +120,7 @@ void RawCache::Clear() {
   MutexLock lock(mu_);
   entries_.clear();
   lru_.clear();
+  owner_bytes_.clear();
   bytes_used_ = 0;
 }
 

@@ -42,8 +42,10 @@ class RawCache {
   /// Peeks without touching LRU or counters (planning-time check).
   bool Contains(uint32_t attr, uint64_t block) const EXCLUDES(mu_);
 
-  /// Inserts a segment; evicts LRU entries over budget. Segments
-  /// larger than the whole budget are rejected silently.
+  /// Inserts a segment, attributed to the calling thread's tenant
+  /// (obs::ScopedTenantLabel::CurrentId(); 0 = untagged); evicts
+  /// entries over budget fair-share by owner (see EvictOverBudget).
+  /// Segments larger than the whole budget are rejected silently.
   void Put(uint32_t attr, uint64_t block,
            std::shared_ptr<const ColumnVector> segment) EXCLUDES(mu_);
 
@@ -78,6 +80,10 @@ class RawCache {
     return evictions_;
   }
 
+  /// Bytes currently resident on behalf of `owner` (tenant id; 0 =
+  /// untagged). Multi-tenant budget observability and tests.
+  size_t bytes_used_by(uint32_t owner) const EXCLUDES(mu_);
+
  private:
   struct Key {
     uint32_t attr;
@@ -95,15 +101,28 @@ class RawCache {
   struct Entry {
     std::shared_ptr<const ColumnVector> segment;
     size_t bytes = 0;
+    uint32_t owner = 0;  ///< tenant id that inserted it (0 = untagged)
     std::list<Key>::iterator lru_pos;
   };
 
+  /// Unlinks one entry, keeping byte and per-owner accounting exact.
+  void RemoveLocked(const Key& key) REQUIRES(mu_);
+
+  /// Fair-share eviction: while over budget, the victim is the
+  /// least-recent segment of an owner holding more than budget /
+  /// active-owners bytes, so a hot tenant's churn evicts its own
+  /// segments before another tenant's. The just-inserted front entry
+  /// always survives (the existing "newest stays" invariant); with one
+  /// owner this is exactly the old global LRU.
   void EvictOverBudget() REQUIRES(mu_);
 
   const size_t budget_bytes_;
   mutable Mutex mu_;
   std::unordered_map<Key, Entry, KeyHash> entries_ GUARDED_BY(mu_);
   std::list<Key> lru_ GUARDED_BY(mu_);  // front = most recent
+  /// Resident bytes per owner (erased at zero, so size() is the
+  /// active-owner count the fair share divides by).
+  std::unordered_map<uint32_t, size_t> owner_bytes_ GUARDED_BY(mu_);
   size_t bytes_used_ GUARDED_BY(mu_) = 0;
   uint64_t hits_ GUARDED_BY(mu_) = 0;
   uint64_t misses_ GUARDED_BY(mu_) = 0;

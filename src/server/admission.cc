@@ -1,0 +1,169 @@
+#include "server/admission.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/tenant.h"
+
+namespace nodb {
+namespace server {
+
+namespace {
+
+struct AdmissionMetrics {
+  obs::Counter* admitted;
+  obs::Counter* rejected;
+  obs::Counter* queue_timeouts;
+  obs::Gauge* in_flight;
+  obs::Gauge* queued;
+  obs::LatencyHistogram* queue_wait;
+};
+
+AdmissionMetrics& Metrics() {
+  static AdmissionMetrics* m = new AdmissionMetrics{
+      obs::MetricsRegistry::Global().GetCounter(
+          "nodb_server_admitted_total", "queries admitted past admission"),
+      obs::MetricsRegistry::Global().GetCounter(
+          "nodb_server_rejected_total",
+          "queries rejected by admission (budget or drain)"),
+      obs::MetricsRegistry::Global().GetCounter(
+          "nodb_server_queue_timeouts_total",
+          "admissions that waited the full queue timeout"),
+      obs::MetricsRegistry::Global().GetGauge(
+          "nodb_server_in_flight", "queries currently executing"),
+      obs::MetricsRegistry::Global().GetGauge(
+          "nodb_server_queued", "queries waiting for an admission slot"),
+      obs::MetricsRegistry::Global().GetHistogram(
+          "nodb_server_queue_wait_ns", "time spent waiting for admission"),
+  };
+  return *m;
+}
+
+}  // namespace
+
+void AdmissionTicket::Release() {
+  if (controller_ == nullptr) return;
+  controller_->ReleaseSlot(tenant_);
+  controller_ = nullptr;
+}
+
+AdmissionController::AdmissionController(const NoDbConfig& config)
+    : max_in_flight_(config.server_max_in_flight != 0
+                         ? config.server_max_in_flight
+                         : std::max(1u, std::thread::hardware_concurrency())),
+      tenant_max_concurrent_(std::max(1u, config.server_tenant_max_concurrent)),
+      tenant_memory_budget_(config.server_tenant_memory_budget),
+      query_memory_reserve_(config.server_query_memory_reserve),
+      queue_timeout_ms_(config.server_queue_timeout_ms) {}
+
+bool AdmissionController::HasRoomLocked(const TenantState& t) const {
+  return in_flight_ < max_in_flight_ && t.in_flight < tenant_max_concurrent_ &&
+         t.reserved_bytes + query_memory_reserve_ <= tenant_memory_budget_;
+}
+
+Result<AdmissionTicket> AdmissionController::Admit(uint32_t tenant) {
+  auto start = std::chrono::steady_clock::now();
+  auto deadline = start + std::chrono::milliseconds(queue_timeout_ms_);
+  bool waited = false;
+  {
+    MutexLock lock(mu_);
+    TenantState& t = tenants_[tenant];
+    while (!draining_ && !HasRoomLocked(t)) {
+      waited = true;
+      ++queued_;
+      Metrics().queued->Add(1);
+      bool notified = lock.WaitUntil(slot_free_, deadline);
+      --queued_;
+      Metrics().queued->Sub(1);
+      if (!notified && !HasRoomLocked(t) && !draining_) {
+        ++queue_timeouts_total_;
+        t.rejected_total += 1;
+        ++rejected_total_;
+        Metrics().queue_timeouts->Add(1);
+        Metrics().rejected->Add(1);
+        return Status::Unavailable(
+            "admission queue timeout for tenant " + obs::TenantName(tenant) +
+            " after " + std::to_string(queue_timeout_ms_) + "ms");
+      }
+    }
+    if (draining_) {
+      t.rejected_total += 1;
+      ++rejected_total_;
+      Metrics().rejected->Add(1);
+      return Status::Unavailable("server is draining");
+    }
+    ++in_flight_;
+    t.in_flight += 1;
+    t.reserved_bytes += query_memory_reserve_;
+    t.admitted_total += 1;
+    ++admitted_total_;
+  }
+  Metrics().admitted->Add(1);
+  Metrics().in_flight->Add(1);
+  if (waited) {
+    Metrics().queue_wait->Record(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
+  return AdmissionTicket(this, tenant);
+}
+
+void AdmissionController::ReleaseSlot(uint32_t tenant) {
+  {
+    MutexLock lock(mu_);
+    --in_flight_;
+    TenantState& t = tenants_[tenant];
+    t.in_flight -= 1;
+    t.reserved_bytes -= query_memory_reserve_;
+  }
+  Metrics().in_flight->Sub(1);
+  slot_free_.notify_all();
+}
+
+void AdmissionController::BeginDrain() {
+  {
+    MutexLock lock(mu_);
+    draining_ = true;
+  }
+  slot_free_.notify_all();
+}
+
+void AdmissionController::RecordRowsServed(uint32_t tenant, uint64_t rows) {
+  MutexLock lock(mu_);
+  tenants_[tenant].rows_served += rows;
+}
+
+void AdmissionController::FillStats(ServerStats* stats) const {
+  MutexLock lock(mu_);
+  stats->in_flight = in_flight_;
+  stats->queued = queued_;
+  stats->max_in_flight = max_in_flight_;
+  stats->admitted_total = admitted_total_;
+  stats->rejected_total = rejected_total_;
+  stats->queue_timeouts_total = queue_timeouts_total_;
+  stats->draining = stats->draining || draining_;
+  stats->tenants.clear();
+  stats->tenants.reserve(tenants_.size());
+  for (const auto& [id, t] : tenants_) {
+    TenantAdmissionStats row;
+    row.name = obs::TenantName(id);
+    row.in_flight = t.in_flight;
+    row.admitted_total = t.admitted_total;
+    row.rejected_total = t.rejected_total;
+    row.rows_served = t.rows_served;
+    row.reserved_bytes = t.reserved_bytes;
+    stats->tenants.push_back(std::move(row));
+  }
+  std::sort(stats->tenants.begin(), stats->tenants.end(),
+            [](const TenantAdmissionStats& a, const TenantAdmissionStats& b) {
+              return a.name < b.name;
+            });
+}
+
+}  // namespace server
+}  // namespace nodb

@@ -1,0 +1,126 @@
+#ifndef NODB_SERVER_ADMISSION_H_
+#define NODB_SERVER_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "raw/nodb_config.h"
+#include "server/server_stats.h"
+#include "util/mutex.h"
+#include "util/result.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace nodb {
+namespace server {
+
+class AdmissionController;
+
+/// RAII admission slot: holds one global in-flight slot, one tenant
+/// concurrency slot and the tenant's per-query memory reservation
+/// until destroyed (or Release()d). Move-only so a slot can never be
+/// double-released — the failure mode the cancellation test guards.
+class AdmissionTicket {
+ public:
+  AdmissionTicket() = default;
+  ~AdmissionTicket() { Release(); }
+
+  AdmissionTicket(AdmissionTicket&& other) noexcept { *this = std::move(other); }
+  AdmissionTicket& operator=(AdmissionTicket&& other) noexcept {
+    Release();
+    controller_ = other.controller_;
+    tenant_ = other.tenant_;
+    other.controller_ = nullptr;
+    return *this;
+  }
+
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+
+  bool valid() const { return controller_ != nullptr; }
+  uint32_t tenant() const { return tenant_; }
+
+  void Release();
+
+ private:
+  friend class AdmissionController;
+  AdmissionTicket(AdmissionController* controller, uint32_t tenant)
+      : controller_(controller), tenant_(tenant) {}
+
+  AdmissionController* controller_ = nullptr;
+  uint32_t tenant_ = 0;
+};
+
+/// Gatekeeper between accepted connections and the engine: every query
+/// must hold an AdmissionTicket while it executes.
+///
+/// Admit() blocks (up to server_queue_timeout_ms) until all three
+/// budgets have room — global in-flight, the tenant's concurrent-query
+/// cap, and the tenant's scan-memory budget (each running query
+/// reserves server_query_memory_reserve bytes) — then returns a
+/// ticket. On timeout it returns Unavailable, which the session layer
+/// answers with a REJECTED frame; the client backs off, the server
+/// does no work.
+///
+/// BeginDrain() fails all waiters and every later Admit() immediately
+/// so a draining server empties its queue instead of starting work it
+/// would have to cancel.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const NoDbConfig& config);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Blocks until admitted or the queue timeout passes. `tenant` is an
+  /// obs::TenantIdFor id. Unavailable on timeout or drain.
+  Result<AdmissionTicket> Admit(uint32_t tenant) EXCLUDES(mu_);
+
+  /// Fails all queued waiters and future Admit() calls.
+  void BeginDrain() EXCLUDES(mu_);
+
+  /// Adds `rows` to the tenant's served-rows tally (RESULT_DONE time).
+  void RecordRowsServed(uint32_t tenant, uint64_t rows) EXCLUDES(mu_);
+
+  /// Folds the admission columns into `stats` (tenants sorted by name).
+  void FillStats(ServerStats* stats) const EXCLUDES(mu_);
+
+  uint32_t max_in_flight() const { return max_in_flight_; }
+
+ private:
+  friend class AdmissionTicket;
+
+  struct TenantState {
+    uint32_t in_flight = 0;
+    size_t reserved_bytes = 0;
+    uint64_t admitted_total = 0;
+    uint64_t rejected_total = 0;
+    uint64_t rows_served = 0;
+  };
+
+  void ReleaseSlot(uint32_t tenant) EXCLUDES(mu_);
+  bool HasRoomLocked(const TenantState& t) const REQUIRES(mu_);
+
+  const uint32_t max_in_flight_;
+  const uint32_t tenant_max_concurrent_;
+  const size_t tenant_memory_budget_;
+  const size_t query_memory_reserve_;
+  const uint32_t queue_timeout_ms_;
+
+  mutable Mutex mu_;
+  std::condition_variable slot_free_;
+  uint32_t in_flight_ GUARDED_BY(mu_) = 0;
+  uint32_t queued_ GUARDED_BY(mu_) = 0;
+  bool draining_ GUARDED_BY(mu_) = false;
+  uint64_t admitted_total_ GUARDED_BY(mu_) = 0;
+  uint64_t rejected_total_ GUARDED_BY(mu_) = 0;
+  uint64_t queue_timeouts_total_ GUARDED_BY(mu_) = 0;
+  std::unordered_map<uint32_t, TenantState> tenants_ GUARDED_BY(mu_);
+};
+
+}  // namespace server
+}  // namespace nodb
+
+#endif  // NODB_SERVER_ADMISSION_H_

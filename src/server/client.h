@@ -1,0 +1,67 @@
+#ifndef NODB_SERVER_CLIENT_H_
+#define NODB_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "engines/engine.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace nodb {
+namespace server {
+
+/// Client side of the wire protocol — the one implementation behind
+/// examples/nodb_client and the shell's --connect mode, so every
+/// remote consumer renders results through the same QueryResult code
+/// as in-process execution (byte-identical output is a test).
+///
+/// Not thread-safe: one connection, one conversation at a time, like
+/// QuerySession.
+class ClientConnection {
+ public:
+  /// Dials host:port, sends the magic and HELLO{tenant, client_name},
+  /// waits for HELLO_OK.
+  static Result<ClientConnection> Connect(const std::string& host,
+                                          uint16_t port,
+                                          const std::string& tenant,
+                                          const std::string& client_name);
+
+  ClientConnection(ClientConnection&& other) noexcept;
+  ClientConnection& operator=(ClientConnection&& other) noexcept;
+  ClientConnection(const ClientConnection&) = delete;
+  ClientConnection& operator=(const ClientConnection&) = delete;
+  ~ClientConnection();
+
+  /// Runs one query remotely. The result is rebuilt from the streamed
+  /// batches; metrics carry the server's full cost breakdown (sql is
+  /// stamped back in client-side). REJECTED comes back as Unavailable,
+  /// ERROR as its original status code.
+  Result<QueryOutcome> Execute(std::string_view sql);
+
+  /// Fetches the server's metrics rendering (text or Prometheus).
+  Result<std::string> FetchMetrics(bool prometheus);
+
+  /// Asks the server to drain and exit (shell \shutdown). The server
+  /// answers GOODBYE before it begins draining.
+  Status SendShutdown();
+
+  /// Sends GOODBYE and closes. Also done by the destructor.
+  void Close();
+
+  const std::string& server_name() const { return server_name_; }
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  ClientConnection() = default;
+
+  int fd_ = -1;
+  std::string server_name_;
+  size_t max_frame_bytes_ = 0;
+};
+
+}  // namespace server
+}  // namespace nodb
+
+#endif  // NODB_SERVER_CLIENT_H_

@@ -1,0 +1,177 @@
+#include "server/http.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "engines/result_export.h"
+#include "obs/tenant.h"
+#include "server/session.h"
+#include "server/wire.h"
+
+namespace nodb {
+namespace server {
+
+namespace {
+
+constexpr size_t kMaxHeaderBytes = 64u << 10;
+
+/// Appends whatever the socket has, once (EINTR-safe). False on
+/// EOF/error.
+bool ReadSome(int fd, std::string* buf) {
+  char chunk[4096];
+  for (;;) {
+    ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) return false;
+    buf->append(chunk, static_cast<size_t>(got));
+    return true;
+  }
+}
+
+/// Case-insensitive header lookup over the raw header block; returns
+/// the trimmed value or "".
+std::string HeaderValue(std::string_view headers, std::string_view name) {
+  size_t pos = 0;
+  while (pos < headers.size()) {
+    size_t eol = headers.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = headers.size();
+    std::string_view line = headers.substr(pos, eol - pos);
+    size_t colon = line.find(':');
+    if (colon != std::string_view::npos && colon == name.size()) {
+      bool match = true;
+      for (size_t i = 0; i < name.size(); ++i) {
+        char a = line[i];
+        char b = name[i];
+        if (a >= 'A' && a <= 'Z') a = static_cast<char>(a - 'A' + 'a');
+        if (b >= 'A' && b <= 'Z') b = static_cast<char>(b - 'A' + 'a');
+        if (a != b) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        std::string_view value = line.substr(colon + 1);
+        while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+          value.remove_prefix(1);
+        }
+        while (!value.empty() && (value.back() == ' ' || value.back() == '\r')) {
+          value.remove_suffix(1);
+        }
+        return std::string(value);
+      }
+    }
+    pos = eol + 2;
+  }
+  return "";
+}
+
+void Respond(int fd, int code, const std::string& reason,
+             const std::string& content_type, const std::string& body) {
+  std::string response = "HTTP/1.0 " + std::to_string(code) + " " + reason +
+                         "\r\nContent-Type: " + content_type +
+                         "\r\nContent-Length: " + std::to_string(body.size()) +
+                         "\r\nConnection: close\r\n\r\n" + body;
+  (void)WriteFully(fd, response.data(), response.size());  // best effort:
+  // the connection closes right after either way.
+}
+
+void ServeQuery(SessionEnv* env, int fd, const std::string& tenant_name,
+                const std::string& sql) {
+  if (sql.empty()) {
+    Respond(fd, 400, "Bad Request", "text/plain", "empty request body\n");
+    return;
+  }
+  uint32_t tenant = obs::TenantIdFor(tenant_name);
+  Result<AdmissionTicket> ticket = env->admission->Admit(tenant);
+  if (!ticket.ok()) {
+    Respond(fd, 503, "Service Unavailable", "text/plain",
+            ticket.status().ToString() + "\n");
+    return;
+  }
+  QuerySession session(env->engine, tenant_name + "/http");
+  obs::ScopedTenantLabel tenant_label(tenant);
+  Result<QueryOutcome> outcome =
+      session.ExecuteStreaming(sql, nullptr, nullptr);
+  if (!outcome.ok()) {
+    Respond(fd, 400, "Bad Request", "text/plain",
+            outcome.status().ToString() + "\n");
+    return;
+  }
+  env->admission->RecordRowsServed(
+      tenant, static_cast<uint64_t>(outcome->result.num_rows()));
+  CsvDialect dialect = CsvDialect::QuotedCsv();
+  dialect.has_header = true;
+  Respond(fd, 200, "OK", "text/csv",
+          RenderResultCsv(outcome->result, dialect));
+}
+
+}  // namespace
+
+void ServeHttp(SessionEnv* env, int fd, std::string_view prefix) {
+  std::string request(prefix);
+  size_t header_end;
+  while ((header_end = request.find("\r\n\r\n")) == std::string::npos) {
+    if (request.size() > kMaxHeaderBytes || !ReadSome(fd, &request)) {
+      Respond(fd, 400, "Bad Request", "text/plain",
+              "malformed HTTP request\n");
+      return;
+    }
+  }
+  std::string_view head = std::string_view(request).substr(0, header_end);
+  size_t line_end = head.find("\r\n");
+  std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  std::string_view headers =
+      line_end == std::string_view::npos ? std::string_view()
+                                         : head.substr(line_end + 2);
+
+  size_t sp1 = request_line.find(' ');
+  size_t sp2 = sp1 == std::string_view::npos
+                   ? std::string_view::npos
+                   : request_line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) {
+    Respond(fd, 400, "Bad Request", "text/plain", "malformed request line\n");
+    return;
+  }
+  std::string_view method = request_line.substr(0, sp1);
+  std::string_view path = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+
+  if (method == "GET" && path == "/metrics") {
+    Respond(fd, 200, "OK", "text/plain; version=0.0.4",
+            env->render_metrics(/*prometheus=*/true));
+    return;
+  }
+  if (method == "POST" && path == "/query") {
+    size_t content_length = 0;
+    std::string length_header = HeaderValue(headers, "Content-Length");
+    if (!length_header.empty()) {
+      char* parse_end = nullptr;
+      content_length = std::strtoull(length_header.c_str(), &parse_end, 10);
+      if (parse_end == nullptr || *parse_end != '\0' ||
+          content_length > env->config->server_max_frame_bytes) {
+        Respond(fd, 400, "Bad Request", "text/plain",
+                "bad Content-Length\n");
+        return;
+      }
+    }
+    std::string body = request.substr(header_end + 4);
+    while (body.size() < content_length) {
+      if (!ReadSome(fd, &body)) {
+        Respond(fd, 400, "Bad Request", "text/plain", "truncated body\n");
+        return;
+      }
+    }
+    body.resize(content_length);
+    std::string tenant = HeaderValue(headers, "X-NoDB-Tenant");
+    ServeQuery(env, fd, tenant.empty() ? "http" : tenant, body);
+    return;
+  }
+  Respond(fd, 404, "Not Found", "text/plain",
+          "try POST /query or GET /metrics\n");
+}
+
+}  // namespace server
+}  // namespace nodb

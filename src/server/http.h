@@ -1,0 +1,27 @@
+#ifndef NODB_SERVER_HTTP_H_
+#define NODB_SERVER_HTTP_H_
+
+#include <string_view>
+
+namespace nodb {
+namespace server {
+
+struct SessionEnv;
+
+/// Minimal HTTP/1.0 dialect on the shared listener, for curl and
+/// Prometheus scrapers:
+///
+///   POST /query   body = SQL, optional X-NoDB-Tenant header
+///                 (default tenant "http"); answers text/csv through
+///                 the same admission control as binary clients
+///                 (503 on rejection).
+///   GET  /metrics Prometheus text exposition, server section included.
+///
+/// One request per connection, `Connection: close` semantics. `prefix`
+/// is whatever the magic sniff already consumed from the socket.
+void ServeHttp(SessionEnv* env, int fd, std::string_view prefix);
+
+}  // namespace server
+}  // namespace nodb
+
+#endif  // NODB_SERVER_HTTP_H_

@@ -1,0 +1,195 @@
+#include "server/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <chrono>
+#include <utility>
+
+#include "monitor/panel.h"
+#include "obs/metrics.h"
+#include "server/wire.h"
+
+namespace nodb {
+namespace server {
+
+namespace {
+constexpr int kAcceptPollMs = 100;
+constexpr int kDrainPollMs = 10;
+}  // namespace
+
+Server::Server(NoDbEngine* engine, const NoDbConfig& config)
+    : engine_(engine), config_(config), admission_(config) {
+  env_.engine = engine_;
+  env_.admission = &admission_;
+  env_.config = &config_;
+  env_.server_name = std::string(engine_->name());
+  env_.request_shutdown = [this] { RequestShutdown(); };
+  env_.render_metrics = [this](bool prometheus) {
+    return RenderMetrics(prometheus);
+  };
+}
+
+Server::~Server() {
+  // Destruction without Shutdown() still tears everything down; the
+  // snapshot save status has nowhere to go, hence the named call is
+  // the supported path.
+  (void)Shutdown();  // see above
+}
+
+Status Server::Start() {
+  NODB_ASSIGN_OR_RETURN(listen_fd_, ListenTcp(config_.server_port));
+  NODB_ASSIGN_OR_RETURN(port_, LocalPort(listen_fd_));
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::AcceptLoop() {
+  obs::Gauge* connections_gauge = obs::MetricsRegistry::Global().GetGauge(
+      "nodb_server_connections", "currently open client connections");
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    int ready = ::poll(&pfd, 1, kAcceptPollMs);
+    if (ready <= 0) continue;  // timeout tick or EINTR: re-check stopping_
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    SetNoDelay(fd);
+    accepted_total_.fetch_add(1, std::memory_order_relaxed);
+    MutexLock lock(mu_);
+    ReapFinishedLocked();
+    if (stopping_.load(std::memory_order_acquire) ||
+        connections_.size() >= config_.server_max_connections) {
+      CloseFd(fd);
+      continue;
+    }
+    Connection conn;
+    conn.session = std::make_unique<ServerSession>(
+        &env_, fd, next_session_id_.fetch_add(1, std::memory_order_relaxed));
+    ServerSession* session = conn.session.get();
+    conn.thread = std::thread([session, connections_gauge] {
+      connections_gauge->Add(1);
+      session->Run();
+      connections_gauge->Sub(1);
+    });
+    connections_.push_back(std::move(conn));
+  }
+}
+
+void Server::ReapFinishedLocked() {
+  for (size_t i = 0; i < connections_.size();) {
+    if (connections_[i].session->finished()) {
+      connections_[i].thread.join();
+      connections_[i] = std::move(connections_.back());
+      connections_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+void Server::RequestShutdown() {
+  {
+    MutexLock lock(mu_);
+    shutdown_requested_ = true;
+  }
+  shutdown_requested_cv_.notify_all();
+}
+
+void Server::Wait() {
+  MutexLock lock(mu_);
+  while (!shutdown_requested_) {
+    lock.Wait(shutdown_requested_cv_);
+  }
+}
+
+Status Server::Shutdown() {
+  {
+    MutexLock lock(mu_);
+    if (drained_) return Status::OK();
+    drained_ = true;
+  }
+  RequestShutdown();
+
+  // Stop accepting before touching live connections.
+  stopping_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Fail queued admissions, then stop every session from reading more
+  // requests; whatever is executing now is the drain set.
+  admission_.BeginDrain();
+  {
+    MutexLock lock(mu_);
+    for (Connection& conn : connections_) {
+      conn.session->BeginDrain();
+    }
+  }
+
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(config_.server_drain_timeout_ms);
+  for (;;) {
+    bool all_done = true;
+    {
+      MutexLock lock(mu_);
+      for (Connection& conn : connections_) {
+        if (!conn.session->finished()) {
+          all_done = false;
+          break;
+        }
+      }
+    }
+    if (all_done || std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(kDrainPollMs));
+  }
+
+  // Deadline passed: abandon stragglers at their next batch boundary.
+  {
+    MutexLock lock(mu_);
+    for (Connection& conn : connections_) {
+      if (!conn.session->finished()) conn.session->ForceCancel();
+    }
+    for (Connection& conn : connections_) {
+      conn.thread.join();
+    }
+    connections_.clear();
+  }
+
+  CloseFd(listen_fd_);
+  listen_fd_ = -1;
+
+  // The whole point of draining gently: the adaptive state the served
+  // queries built survives into the next process.
+  if (config_.snapshot_mode == SnapshotMode::kOff) return Status::OK();
+  return engine_->SaveAllSnapshots();
+}
+
+ServerStats Server::Stats() const {
+  ServerStats stats;
+  {
+    MutexLock lock(mu_);
+    uint32_t live = 0;
+    for (const Connection& conn : connections_) {
+      if (!conn.session->finished()) ++live;
+    }
+    stats.connections = live;
+    stats.draining = shutdown_requested_;
+  }
+  admission_.FillStats(&stats);
+  stats.queries_total = stats.admitted_total;
+  return stats;
+}
+
+std::string Server::RenderMetrics(bool prometheus) {
+  if (prometheus) {
+    // Admission counters/gauges live in the global registry, so the
+    // scrape already carries the server series.
+    return obs::MetricsRegistry::Global().RenderPrometheus();
+  }
+  return obs::MetricsRegistry::Global().RenderText() + "\n" +
+         MonitorPanel::RenderServer(Stats());
+}
+
+}  // namespace server
+}  // namespace nodb

@@ -1,0 +1,103 @@
+#ifndef NODB_SERVER_SERVER_H_
+#define NODB_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engines/nodb_engine.h"
+#include "server/admission.h"
+#include "server/server_stats.h"
+#include "server/session.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace nodb {
+namespace server {
+
+/// The network front end around one NoDbEngine: a loopback TCP
+/// listener whose connections each get a thread and a ServerSession
+/// (binary wire protocol or HTTP, sniffed per connection), all funneled
+/// through one AdmissionController.
+///
+/// Lifecycle:
+///   Server server(&engine, config);
+///   NODB_RETURN_NOT_OK(server.Start());   // binds, spawns accept loop
+///   ... serve (Wait() blocks until shutdown is requested) ...
+///   server.RequestShutdown();             // SIGTERM handler / \shutdown
+///   server.Shutdown();                    // graceful drain, see below
+///
+/// Graceful drain (Shutdown): stop accepting; tell every live session
+/// to stop reading (buffered QUERYs answered REJECTED) while admission
+/// fails all waiters; give in-flight queries server_drain_timeout_ms to
+/// finish; fire their cancel flags so stragglers abort at the next
+/// batch boundary; join everything; then SaveAllSnapshots() so the
+/// engine's adaptive state survives the restart. Idempotent.
+class Server {
+ public:
+  Server(NoDbEngine* engine, const NoDbConfig& config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds 127.0.0.1:server_port (0 = ephemeral) and starts accepting.
+  Status Start() EXCLUDES(mu_);
+
+  /// The bound port (after Start; resolves port 0).
+  uint16_t port() const { return port_; }
+
+  /// Marks the server as shutting down and wakes Wait(). Callable from
+  /// any thread, including a signal-triggered one. Does not drain.
+  void RequestShutdown();
+
+  /// Blocks until RequestShutdown is called (server main loop).
+  void Wait() EXCLUDES(mu_);
+
+  /// Runs the graceful drain described above and releases the
+  /// listener. Returns the SaveAllSnapshots status (OK when snapshots
+  /// are off). Idempotent; safe without Start().
+  Status Shutdown() EXCLUDES(mu_);
+
+  /// Point-in-time stats for \metrics and MonitorPanel::RenderServer.
+  ServerStats Stats() const EXCLUDES(mu_);
+
+  AdmissionController& admission() { return admission_; }
+
+ private:
+  struct Connection {
+    std::unique_ptr<ServerSession> session;
+    std::thread thread;
+  };
+
+  void AcceptLoop();
+  void ReapFinishedLocked() REQUIRES(mu_);
+  std::string RenderMetrics(bool prometheus);
+
+  NoDbEngine* engine_;
+  NoDbConfig config_;
+  AdmissionController admission_;
+  SessionEnv env_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> next_session_id_{1};
+  std::atomic<uint64_t> accepted_total_{0};
+
+  mutable Mutex mu_;
+  std::condition_variable shutdown_requested_cv_;
+  bool shutdown_requested_ GUARDED_BY(mu_) = false;
+  bool drained_ GUARDED_BY(mu_) = false;
+  std::vector<Connection> connections_ GUARDED_BY(mu_);
+};
+
+}  // namespace server
+}  // namespace nodb
+
+#endif  // NODB_SERVER_SERVER_H_

@@ -1,0 +1,40 @@
+#ifndef NODB_SERVER_SERVER_STATS_H_
+#define NODB_SERVER_SERVER_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nodb {
+namespace server {
+
+/// Point-in-time admission state of one tenant.
+struct TenantAdmissionStats {
+  std::string name;
+  uint32_t in_flight = 0;
+  uint64_t admitted_total = 0;
+  uint64_t rejected_total = 0;
+  uint64_t rows_served = 0;
+  size_t reserved_bytes = 0;
+};
+
+/// Point-in-time view of the whole server, snapshotted for the shell's
+/// \metrics server section and MonitorPanel::RenderServer. Plain data
+/// so monitor/ can render it without including server internals.
+struct ServerStats {
+  uint32_t connections = 0;
+  uint32_t in_flight = 0;
+  uint32_t queued = 0;
+  uint32_t max_in_flight = 0;
+  uint64_t admitted_total = 0;
+  uint64_t rejected_total = 0;
+  uint64_t queue_timeouts_total = 0;
+  uint64_t queries_total = 0;
+  bool draining = false;
+  std::vector<TenantAdmissionStats> tenants;
+};
+
+}  // namespace server
+}  // namespace nodb
+
+#endif  // NODB_SERVER_SERVER_STATS_H_

@@ -1,0 +1,95 @@
+#ifndef NODB_SERVER_SESSION_H_
+#define NODB_SERVER_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "engines/query_session.h"
+#include "exec/cancel.h"
+#include "raw/nodb_config.h"
+#include "server/admission.h"
+#include "util/status.h"
+
+namespace nodb {
+namespace server {
+
+/// What a connection needs from the server that owns it, passed by
+/// reference so session.h never includes server.h (no cyclic layering).
+/// The callbacks keep the session ignorant of drain mechanics: it only
+/// reports wishes upward.
+struct SessionEnv {
+  Engine* engine = nullptr;
+  AdmissionController* admission = nullptr;
+  const NoDbConfig* config = nullptr;
+  std::string server_name;
+  /// Invoked on a remote SHUTDOWN frame (when the config allows it).
+  std::function<void()> request_shutdown;
+  /// Renders the metrics body (text or Prometheus) including the
+  /// server's own section.
+  std::function<std::string(bool prometheus)> render_metrics;
+};
+
+/// One accepted connection, binary or HTTP, handled end-to-end on its
+/// own thread.
+///
+/// The first four bytes decide the dialect: the "NoDB" magic starts the
+/// framed binary protocol, anything else is treated as an HTTP/1.0
+/// request line. A binary connection wraps a QuerySession (so
+/// ScopedSessionLabel attribution works exactly as for in-process
+/// clients) authenticated by the tenant name in HELLO.
+///
+/// Malformed-input policy, exercised by the fuzz test: a bad payload or
+/// unknown frame type with intact framing gets an ERROR reply and the
+/// connection lives on; an oversized length prefix gets an ERROR and
+/// the connection is closed (the stream position is unrecoverable);
+/// a truncated stream just closes. No path leaks an admission slot —
+/// the ticket is scoped to HandleQuery.
+class ServerSession {
+ public:
+  ServerSession(SessionEnv* env, int fd, uint64_t id);
+  ~ServerSession();
+
+  ServerSession(const ServerSession&) = delete;
+  ServerSession& operator=(const ServerSession&) = delete;
+
+  /// Thread body: dispatches on the magic, runs the conversation until
+  /// the peer hangs up or drain closes the socket, marks finished().
+  void Run();
+
+  /// Drain step 1: stop reading new requests. Any QUERY already
+  /// buffered is answered REJECTED; the current query keeps running.
+  void BeginDrain();
+
+  /// Drain step 2 (deadline passed): fire the cancel flag so the
+  /// in-flight query aborts at its next batch boundary, and shut the
+  /// socket both ways.
+  void ForceCancel();
+
+  bool finished() const { return finished_.load(std::memory_order_acquire); }
+  uint64_t id() const { return id_; }
+
+ private:
+  void RunBinary();
+  Status SendError(const Status& error);
+  Status HandleHello(const std::string& payload, bool* saw_hello);
+  Status HandleQuery(const std::string& payload);
+  Status HandleMetrics(const std::string& payload);
+
+  SessionEnv* env_;
+  int fd_;
+  uint64_t id_;
+  /// Created at HELLO time, once the client has named itself.
+  std::unique_ptr<QuerySession> session_;
+  uint32_t tenant_id_ = 0;
+  QueryCancelFlag cancel_;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> finished_{false};
+};
+
+}  // namespace server
+}  // namespace nodb
+
+#endif  // NODB_SERVER_SESSION_H_

@@ -1,0 +1,172 @@
+#ifndef NODB_SERVER_WIRE_H_
+#define NODB_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "monitor/query_metrics.h"
+#include "types/record_batch.h"
+#include "types/schema.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace nodb {
+namespace server {
+
+/// The NoDB wire protocol.
+///
+/// A connection opens with the 4-byte magic "NoDB" (which also lets
+/// one listener tell binary clients from HTTP requests — no HTTP verb
+/// starts with these bytes), followed by length-prefixed frames:
+///
+///   u32 payload length (LE) | u8 frame type | payload
+///
+/// All integers are little-endian; strings are u32 length + raw bytes;
+/// doubles travel as their IEEE-754 bit pattern so results round-trip
+/// bit-identically. The conversation:
+///
+///   client: HELLO{version, tenant, client}     server: HELLO_OK{name}
+///   client: QUERY{sql}                         server: RESULT_HEADER
+///                                                      RESULT_BATCH*
+///                                                      RESULT_DONE
+///                                              or      ERROR / REJECTED
+///   client: METRICS{format}                    server: METRICS_REPLY
+///   client: SHUTDOWN                           server: GOODBYE (drain)
+///   client: GOODBYE                            (either side closes)
+///
+/// Result batches stream straight out of the Volcano drain, chunked to
+/// NoDbConfig::server_result_batch_rows rows per frame, so the first
+/// rows of a large answer arrive while the scan is still running.
+inline constexpr char kMagic[4] = {'N', 'o', 'D', 'B'};
+inline constexpr uint16_t kProtocolVersion = 1;
+
+enum class FrameType : uint8_t {
+  kHello = 1,
+  kHelloOk = 2,
+  kQuery = 3,
+  kResultHeader = 4,
+  kResultBatch = 5,
+  kResultDone = 6,
+  kError = 7,
+  kRejected = 8,
+  kMetricsRequest = 9,
+  kMetricsReply = 10,
+  kGoodbye = 11,
+  kShutdown = 12,
+};
+
+/// One decoded frame (payload still wire-encoded).
+struct Frame {
+  FrameType type = FrameType::kGoodbye;
+  std::string payload;
+};
+
+/// Appends wire-encoded primitives to a payload buffer.
+class WireWriter {
+ public:
+  void PutU8(uint8_t v);
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v);
+  void PutDouble(double v);
+  void PutString(std::string_view s);
+
+  const std::string& data() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked cursor over a received payload. Every getter fails
+/// with ParseError instead of reading past the end — a fuzzer's
+/// truncated frame becomes an ERROR reply, never a crash.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view payload) : data_(payload) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint16_t> GetU16();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<int64_t> GetI64();
+  Result<double> GetDouble();
+  Result<std::string> GetString();
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+  /// Trailing bytes after the last field are a protocol error.
+  Status ExpectEnd() const;
+
+ private:
+  Status Need(size_t n) const;
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// ---- Typed payloads ---------------------------------------------------
+
+void EncodeSchema(const Schema& schema, WireWriter* w);
+Result<std::shared_ptr<Schema>> DecodeSchema(WireReader* r);
+
+/// Rows [row_begin, row_end) of `batch`, column-major: per column the
+/// validity bytes then the non-null values.
+void EncodeBatchRows(const RecordBatch& batch, size_t row_begin,
+                     size_t row_end, WireWriter* w);
+
+/// Appends the frame's rows onto `batch` (whose schema must match the
+/// preceding RESULT_HEADER). Returns the row count appended.
+Result<size_t> DecodeBatchInto(WireReader* r, RecordBatch* batch);
+
+/// The full cost breakdown travels in RESULT_DONE so a remote shell's
+/// `\timing` renders through the same MonitorPanel code as a local one
+/// (the sql text stays client-side and is not re-sent).
+void EncodeQueryMetrics(const QueryMetrics& metrics, WireWriter* w);
+Result<QueryMetrics> DecodeQueryMetrics(WireReader* r);
+
+/// StatusCode <-> wire byte for ERROR frames (unknown bytes decode as
+/// kInternal rather than failing — forward compatibility).
+uint8_t WireCodeFor(StatusCode code);
+StatusCode StatusCodeFromWire(uint8_t code);
+
+/// ---- Transport --------------------------------------------------------
+
+/// Binds and listens on 127.0.0.1:`port` (0 = ephemeral). Returns the
+/// listening fd.
+Result<int> ListenTcp(uint16_t port);
+
+/// The locally-bound port of a listening fd (resolves port 0).
+Result<uint16_t> LocalPort(int fd);
+
+/// Disables Nagle on `fd`. Frames are written whole, so coalescing
+/// small writes only adds delayed-ACK stalls; both ends of every
+/// connection want this (ConnectTcp applies it itself; accepted fds
+/// must opt in).
+void SetNoDelay(int fd);
+
+/// Connects to `host`:`port`; `host` must be an IPv4 literal or
+/// "localhost".
+Result<int> ConnectTcp(const std::string& host, uint16_t port);
+
+/// Loops over partial writes/reads; EINTR-safe; writes suppress
+/// SIGPIPE. ReadFully reports a clean mid-stream EOF as IOError
+/// "connection closed".
+Status WriteFully(int fd, const void* data, size_t n);
+Status ReadFully(int fd, void* data, size_t n);
+
+void CloseFd(int fd);
+
+/// One frame out / in. ReadFrame refuses payloads over
+/// `max_frame_bytes` *before* allocating (the anti-DoS check); the
+/// caller decides whether that kills the connection.
+Status WriteFrame(int fd, FrameType type, std::string_view payload);
+Result<Frame> ReadFrame(int fd, size_t max_frame_bytes);
+
+}  // namespace server
+}  // namespace nodb
+
+#endif  // NODB_SERVER_WIRE_H_

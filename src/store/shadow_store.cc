@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.h"
+#include "obs/tenant.h"
 
 namespace nodb {
 
@@ -79,7 +80,9 @@ void ShadowStore::Promote(uint32_t attr, uint64_t block,
   size_t rows = segment->size();
   entry.segment = std::move(segment);
   entry.bytes = bytes;
+  entry.owner = obs::ScopedTenantLabel::CurrentId();
   entry.lru_pos = lru_.begin();
+  owner_bytes_[entry.owner] += bytes;
   entries_.emplace(key, std::move(entry));
   bytes_used_ += bytes;
   if (attr >= rows_.size()) rows_.resize(attr + 1, 0);
@@ -93,6 +96,11 @@ void ShadowStore::RemoveLocked(const Key& key) {
   auto it = entries_.find(key);
   if (it == entries_.end()) return;
   bytes_used_ -= it->second.bytes;
+  auto ob = owner_bytes_.find(it->second.owner);
+  if (ob != owner_bytes_.end()) {
+    ob->second -= std::min(ob->second, it->second.bytes);
+    if (ob->second == 0) owner_bytes_.erase(ob);
+  }
   if (key.attr < rows_.size()) {
     rows_[key.attr] -= it->second.segment->size();
   }
@@ -102,7 +110,22 @@ void ShadowStore::RemoveLocked(const Key& key) {
 
 void ShadowStore::EvictOverBudget() {
   while (bytes_used_ > budget_bytes_ && !lru_.empty()) {
-    RemoveLocked(lru_.back());
+    // An over-budget store always has an owner over the equal share
+    // (pigeonhole), so the scan below normally finds a victim; the
+    // global LRU tail is kept as a belt-and-braces fallback.
+    size_t share =
+        budget_bytes_ / std::max<size_t>(size_t{1}, owner_bytes_.size());
+    Key victim = lru_.back();
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      auto entry = entries_.find(*it);
+      if (entry == entries_.end()) continue;
+      auto ob = owner_bytes_.find(entry->second.owner);
+      if (ob != owner_bytes_.end() && ob->second > share) {
+        victim = *it;
+        break;
+      }
+    }
+    RemoveLocked(victim);
     ++evictions_;
     EvictionsCounter()->Add(1);
   }
@@ -131,6 +154,7 @@ void ShadowStore::Clear() {
   entries_.clear();
   lru_.clear();
   rows_.assign(rows_.size(), 0);
+  owner_bytes_.clear();
   bytes_used_ = 0;
   ++generation_;
 }
@@ -160,6 +184,12 @@ bool ShadowStore::ImportImage(const Image& image) {
     Promote(it->attr, it->block, it->segment, generation);
   }
   return true;
+}
+
+size_t ShadowStore::bytes_used_by(uint32_t owner) const {
+  MutexLock lock(mu_);
+  auto it = owner_bytes_.find(owner);
+  return it == owner_bytes_.end() ? 0 : it->second;
 }
 
 uint64_t ShadowStore::rows_materialized(uint32_t attr) const {

@@ -65,10 +65,12 @@ class ShadowStore {
   /// already resident (the existing segment parsed identical bytes)
   /// or when `generation` is stale — a scan that opened against a
   /// file generation that has since been rewritten must not repopulate
-  /// the cleared store with old-file data. Evicts LRU segments over
-  /// budget; segments larger than the whole budget are rejected
-  /// silently. The caller guarantees `segment` covers the entire
-  /// block.
+  /// the cleared store with old-file data. Evicts segments over
+  /// budget fair-share by owner (see EvictOverBudget); segments larger
+  /// than the whole budget are rejected silently. The segment is
+  /// attributed to the calling thread's tenant
+  /// (obs::ScopedTenantLabel::CurrentId(); 0 = untagged in-process
+  /// work). The caller guarantees `segment` covers the entire block.
   void Promote(uint32_t attr, uint64_t block,
                std::shared_ptr<const ColumnVector> segment,
                uint64_t generation) EXCLUDES(mu_);
@@ -125,6 +127,10 @@ class ShadowStore {
     return promotions_;
   }
 
+  /// Bytes currently resident on behalf of `owner` (tenant id; 0 =
+  /// untagged). Multi-tenant budget observability and tests.
+  size_t bytes_used_by(uint32_t owner) const EXCLUDES(mu_);
+
   /// Rows of `attr` currently materialized (sum of resident segment
   /// sizes) — the promoter's coverage check.
   uint64_t rows_materialized(uint32_t attr) const EXCLUDES(mu_);
@@ -169,10 +175,18 @@ class ShadowStore {
   struct Entry {
     std::shared_ptr<const ColumnVector> segment;
     size_t bytes = 0;
+    uint32_t owner = 0;  ///< tenant id that promoted it (0 = untagged)
     std::list<Key>::iterator lru_pos;
   };
 
   void RemoveLocked(const Key& key) REQUIRES(mu_);
+
+  /// Fair-share eviction: while over budget, the victim is the
+  /// least-recent segment of an owner holding more than budget /
+  /// active-owners bytes — a hot tenant cannibalizes its own segments
+  /// before touching another tenant's. With one owner (every
+  /// non-server deployment) this degenerates to exactly the old global
+  /// LRU.
   void EvictOverBudget() REQUIRES(mu_);
 
   const size_t budget_bytes_;
@@ -180,6 +194,9 @@ class ShadowStore {
   std::unordered_map<Key, Entry, KeyHash> entries_ GUARDED_BY(mu_);
   std::list<Key> lru_ GUARDED_BY(mu_);  // front = most recent
   std::vector<uint64_t> rows_ GUARDED_BY(mu_);  // per-attr rows
+  /// Resident bytes per owner (entries removed at zero, so size() is
+  /// the active-owner count the fair share divides by).
+  std::unordered_map<uint32_t, size_t> owner_bytes_ GUARDED_BY(mu_);
   uint64_t generation_ GUARDED_BY(mu_) = 0;
   size_t bytes_used_ GUARDED_BY(mu_) = 0;
   uint64_t hits_ GUARDED_BY(mu_) = 0;

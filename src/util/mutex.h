@@ -1,6 +1,7 @@
 #ifndef NODB_UTIL_MUTEX_H_
 #define NODB_UTIL_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -73,6 +74,19 @@ class SCOPED_CAPABILITY MutexLock {
                                          std::adopt_lock);
     cv.wait(adopted);
     adopted.release();  // ownership stays with this MutexLock
+  }
+
+  /// Timed variant of Wait(): blocks until notified or until the
+  /// steady-clock `deadline` passes. Returns false on timeout. Like
+  /// Wait(), the lock is held again when this returns, so callers
+  /// re-check their predicate either way (spurious wakeups included).
+  bool WaitUntil(std::condition_variable& cv,
+                 std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> adopted(mu_->native_handle(),
+                                         std::adopt_lock);
+    std::cv_status status = cv.wait_until(adopted, deadline);
+    adopted.release();  // ownership stays with this MutexLock
+    return status != std::cv_status::timeout;
   }
 
  private:

@@ -18,6 +18,8 @@ enum class StatusCode {
   kOutOfRange,
   kNotImplemented,
   kInternal,
+  kCancelled,
+  kUnavailable,
 };
 
 /// Returns the canonical lowercase name of a status code, e.g. "IOError".
@@ -72,6 +74,16 @@ class [[nodiscard]] Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  /// Cooperative cancellation (exec/cancel.h): the query was asked to
+  /// stop and bailed at a batch boundary; not an engine fault.
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  /// Resource refusal (server admission control, drain): the request
+  /// was well-formed but the system declined to run it now.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -89,6 +101,8 @@ class [[nodiscard]] Status {
     return code_ == StatusCode::kNotImplemented;
   }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

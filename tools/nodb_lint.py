@@ -47,6 +47,11 @@ generic linter cannot know:
                    with a known component (query, scan, exec, cache,
                    map, store, persist, promoter, pool, snapshot) so
                    traces stay greppable and dashboards stay stable
+  server-seam      src/server/ talks to the engine only through its
+                   public seams (engines/, obs/, monitor/, types/,
+                   util/ plus the streaming/cancel/config headers);
+                   including scan, store, cache, SQL or persistence
+                   internals from the wire layer is a layering bug
 
 Exit code 0 when clean; 1 with one line per violation otherwise.
 """
@@ -92,6 +97,19 @@ SPAN_COMPONENTS = {"query", "scan", "exec", "cache", "map", "store",
                    "persist", "promoter", "pool", "snapshot"}
 # The tracer implementation itself (declarations, not span sites).
 SPAN_IMPL_FILES = {"src/obs/trace.h", "src/obs/trace.cc"}
+
+# The server front end is a client of the engine, not part of it: it
+# may use the engine facade, observability, shared plumbing, and the
+# handful of headers that *are* the public execution seam — nothing
+# below that (no scan/store/cache/SQL/persistence internals).
+SERVER_ALLOWED_PREFIXES = ("server/", "engines/", "obs/", "monitor/",
+                           "types/", "util/")
+SERVER_ALLOWED_HEADERS = {
+    "exec/cancel.h",        # cooperative per-query cancel tokens
+    "exec/operator.h",      # BatchSink, the streaming seam
+    "exec/query_result.h",  # result container + Drain
+    "raw/nodb_config.h",    # server_* knobs live in the shared config
+}
 
 
 def strip_comments_and_strings(lines):
@@ -399,6 +417,25 @@ def check_span_names(path, lines, code, problems):
                 + ", ".join(sorted(SPAN_COMPONENTS)) + ")")
 
 
+def check_server_seam(path, lines, problems):
+    if not path.startswith("src/server/"):
+        return
+    for i, line in enumerate(lines, start=1):
+        m = INCLUDE_RE.match(line)
+        if not m or m.group(1) != '"':
+            continue
+        header = m.group(2)
+        if header.startswith(SERVER_ALLOWED_PREFIXES):
+            continue
+        if header in SERVER_ALLOWED_HEADERS:
+            continue
+        problems.append(
+            f"{path}:{i}: [server-seam] src/server/ must not include "
+            f"\"{header}\"; the front end talks to the engine only "
+            "through engines/, obs/, monitor/, types/, util/ and the "
+            "public execution seam headers")
+
+
 def check_file(path):
     problems = []
     with open(path, "rb") as f:
@@ -418,6 +455,7 @@ def check_file(path):
     check_generation_tags(path, lines, code, problems)
     check_isa_siblings(path, lines, problems)
     check_span_names(path, lines, code, problems)
+    check_server_seam(path, lines, problems)
     return problems
 
 
